@@ -1,0 +1,223 @@
+package fcc_test
+
+// One benchmark per table, figure, and experiment of the paper (see
+// DESIGN.md's experiment index). The simulator is deterministic, so the
+// interesting output is the model metrics attached via ReportMetric —
+// latencies in simulated ns, throughput in simulated MOPS — next to the
+// usual wall-clock cost of running the simulation itself.
+
+import (
+	"strings"
+	"testing"
+
+	"fcc/internal/exp"
+)
+
+// BenchmarkTable1Registry regenerates Table 1 (T1).
+func BenchmarkTable1Registry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !strings.Contains(exp.Table1(), "CXL") {
+			b.Fatal("registry broken")
+		}
+	}
+}
+
+// BenchmarkTable2MemoryHierarchy regenerates Table 2 (T2) and asserts
+// the calibration against the paper.
+func BenchmarkTable2MemoryHierarchy(b *testing.B) {
+	var rows []exp.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table2()
+	}
+	for i, r := range rows {
+		p := exp.Table2Paper[i]
+		if r.ReadLatNs < p.ReadLatNs*0.9 || r.ReadLatNs > p.ReadLatNs*1.1 {
+			b.Fatalf("%s read latency %.1fns vs paper %.1fns", r.Level, r.ReadLatNs, p.ReadLatNs)
+		}
+	}
+	b.ReportMetric(rows[0].ReadLatNs, "L1ns")
+	b.ReportMetric(rows[2].ReadLatNs, "localns")
+	b.ReportMetric(rows[3].ReadLatNs, "remotens")
+	b.ReportMetric(rows[3].ReadMOPS, "remoteMOPS")
+}
+
+// BenchmarkFigure1Topology regenerates Figure 1b (F1).
+func BenchmarkFigure1Topology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !strings.Contains(exp.Figure1(), "FS fs1") {
+			b.Fatal("topology broken")
+		}
+	}
+}
+
+// BenchmarkClaimMLPThroughput is C1: remote MOPS scales with MSHRs.
+func BenchmarkClaimMLPThroughput(b *testing.B) {
+	var rows []exp.MLPRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.ClaimMLP()
+	}
+	if rows[2].MOPS < rows[0].MOPS*3 {
+		b.Fatalf("MOPS not MLP-bound: %v", rows)
+	}
+	b.ReportMetric(rows[2].MOPS, "MOPS@4MSHR")
+	b.ReportMetric(rows[4].MOPS, "MOPS@16MSHR")
+}
+
+// BenchmarkClaimContention is C2: added one-way latency under load.
+func BenchmarkClaimContention(b *testing.B) {
+	var r exp.ContentionResult
+	for i := 0; i < b.N; i++ {
+		r = exp.ClaimContention()
+	}
+	b.ReportMetric(r.SoloNs, "solons")
+	b.ReportMetric(r.AddedNs, "addedns")
+}
+
+// BenchmarkClaimInterleave is C3: 64B latency vs 16KB bulk.
+func BenchmarkClaimInterleave(b *testing.B) {
+	var r exp.InterleaveResult
+	for i := 0; i < b.N; i++ {
+		r = exp.ClaimInterleave()
+	}
+	if r.WithBulkNs < r.AloneNs*2 {
+		b.Fatalf("bulk interference too mild: %+v", r)
+	}
+	b.ReportMetric(r.AloneNs, "alonens")
+	b.ReportMetric(r.WithBulkNs, "sharedns")
+	b.ReportMetric(r.WithBulkVCSepNs, "vcsepns")
+}
+
+// BenchmarkClaimSwitch is C4: switch transit latency and bandwidth.
+func BenchmarkClaimSwitch(b *testing.B) {
+	var r exp.SwitchResult
+	for i := 0; i < b.N; i++ {
+		r = exp.ClaimSwitch()
+	}
+	if r.TransitNs > 150 {
+		b.Fatalf("switch transit %.0fns, want <150ns class", r.TransitNs)
+	}
+	b.ReportMetric(r.TransitNs, "transitns")
+	b.ReportMetric(r.GBps, "GB/s")
+}
+
+// BenchmarkClaimRTT is C5: unloaded small-flit RTT.
+func BenchmarkClaimRTT(b *testing.B) {
+	var r exp.RTTResult
+	for i := 0; i < b.N; i++ {
+		r = exp.ClaimRTT()
+	}
+	if r.RTTNs > 200 {
+		b.Fatalf("unloaded RTT %.0fns exceeds the paper's 200ns bound", r.RTTNs)
+	}
+	b.ReportMetric(r.RTTNs, "rttns")
+}
+
+// BenchmarkETransManaged is E1: managed data movement.
+func BenchmarkETransManaged(b *testing.B) {
+	var r exp.ETransResult
+	for i := 0; i < b.N; i++ {
+		r = exp.ETransAblation()
+	}
+	if r.ManagedUs >= r.SyncUs {
+		b.Fatalf("managed (%v us) not faster than sync (%v us)", r.ManagedUs, r.SyncUs)
+	}
+	b.ReportMetric(r.SyncUs, "syncus")
+	b.ReportMetric(r.ManagedUs, "managedus")
+	b.ReportMetric(r.HostFreeUs, "handoffus")
+}
+
+// BenchmarkUHeapMigration is E2: the active heap.
+func BenchmarkUHeapMigration(b *testing.B) {
+	var r exp.UHeapResult
+	for i := 0; i < b.N; i++ {
+		r = exp.UHeapAblation()
+	}
+	if r.MigratedMeanNs*1.5 > r.StaticMeanNs {
+		b.Fatalf("migration win too small: %+v", r)
+	}
+	b.ReportMetric(r.StaticMeanNs, "staticns")
+	b.ReportMetric(r.MigratedMeanNs, "migratedns")
+}
+
+// BenchmarkIdempotentRecovery is E3: recovery under failures.
+func BenchmarkIdempotentRecovery(b *testing.B) {
+	var rows []exp.IdemRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.IdemAblation()
+	}
+	for _, r := range rows {
+		if !r.AllCorrect {
+			b.Fatalf("corruption at failProb %.1f", r.FailProb)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].MeanAttempts, "attempts@50%fail")
+}
+
+// BenchmarkArbiter is E4: incast latency protection.
+func BenchmarkArbiter(b *testing.B) {
+	var r exp.ArbiterResult
+	for i := 0; i < b.N; i++ {
+		r = exp.ArbiterAblation()
+	}
+	if r.ArbiterP99Ns*2 > r.LaissezFaireP99Ns {
+		b.Fatalf("arbiter protection too weak: %+v", r)
+	}
+	b.ReportMetric(r.LaissezFaireP99Ns, "laissezns")
+	b.ReportMetric(r.ArbiterP99Ns, "arbiterns")
+}
+
+// BenchmarkCFCSchemes is E5: credit allocation schemes.
+func BenchmarkCFCSchemes(b *testing.B) {
+	var rows []exp.CFCRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.CFCAblation()
+	}
+	// rows: static, ramp-up, adaptive.
+	if rows[2].JainFairness <= rows[1].JainFairness {
+		b.Fatalf("adaptive not fairer than ramp-up: %+v", rows)
+	}
+	b.ReportMetric(rows[1].JainFairness, "rampupfair")
+	b.ReportMetric(rows[2].JainFairness, "adaptivefair")
+}
+
+// BenchmarkNodeTypes is E6: the four memory-node types.
+func BenchmarkNodeTypes(b *testing.B) {
+	var rows []exp.NodeRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.NodeTypes()
+	}
+	for _, r := range rows {
+		if r.Kind == "COMA" {
+			b.ReportMetric(r.BigSet, "comabigsetns")
+		}
+		if r.Kind == "CC-NUMA" {
+			b.ReportMetric(r.BigSet, "ccbigsetns")
+			b.ReportMetric(r.PingPong, "ccpingpongns")
+		}
+	}
+}
+
+// BenchmarkPrefetchSweep is E8: prefetch acceleration (§3 D#1).
+func BenchmarkPrefetchSweep(b *testing.B) {
+	var rows []exp.PrefetchRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.PrefetchSweep()
+	}
+	last := rows[len(rows)-1]
+	if last.Speedup < 2 {
+		b.Fatalf("prefetch depth %d speedup only %.2fx", last.Depth, last.Speedup)
+	}
+	b.ReportMetric(last.Speedup, "speedup@depth8")
+}
+
+// BenchmarkMIMOPipeline is E7: the case study.
+func BenchmarkMIMOPipeline(b *testing.B) {
+	var r exp.MIMOResult
+	for i := 0; i < b.N; i++ {
+		r = exp.MIMOPipeline(8, false)
+	}
+	if !r.RecoveredOK {
+		b.Fatalf("BER %.4f at clean SNR", r.BER)
+	}
+	b.ReportMetric(r.MeanFrameUs, "frameus")
+}

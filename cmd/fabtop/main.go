@@ -1,0 +1,33 @@
+// fabtop builds a composable-infrastructure topology and renders it —
+// the Figure 1b regeneration as a standalone tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"fcc"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 2, "host servers")
+	fams := flag.Int("fams", 2, "fabric-attached memory chassis")
+	faas := flag.Int("faas", 1, "fabric-attached accelerator chassis")
+	switches := flag.Int("switches", 2, "fabric switches (line topology)")
+	agents := flag.Bool("agents", true, "migration agent per FAM")
+	arb := flag.Bool("arbiter", true, "central fabric arbiter")
+	flag.Parse()
+
+	c, err := fcc.New(fcc.Config{
+		Hosts: *hosts, FAMs: *fams, FAAs: *faas, FAMCapacity: 1 << 30,
+		Switches: *switches, Agents: *agents, Arbiter: *arb,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(c.Render())
+	fmt.Println("\nFlex Bus layering (Figure 1a):")
+	fmt.Println("  transaction layer: CXL.io / CXL.mem / CXL.cache (+ ctrl lane)")
+	fmt.Println("  link layer:        credit-based flow control, reliability/replay")
+	fmt.Println("  physical layer:    (de)serialization, framing, x4/x8/x16 @ up to 64 GT/s")
+}

@@ -1,0 +1,154 @@
+// fccbench regenerates every table, figure, claim, and ablation of the
+// Fabric-Centric Computing reproduction. Run with -exp all (default) or
+// a specific experiment id from DESIGN.md's experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fcc/internal/exp"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func()
+}
+
+func main() {
+	which := flag.String("exp", "all", "experiment id (see -list)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	exps := []experiment{
+		{"table1", "Table 1: commodity memory fabrics", func() {
+			fmt.Print(exp.Table1())
+		}},
+		{"table2", "Table 2: memory hierarchy latency/throughput", func() {
+			fmt.Print(exp.RenderTable2(exp.Table2()))
+		}},
+		{"figure1", "Figure 1b: composable infrastructure topology", func() {
+			fmt.Print(exp.Figure1())
+		}},
+		{"claim-mlp", "C1: remote throughput is MLP-bound", func() {
+			fmt.Print(exp.RenderMLP(exp.ClaimMLP()))
+		}},
+		{"claim-contention", "C2: concurrent 64B writes add one-way latency", func() {
+			r := exp.ClaimContention()
+			fmt.Printf("64B write one-way: solo %.0fns, under 3-host contention %.0fns (+%.0fns)\n",
+				r.SoloNs, r.ContendedNs, r.AddedNs)
+			fmt.Println("(paper: concurrent 64B PCIe writes can add 600ns one-way)")
+		}},
+		{"claim-interleave", "C3: 64B latency under 16KB bulk interference", func() {
+			r := exp.ClaimInterleave()
+			fmt.Printf("64B request mean latency:\n")
+			fmt.Printf("  idle fabric:                  %8.0fns\n", r.AloneNs)
+			fmt.Printf("  with 16KB bulk, shared pool:  %8.0fns (%.1fx)\n",
+				r.WithBulkNs, r.WithBulkNs/r.AloneNs)
+			fmt.Printf("  with 16KB bulk, dedicated VC: %8.0fns (%.1fx)\n",
+				r.WithBulkVCSepNs, r.WithBulkVCSepNs/r.AloneNs)
+			fmt.Println("(paper: interleaved with 16KB writes, 64B latency degrades drastically)")
+		}},
+		{"claim-switch", "C4: switch transit <100ns/port at high bandwidth", func() {
+			r := exp.ClaimSwitch()
+			fmt.Printf("switch transit: %.0fns mean; sustained %.1f GB/s through one port\n",
+				r.TransitNs, r.GBps)
+			fmt.Println("(paper/FabreX: <100ns non-blocking per port, up to 512 Gbit/s)")
+		}},
+		{"claim-rtt", "C5: unloaded link-layer RTT of a small flit", func() {
+			r := exp.ClaimRTT()
+			fmt.Printf("64B-class flit RTT on a direct link: %.0fns\n", r.RTTNs)
+			fmt.Println("(paper: end-to-end RTT of a 64B flit can be up to 200ns unloaded)")
+		}},
+		{"etrans", "E1: data movement as a managed service", func() {
+			r := exp.ETransAblation()
+			fmt.Printf("move 16 x 64KB FAM->FAM:\n")
+			fmt.Printf("  host-driven synchronous copies: %8.1fus\n", r.SyncUs)
+			fmt.Printf("  managed (delegated to agents):  %8.1fus (%.1fx faster)\n",
+				r.ManagedUs, r.SyncUs/r.ManagedUs)
+			fmt.Printf("  host-visible cost, OwnExecutor: %8.1fus\n", r.HostFreeUs)
+		}},
+		{"uheap", "E2: active unified heap vs static placement", func() {
+			r := exp.UHeapAblation()
+			fmt.Printf("Zipf object access, working set 2x local pool:\n")
+			fmt.Printf("  static placement: mean %7.1fns\n", r.StaticMeanNs)
+			fmt.Printf("  active heap:      mean %7.1fns (%.2fx, %d promotions)\n",
+				r.MigratedMeanNs, r.StaticMeanNs/r.MigratedMeanNs, r.Promotions)
+		}},
+		{"idem", "E3: idempotent tasks under failure injection", func() {
+			fmt.Printf("%8s | %13s | %11s | %s\n", "failProb", "mean attempts", "all correct", "time overhead")
+			for _, r := range exp.IdemAblation() {
+				fmt.Printf("%8.1f | %13.2f | %11v | %+.0f%%\n",
+					r.FailProb, r.MeanAttempts, r.AllCorrect, r.OverheadPct)
+			}
+		}},
+		{"arbiter", "E4: central arbiter protects small-request latency", func() {
+			r := exp.ArbiterAblation()
+			fmt.Printf("reader p99 under 3-writer incast:\n")
+			fmt.Printf("  laissez-faire: %8.0fns\n", r.LaissezFaireP99Ns)
+			fmt.Printf("  with arbiter:  %8.0fns (%.1fx better; bulk goodput %+.0f%%)\n",
+				r.ArbiterP99Ns, r.LaissezFaireP99Ns/r.ArbiterP99Ns, r.BulkChangePct)
+		}},
+		{"cfc", "E5: credit allocation schemes", func() {
+			fmt.Printf("%-18s | %9s | %9s | %s\n", "scheme", "heavy ops", "light ops", "Jain fairness")
+			for _, r := range exp.CFCAblation() {
+				fmt.Printf("%-18s | %9.0f | %9.0f | %.3f\n",
+					r.Scheme, r.HeavyOps, r.LightOps, r.JainFairness)
+			}
+		}},
+		{"nodes", "E6: memory node types under sharing patterns", func() {
+			fmt.Printf("%-14s | %14s | %13s | %s\n", "node type",
+				"read-shared ns", "ping-pong ns", "big-set ns")
+			for _, r := range exp.NodeTypes() {
+				fmt.Printf("%-14s | %14.0f | %13.0f | %10.0f\n",
+					r.Kind, r.ReadShared, r.PingPong, r.BigSet)
+			}
+		}},
+		{"prefetch", "E8: prefetching accelerates fabric memory", func() {
+			fmt.Printf("%5s | %10s | %s\n", "depth", "stream us", "speedup")
+			for _, r := range exp.PrefetchSweep() {
+				fmt.Printf("%5d | %10.1f | %.2fx\n", r.Depth, r.StreamUs, r.Speedup)
+			}
+		}},
+		{"mimo", "E7: MIMO baseband case study", func() {
+			r := exp.MIMOPipeline(8, false)
+			fmt.Printf("clean run:   %d frames, BER %.4f, mean frame latency %.1fus\n",
+				r.Frames, r.BER, r.MeanFrameUs)
+			r = exp.MIMOPipeline(8, true)
+			fmt.Printf("w/ failures: %d frames, BER %.4f, mean frame latency %.1fus (%d failovers)\n",
+				r.Frames, r.BER, r.MeanFrameUs, r.FAAFailovers)
+		}},
+	}
+
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-18s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range exps {
+		if *which == "all" || *which == e.id {
+			fmt.Printf("=== %s — %s ===\n", e.id, e.desc)
+			e.run()
+			fmt.Println()
+			ran++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: all, %s\n",
+			*which, strings.Join(ids(exps), ", "))
+		os.Exit(2)
+	}
+}
+
+func ids(exps []experiment) []string {
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.id
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+// Package fcc is the public face of the Fabric-Centric Computing
+// reproduction: a builder that assembles a complete composable
+// infrastructure — hosts with calibrated cache hierarchies and FHAs,
+// fabric switches with credit-based flow control, fabric-attached
+// memory (FAM) and accelerator (FAA) chassis, migration agents, an
+// optional coherence directory, and the central fabric arbiter — plus
+// accessors for the UniFabric runtime layers (elastic transactions,
+// unified heap, idempotent tasks, scalable functions) built on top.
+//
+// The package wires defaults calibrated against the paper's Omega
+// Fabric testbed (Table 2); every knob remains overridable through the
+// Config hooks. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the calibration evidence.
+package fcc
+
+import (
+	"fmt"
+
+	"fcc/internal/arbiter"
+	"fcc/internal/coherence"
+	"fcc/internal/etrans"
+	"fcc/internal/faa"
+	"fcc/internal/fabric"
+	"fcc/internal/flit"
+	"fcc/internal/host"
+	"fcc/internal/link"
+	"fcc/internal/mem"
+	"fcc/internal/sim"
+	"fcc/internal/task"
+	"fcc/internal/uheap"
+)
+
+// RemoteBase is the host physical address where the first FAM region is
+// mapped; FAM i maps at RemoteBase + i*FAMCapacity on every host.
+const RemoteBase uint64 = 1 << 36
+
+// Config describes a cluster to build.
+type Config struct {
+	// Hosts is the number of host servers (≥1).
+	Hosts int
+	// FAMs is the number of fabric-attached memory chassis.
+	FAMs int
+	// FAMCapacity is each FAM's size in bytes.
+	FAMCapacity uint64
+	// FAAs is the number of fabric-attached accelerator chassis.
+	FAAs int
+	// Agents places one migration agent per FAM chassis (etrans).
+	Agents bool
+	// Arbiter attaches the central fabric arbiter (Principle #4).
+	Arbiter bool
+	// Coherent fronts every FAM with a CC-NUMA directory.
+	Coherent bool
+	// Switches is the number of fabric switches in a line topology
+	// (hosts attach to the first, devices spread round-robin). 0 = 1.
+	Switches int
+
+	// Hooks to override component defaults (nil = defaults).
+	HostConfig    func(i int) host.Config
+	LinkConfig    func() link.Config
+	SwitchConfig  func() fabric.SwitchConfig
+	FAMConfig     func(i int, capacity uint64) mem.FAMConfig
+	FAAConfig     func(i int) faa.Config
+	ArbiterConfig func() arbiter.Config
+}
+
+// DefaultConfig is one host, one FAM, calibrated defaults.
+func DefaultConfig() Config {
+	return Config{Hosts: 1, FAMs: 1, FAMCapacity: 1 << 30}
+}
+
+// Cluster is an assembled composable infrastructure.
+type Cluster struct {
+	Eng     *sim.Engine
+	Builder *fabric.Builder
+	Hosts   []*host.Host
+	FAMs    []*mem.FAM
+	FAAs    []*faa.Device
+	Agents  []*etrans.Agent
+	Arbiter *arbiter.Arbiter
+	Dirs    []*coherence.Directory
+
+	cfg Config
+}
+
+// New assembles a cluster per cfg, runs fabric discovery, and maps all
+// FAM regions into every host's address space.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Hosts < 1 {
+		return nil, fmt.Errorf("fcc: need at least one host")
+	}
+	if cfg.FAMCapacity == 0 {
+		cfg.FAMCapacity = 1 << 30
+	}
+	if cfg.Switches < 1 {
+		cfg.Switches = 1
+	}
+	eng := sim.NewEngine()
+	b := fabric.NewBuilder(eng)
+	c := &Cluster{Eng: eng, Builder: b, cfg: cfg}
+
+	lcfg := link.DefaultConfig
+	if cfg.LinkConfig != nil {
+		lcfg = cfg.LinkConfig
+	}
+	scfg := fabric.DefaultSwitchConfig
+	if cfg.SwitchConfig != nil {
+		scfg = cfg.SwitchConfig
+	}
+
+	var switches []*fabric.Switch
+	for i := 0; i < cfg.Switches; i++ {
+		switches = append(switches, b.AddSwitch(fmt.Sprintf("fs%d", i), scfg()))
+	}
+	for i := 1; i < cfg.Switches; i++ {
+		if err := b.ConnectSwitches(switches[i-1], switches[i], lcfg()); err != nil {
+			return nil, err
+		}
+	}
+	devSwitch := func(i int) *fabric.Switch { return switches[i%len(switches)] }
+
+	for i := 0; i < cfg.Hosts; i++ {
+		att, err := b.AttachEndpoint(switches[0], fmt.Sprintf("host%d", i), fabric.RoleHost, lcfg())
+		if err != nil {
+			return nil, err
+		}
+		hc := host.DefaultConfig()
+		if cfg.HostConfig != nil {
+			hc = cfg.HostConfig(i)
+		}
+		c.Hosts = append(c.Hosts, host.New(eng, att.Name, hc, att))
+	}
+	for i := 0; i < cfg.FAMs; i++ {
+		att, err := b.AttachEndpoint(devSwitch(i), fmt.Sprintf("fam%d", i), fabric.RoleFAM, lcfg())
+		if err != nil {
+			return nil, err
+		}
+		fc := mem.DefaultFAMConfig(cfg.FAMCapacity)
+		if cfg.FAMConfig != nil {
+			fc = cfg.FAMConfig(i, cfg.FAMCapacity)
+		}
+		fam := mem.NewFAM(eng, att, fc)
+		c.FAMs = append(c.FAMs, fam)
+		if cfg.Coherent {
+			c.Dirs = append(c.Dirs, coherence.NewDirectory(eng, fam))
+		}
+	}
+	for i := 0; i < cfg.FAAs; i++ {
+		att, err := b.AttachEndpoint(devSwitch(i), fmt.Sprintf("faa%d", i), fabric.RoleFAA, lcfg())
+		if err != nil {
+			return nil, err
+		}
+		fc := faa.DefaultConfig()
+		if cfg.FAAConfig != nil {
+			fc = cfg.FAAConfig(i)
+		}
+		c.FAAs = append(c.FAAs, faa.New(eng, att, fc))
+	}
+	if cfg.Agents {
+		for i := range c.FAMs {
+			att, err := b.AttachEndpoint(devSwitch(i), fmt.Sprintf("agent%d", i), fabric.RoleFAA, lcfg())
+			if err != nil {
+				return nil, err
+			}
+			c.Agents = append(c.Agents, etrans.NewAgent(eng, att))
+		}
+	}
+	if cfg.Arbiter {
+		att, err := b.AttachEndpoint(switches[0], "arbiter", fabric.RoleManager, lcfg())
+		if err != nil {
+			return nil, err
+		}
+		ac := arbiter.DefaultConfig()
+		if cfg.ArbiterConfig != nil {
+			ac = cfg.ArbiterConfig()
+		}
+		c.Arbiter = arbiter.New(eng, att, ac)
+	}
+	if err := b.Discover(); err != nil {
+		return nil, err
+	}
+	// Map every FAM into every host's physical address space.
+	for _, h := range c.Hosts {
+		for i, f := range c.FAMs {
+			base := RemoteBase + uint64(i)*cfg.FAMCapacity
+			if err := h.MapRemote(f.Name(), base, cfg.FAMCapacity, f.ID(), 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// FAMBase reports where FAM i is mapped in host address space.
+func (c *Cluster) FAMBase(i int) uint64 {
+	return RemoteBase + uint64(i)*c.cfg.FAMCapacity
+}
+
+// NewHeap builds a unified heap on host h with a local pool of
+// localBytes and one far pool per FAM.
+func (c *Cluster) NewHeap(h *host.Host, hcfg uheap.Config, localBytes uint64) (*uheap.Heap, error) {
+	specs := []uheap.PoolSpec{{
+		Name: "dimm", Base: 1 << 20, Size: localBytes, Class: uheap.ClassLocal,
+	}}
+	for i, f := range c.FAMs {
+		specs = append(specs, uheap.PoolSpec{
+			Name: f.Name(), Base: c.FAMBase(i), Size: c.cfg.FAMCapacity,
+			Class: uheap.ClassFar,
+		})
+	}
+	return uheap.New(h, hcfg, specs...)
+}
+
+// NewETrans builds an elastic transaction engine for host h, registered
+// with every migration agent (and the arbiter when present).
+func (c *Cluster) NewETrans(h *host.Host) *etrans.Engine {
+	e := etrans.NewEngine(c.Eng, h.Endpoint())
+	for i, a := range c.Agents {
+		e.AddAgent(a.ID(), c.FAMs[i].ID())
+		if c.Arbiter != nil {
+			a.SetArbiter(arbiter.NewClient(a.Endpoint(), c.Arbiter.ID()))
+		}
+	}
+	if c.Arbiter != nil {
+		e.SetArbiter(arbiter.NewClient(h.Endpoint(), c.Arbiter.ID()))
+	}
+	return e
+}
+
+// NewTaskRunner builds an idempotent-task runner on host h, with one
+// local engine and one engine per FAA.
+func (c *Cluster) NewTaskRunner(h *host.Host, seed uint64) *task.Runner {
+	r := task.NewRunner(c.Eng, h.Endpoint())
+	r.AddEngine(task.NewLocalEngine(c.Eng, h.Name()+"-cpu", seed))
+	for _, d := range c.FAAs {
+		r.AddEngine(faa.NewEngine(d))
+	}
+	return r
+}
+
+// NewCoherenceClient registers host h as a CC-NUMA participant of the
+// directory fronting FAM i (the cluster must be built Coherent).
+func (c *Cluster) NewCoherenceClient(h *host.Host, fam int, ccfg coherence.ClientConfig) *coherence.Client {
+	return coherence.NewClient(c.Eng, h, c.Dirs[fam].ID(), ccfg)
+}
+
+// ArbiterClient returns an arbiter client for host h.
+func (c *Cluster) ArbiterClient(h *host.Host) *arbiter.Client {
+	return arbiter.NewClient(h.Endpoint(), c.Arbiter.ID())
+}
+
+// Render draws the topology (the Figure 1b regeneration).
+func (c *Cluster) Render() string { return c.Builder.Render() }
+
+// Run drains the simulation.
+func (c *Cluster) Run() { c.Eng.Run() }
+
+// RunFor advances the simulation by d.
+func (c *Cluster) RunFor(d sim.Time) { c.Eng.RunFor(d) }
+
+// Go starts a workload process.
+func (c *Cluster) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
+	return c.Eng.Go(name, fn)
+}
+
+// ProbeDevicesP performs the fabric-manager enumeration pass at runtime:
+// host h sends a CXL.io configuration read to every FAM and collects the
+// capacities the devices report — the management-plane traffic that in
+// real systems populates the FM's inventory.
+func (c *Cluster) ProbeDevicesP(p *sim.Proc, h *host.Host) map[string]uint64 {
+	out := make(map[string]uint64, len(c.FAMs))
+	for _, f := range c.FAMs {
+		resp := h.Endpoint().Request(&flit.Packet{
+			Chan: flit.ChIO, Op: flit.OpCfgRd, Dst: f.ID(),
+		}).MustAwait(p)
+		var capacity uint64
+		for i := 7; i >= 0; i-- {
+			capacity = capacity<<8 | uint64(resp.Data[i])
+		}
+		out[f.Name()] = capacity
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package fcc
+
+import (
+	"strings"
+	"testing"
+
+	"fcc/internal/coherence"
+	"fcc/internal/flit"
+	"fcc/internal/link"
+	"fcc/internal/etrans"
+	"fcc/internal/sim"
+	"fcc/internal/task"
+	"fcc/internal/uheap"
+)
+
+func TestClusterDefaults(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Hosts) != 1 || len(c.FAMs) != 1 {
+		t.Fatalf("hosts=%d fams=%d", len(c.Hosts), len(c.FAMs))
+	}
+	// Host can load/store FAM memory through the map.
+	var got uint64
+	c.Go("driver", func(p *sim.Proc) {
+		c.Hosts[0].Store64P(p, c.FAMBase(0)+64, 42)
+		got = c.Hosts[0].Load64P(p, c.FAMBase(0)+64)
+	})
+	c.Run()
+	if got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestClusterFullStack(t *testing.T) {
+	cfg := Config{
+		Hosts: 2, FAMs: 2, FAMCapacity: 1 << 26, FAAs: 1,
+		Agents: true, Arbiter: true, Switches: 2,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arbiter == nil || len(c.Agents) != 2 || len(c.FAAs) != 1 {
+		t.Fatal("components missing")
+	}
+	r := c.Render()
+	for _, want := range []string{"host0", "host1", "fam0", "fam1", "faa0", "agent0", "arbiter", "fs1"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestClusterETransAcrossFAMs(t *testing.T) {
+	c, err := New(Config{Hosts: 1, FAMs: 2, FAMCapacity: 1 << 24, Agents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FAMs[0].DRAM().Store().Write64(0x100, 77)
+	e := c.NewETrans(c.Hosts[0])
+	c.Go("driver", func(p *sim.Proc) {
+		e.SubmitP(p, &etrans.Request{
+			Src: []etrans.Segment{{Port: c.FAMs[0].ID(), Addr: 0x100, Size: 64}},
+			Dst: []etrans.Segment{{Port: c.FAMs[1].ID(), Addr: 0x200, Size: 64}},
+		})
+	})
+	c.Run()
+	if got := c.FAMs[1].DRAM().Store().Read64(0x200); got != 77 {
+		t.Fatalf("transfer result = %d", got)
+	}
+}
+
+func TestClusterHeap(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := c.NewHeap(c.Hosts[0], uheap.Config{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := hp.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Go("driver", func(p *sim.Proc) {
+		o.Write64P(p, 0, 5)
+		if v := o.Read64P(p, 0); v != 5 {
+			t.Errorf("heap read %d", v)
+		}
+	})
+	c.Run()
+}
+
+func TestClusterTasksOnFAA(t *testing.T) {
+	c, err := New(Config{Hosts: 1, FAMs: 1, FAMCapacity: 1 << 24, FAAs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.NewTaskRunner(c.Hosts[0], 1)
+	c.FAMs[0].DRAM().Store().Write64(0, 10)
+	tk := &task.Task{
+		Name:    "triple",
+		Inputs:  []task.Region{{Port: c.FAMs[0].ID(), Addr: 0, Size: 8}},
+		Outputs: []task.Region{{Port: c.FAMs[0].ID(), Addr: 64, Size: 8}},
+		Body: func(ctx *task.Ctx) error {
+			task.PutU64(ctx.Output(0), 0, task.GetU64(ctx.Input(0), 0)*3)
+			return nil
+		},
+	}
+	c.Go("driver", func(p *sim.Proc) { r.SubmitP(p, tk) })
+	c.Run()
+	if got := c.FAMs[0].DRAM().Store().Read64(64); got != 30 {
+		t.Fatalf("task output = %d", got)
+	}
+}
+
+func TestClusterCoherent(t *testing.T) {
+	c, err := New(Config{Hosts: 2, FAMs: 1, FAMCapacity: 1 << 24, Coherent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.NewCoherenceClient(c.Hosts[0], 0, coherence.DefaultClientConfig())
+	b := c.NewCoherenceClient(c.Hosts[1], 0, coherence.DefaultClientConfig())
+	c.Go("driver", func(p *sim.Proc) {
+		a.Write64P(p, 0x500, 9)
+		if got := b.Read64P(p, 0x500); got != 9 {
+			t.Errorf("coherent read %d", got)
+		}
+	})
+	c.Run()
+}
+
+func TestClusterRejectsZeroHosts(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero hosts accepted")
+	}
+}
+
+func TestClusterArbiterClient(t *testing.T) {
+	c, err := New(Config{Hosts: 1, FAMs: 1, FAMCapacity: 1 << 24, Arbiter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.ArbiterClient(c.Hosts[0])
+	c.Go("driver", func(p *sim.Proc) {
+		cl.ReserveP(p, c.FAMs[0].ID(), 1024)
+		if avail := cl.QueryP(p, c.FAMs[0].ID()); avail != 4096-1024 {
+			t.Errorf("avail = %d", avail)
+		}
+		cl.ReclaimP(p, c.FAMs[0].ID(), 1024)
+	})
+	c.Run()
+}
+
+func TestClusterProbeDevices(t *testing.T) {
+	c, err := New(Config{Hosts: 1, FAMs: 3, FAMCapacity: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inv map[string]uint64
+	c.Go("fm", func(p *sim.Proc) { inv = c.ProbeDevicesP(p, c.Hosts[0]) })
+	c.Run()
+	if len(inv) != 3 {
+		t.Fatalf("probed %d devices", len(inv))
+	}
+	for name, capacity := range inv {
+		if capacity != 1<<24 {
+			t.Fatalf("%s reported %d", name, capacity)
+		}
+	}
+}
+
+func TestCluster256BFlitMode(t *testing.T) {
+	// CXL 3.0 class: 256B flits end to end. A 64B access fits one flit
+	// instead of two, and the whole stack still round-trips data.
+	c, err := New(Config{
+		Hosts: 1, FAMs: 1, FAMCapacity: 1 << 24,
+		LinkConfig: func() link.Config {
+			lc := link.DefaultConfig()
+			lc.Mode = flit.Mode256
+			return lc
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v uint64
+	c.Go("driver", func(p *sim.Proc) {
+		c.Hosts[0].Store64P(p, c.FAMBase(0)+0x40, 777)
+		c.Hosts[0].FlushRangeP(p, c.FAMBase(0)+0x40, 8)
+		c.Hosts[0].InvalidateLine(c.FAMBase(0) + 0x40)
+		v = c.Hosts[0].Load64P(p, c.FAMBase(0)+0x40)
+	})
+	c.Run()
+	if v != 777 {
+		t.Fatalf("256B-flit round trip read %d", v)
+	}
+	if got := c.FAMs[0].DRAM().Store().Read64(0x40); got != 777 {
+		t.Fatalf("device store has %d", got)
+	}
+}
+
+func TestClusterSurvivesLinkBitErrors(t *testing.T) {
+	// End-to-end failure injection at the physical layer: every link
+	// corrupts ~2% of flits; link-level replay must make the whole
+	// stack (caches, fabric, device) still deliver correct data.
+	c, err := New(Config{
+		Hosts: 1, FAMs: 1, FAMCapacity: 1 << 24,
+		LinkConfig: func() link.Config {
+			lc := link.DefaultConfig()
+			lc.RetryEnabled = true
+			lc.Phys.BER = 0.02
+			lc.Seed = 99
+			return lc
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Hosts[0]
+	base := c.FAMBase(0)
+	c.Go("driver", func(p *sim.Proc) {
+		for i := uint64(0); i < 200; i++ {
+			h.Store64P(p, base+i*64, i*7+1)
+		}
+		h.FlushRangeP(p, base, 200*64)
+		h.InvalidateRange(base, 200*64)
+		for i := uint64(0); i < 200; i++ {
+			if got := h.Load64P(p, base+i*64); got != i*7+1 {
+				t.Errorf("line %d corrupted: %d", i, got)
+				return
+			}
+		}
+	})
+	c.Run()
+	// The test is vacuous if no corruption was actually injected.
+	var crcErrs int64
+	for _, sw := range c.Builder.Switches() {
+		for i := 0; i < sw.Ports(); i++ {
+			crcErrs += sw.Port(i).CRCErrors.Value()
+		}
+	}
+	if crcErrs == 0 {
+		t.Fatal("BER 0.02 injected no CRC errors at the switch ports")
+	}
+}
+
+func TestTrafficMatrix(t *testing.T) {
+	c, err := New(Config{Hosts: 2, FAMs: 2, FAMCapacity: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := c.CollectTraffic()
+	c.Go("driver", func(p *sim.Proc) {
+		// host0 writes 4 lines to fam0; host1 reads 2 lines from fam1.
+		for i := uint64(0); i < 4; i++ {
+			c.Hosts[0].Store64P(p, c.FAMBase(0)+i*64, i)
+		}
+		c.Hosts[0].FlushRangeP(p, c.FAMBase(0), 4*64)
+		for i := uint64(0); i < 2; i++ {
+			c.Hosts[1].Load64P(p, c.FAMBase(1)+i*64)
+		}
+	})
+	c.Run()
+	h0, h1 := c.Hosts[0].ID(), c.Hosts[1].ID()
+	f0, f1 := c.FAMs[0].ID(), c.FAMs[1].ID()
+	// host0's stores: 4 RFO reads (4x64) + 4 writebacks (4x64) = 512B.
+	if got := tm.Bytes(h0, f0); got != 512 {
+		t.Fatalf("host0->fam0 bytes = %d, want 512", got)
+	}
+	if got := tm.Bytes(h1, f1); got != 128 {
+		t.Fatalf("host1->fam1 bytes = %d, want 128", got)
+	}
+	if got := tm.Bytes(h0, f1); got != 0 {
+		t.Fatalf("host0->fam1 bytes = %d, want 0", got)
+	}
+	out := tm.Render()
+	if !strings.Contains(out, "host0") || !strings.Contains(out, "fam1") {
+		t.Fatalf("render missing labels:\n%s", out)
+	}
+}

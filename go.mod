@@ -1,0 +1,3 @@
+module fcc
+
+go 1.22

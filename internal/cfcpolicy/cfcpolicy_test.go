@@ -1,0 +1,239 @@
+package cfcpolicy
+
+import (
+	"math"
+	"testing"
+
+	"fcc/internal/fabric"
+	"fcc/internal/flit"
+	"fcc/internal/link"
+	"fcc/internal/sim"
+	"fcc/internal/txn"
+)
+
+// contendRig: two hosts — one with a deep request window (the hog) and
+// one with a shallow window — send through one switch, each to its own
+// fast device. The switch's credit-return path is slow (an FPGA-class
+// switch), so each flow's throughput is bound by its RX-buffer credit
+// allocation — exactly the regime where the allocation policy decides
+// who gets bandwidth.
+type contendRig struct {
+	eng    *sim.Engine
+	sw     *fabric.Switch
+	heavy  *txn.Endpoint
+	light  *txn.Endpoint
+	hDev   *txn.Endpoint
+	lDev   *txn.Endpoint
+	hPort  int
+	lPort  int
+	allocr *Allocator
+}
+
+func buildRig(t *testing.T, scheme Scheme) *contendRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	b := fabric.NewBuilder(eng)
+	sw := b.AddSwitch("fs0", fabric.DefaultSwitchConfig())
+	lcfg := link.DefaultConfig()
+	lcfg.CreditReturnDelay = 200 * sim.Nanosecond
+	mk := func(name string, role fabric.Role) (*txn.Endpoint, int) {
+		att, err := b.AttachEndpoint(sw, name, role, lcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := txn.NewEndpoint(eng, att.ID, att.Port, 0)
+		att.Port.SetSink(ep)
+		return ep, att.SwitchPort
+	}
+	heavy, hp := mk("heavy", fabric.RoleHost)
+	light, lp := mk("light", fabric.RoleHost)
+	echo := func(ep *txn.Endpoint) {
+		ep.Handler = func(req *flit.Packet, reply func(*flit.Packet)) {
+			reply(req.Response(flit.OpIOAck, 0))
+		}
+	}
+	hDev, _ := mk("famH", fabric.RoleFAM)
+	lDev, _ := mk("famL", fabric.RoleFAM)
+	echo(hDev)
+	echo(lDev)
+	if err := b.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	al, err := NewAllocator(eng, sw, []int{hp, lp}, AllocatorConfig{
+		Scheme:     scheme,
+		VC:         flit.ChIO,
+		TotalFlits: 64,
+		Epoch:      sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al.Start()
+	return &contendRig{eng: eng, sw: sw, heavy: heavy, light: light,
+		hDev: hDev, lDev: lDev, hPort: hp, lPort: lp, allocr: al}
+}
+
+// run drives both flows with closed-loop windows for 400us and returns
+// each flow's goodput (ops completed in the measurement window).
+func (r *contendRig) run() (heavyOps, lightOps float64) {
+	var hDone, lDone int
+	drive := func(ep *txn.Endpoint, dst *txn.Endpoint, window int, count *int) {
+		var pump func()
+		inflight := 0
+		pump = func() {
+			for inflight < window {
+				inflight++
+				ep.Request(&flit.Packet{Chan: flit.ChIO, Op: flit.OpIOWr,
+					Dst: dst.ID(), Size: 512}).OnComplete(func(*flit.Packet, error) {
+					inflight--
+					*count++
+					pump()
+				})
+			}
+		}
+		r.eng.After(0, pump)
+	}
+	// Heavy saturates its buffer allocation (32 packets windowed);
+	// light wants just two packets in flight — under ramp-up its
+	// allocation collapses to one packet's worth and halves its rate.
+	drive(r.heavy, r.hDev, 32, &hDone)
+	drive(r.light, r.lDev, 2, &lDone)
+	// Measure after a 100us warmup so allocations have converged.
+	var h0, l0 int
+	r.eng.At(100*sim.Microsecond, func() { h0, l0 = hDone, lDone })
+	r.eng.RunUntil(400 * sim.Microsecond)
+	return float64(hDone - h0), float64(lDone - l0)
+}
+
+func TestRampUpStarvesLightFlow(t *testing.T) {
+	rh, rl := buildRig(t, RampUp).run()
+	ah, al := buildRig(t, Adaptive).run()
+	rampFair := JainFairness([]float64{rh, rl})
+	adptFair := JainFairness([]float64{ah, al})
+	if adptFair < rampFair*1.05 {
+		t.Fatalf("fairness: ramp-up %.3f (h=%v l=%v) vs adaptive %.3f (h=%v l=%v) — expected adaptive clearly fairer",
+			rampFair, rh, rl, adptFair, ah, al)
+	}
+	if al < rl*1.2 {
+		t.Fatalf("light goodput: adaptive %v vs ramp-up %v — expected ≥1.2x recovery", al, rl)
+	}
+}
+
+func TestAllocatorShiftsCreditsToHog(t *testing.T) {
+	r := buildRig(t, RampUp)
+	var mid []int
+	r.eng.At(100*sim.Microsecond, func() { mid = r.allocr.Allocation() })
+	r.run()
+	if len(mid) != 2 || mid[0] <= mid[1] {
+		t.Fatalf("ramp-up allocation at 100us heavy=%v, want heavy > light", mid)
+	}
+	if r.allocr.Reallocations.Value() == 0 {
+		t.Fatal("allocator never reallocated")
+	}
+}
+
+func TestAdaptiveSplitsEvenlyWhenBothActive(t *testing.T) {
+	r := buildRig(t, Adaptive)
+	var mid []int
+	r.eng.At(100*sim.Microsecond, func() { mid = r.allocr.Allocation() })
+	r.run()
+	if len(mid) != 2 || mid[0] != mid[1] {
+		t.Fatalf("adaptive allocation at 100us = %v, want equal shares", mid)
+	}
+}
+
+func TestAdaptiveReclaimsFromIdlePort(t *testing.T) {
+	r := buildRig(t, Adaptive)
+	// Only the heavy flow runs; the light port is idle and must fall to
+	// the floor while heavy takes the rest.
+	var pump func()
+	inflight, done := 0, 0
+	pump = func() {
+		for inflight < 16 {
+			inflight++
+			r.heavy.Request(&flit.Packet{Chan: flit.ChIO, Op: flit.OpIOWr,
+				Dst: r.hDev.ID(), Size: 512}).OnComplete(func(*flit.Packet, error) {
+				inflight--
+				done++
+				pump()
+			})
+		}
+	}
+	r.eng.After(0, pump)
+	var mid []int
+	r.eng.At(50*sim.Microsecond, func() { mid = r.allocr.Allocation() })
+	r.eng.RunUntil(60 * sim.Microsecond)
+	minPkt := flit.Mode68.FlitsFor(link.MaxPacketPayload)
+	if len(mid) != 2 || mid[1] != minPkt {
+		t.Fatalf("idle port allocation = %v, want floor %d", mid, minPkt)
+	}
+	if mid[0] != 64-minPkt {
+		t.Fatalf("active port allocation = %v, want %d", mid, 64-minPkt)
+	}
+}
+
+func TestAdaptiveKeepsFloorAndBudget(t *testing.T) {
+	r := buildRig(t, Adaptive)
+	r.run()
+	alloc := r.allocr.Allocation()
+	minPkt := flit.Mode68.FlitsFor(link.MaxPacketPayload)
+	total := 0
+	for i, a := range alloc {
+		if a < minPkt {
+			t.Fatalf("port %d allocation %d below floor %d", i, a, minPkt)
+		}
+		total += a
+	}
+	if total > 64 {
+		t.Fatalf("allocations %v exceed the 64-flit budget", alloc)
+	}
+}
+
+func TestStaticNeverReallocates(t *testing.T) {
+	r := buildRig(t, Static)
+	r.run()
+	if r.allocr.Reallocations.Value() != 0 {
+		t.Fatal("static scheme reallocated")
+	}
+	alloc := r.allocr.Allocation()
+	if alloc[0] != 32 || alloc[1] != 32 {
+		t.Fatalf("static allocation %v, want equal 32/32", alloc)
+	}
+}
+
+func TestAllocatorRejectsBadConfigs(t *testing.T) {
+	eng := sim.NewEngine()
+	b := fabric.NewBuilder(eng)
+	sw := b.AddSwitch("fs0", fabric.DefaultSwitchConfig())
+	if _, err := b.AttachEndpoint(sw, "h", fabric.RoleHost, link.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAllocator(eng, sw, nil, AllocatorConfig{TotalFlits: 64}); err == nil {
+		t.Fatal("no ports accepted")
+	}
+	if _, err := NewAllocator(eng, sw, []int{0}, AllocatorConfig{TotalFlits: 4}); err == nil {
+		t.Fatal("budget below floor accepted")
+	}
+	if _, err := NewAllocator(eng, sw, []int{0}, AllocatorConfig{TotalFlits: 64, MinFlits: 2}); err == nil {
+		t.Fatal("sub-packet floor accepted")
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if f := JainFairness([]float64{1, 1, 1, 1}); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("equal flows fairness = %v", f)
+	}
+	if f := JainFairness([]float64{1, 0, 0, 0}); math.Abs(f-0.25) > 1e-9 {
+		t.Fatalf("single-hog fairness = %v, want 0.25", f)
+	}
+	if f := JainFairness(nil); f != 1 {
+		t.Fatalf("empty fairness = %v", f)
+	}
+	if f := JainFairness([]float64{0, 0}); f != 1 {
+		t.Fatalf("all-zero fairness = %v", f)
+	}
+	mixed := JainFairness([]float64{10, 1})
+	if mixed <= 0.5 || mixed >= 1 {
+		t.Fatalf("mixed fairness = %v, want in (0.5, 1)", mixed)
+	}
+}

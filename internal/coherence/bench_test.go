@@ -1,0 +1,37 @@
+package coherence
+
+import (
+	"testing"
+
+	"fcc/internal/fabric"
+	"fcc/internal/host"
+	"fcc/internal/link"
+	"fcc/internal/mem"
+	"fcc/internal/sim"
+)
+
+// BenchmarkCoherentReadMiss measures a full directory read-miss round
+// trip (simulator cost, not model latency).
+func BenchmarkCoherentReadMiss(b *testing.B) {
+	eng := sim.NewEngine()
+	bd := fabric.NewBuilder(eng)
+	sw := bd.AddSwitch("fs0", fabric.DefaultSwitchConfig())
+	ha, _ := bd.AttachEndpoint(sw, "h", fabric.RoleHost, link.DefaultConfig())
+	h := host.New(eng, "h", host.DefaultConfig(), ha)
+	fa, _ := bd.AttachEndpoint(sw, "f", fabric.RoleFAM, link.DefaultConfig())
+	fam := mem.NewFAM(eng, fa, mem.DefaultFAMConfig(1<<30))
+	dir := NewDirectory(eng, fam)
+	if err := bd.Discover(); err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultClientConfig()
+	cfg.CapacityLines = 8 // force misses
+	cl := NewClient(eng, h, dir.ID(), cfg)
+	eng.Go("driver", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cl.Read64P(p, uint64(i%10000)*64)
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,346 @@
+package coherence
+
+import (
+	"fmt"
+
+	"fcc/internal/flit"
+	"fcc/internal/host"
+	"fcc/internal/sim"
+)
+
+// mesi is the client-side line state.
+type mesi uint8
+
+const (
+	stI mesi = iota
+	stS
+	stE
+	stM
+)
+
+// ClientConfig sizes the per-node coherent store.
+type ClientConfig struct {
+	// CapacityLines bounds the client's coherent cache / attraction
+	// memory, in 64B lines.
+	CapacityLines int
+	// HitLat is the local hit latency. A small FHA-side coherent cache
+	// (CXL.cache style) hits in tens of ns; a COMA attraction memory is
+	// DRAM and hits at local-DRAM latency.
+	HitLat sim.Time
+	// AdapterLat is the processing cost added to each protocol request
+	// the client issues.
+	AdapterLat sim.Time
+}
+
+// DefaultClientConfig is a CXL.cache-style small coherent cache.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		CapacityLines: 512,
+		HitLat:        25 * sim.Nanosecond,
+		AdapterLat:    50 * sim.Nanosecond,
+	}
+}
+
+// COMAClientConfig is a cache-only attraction memory: DRAM-sized and
+// DRAM-latency, so lines the node touches live locally afterwards.
+//
+// Simplification vs the DDM design: our home directory retains backing
+// capacity for every line, so "last copy" relocation on eviction never
+// triggers; the performance-visible property — data migrates and
+// replicates to its users, and capacity is node-local DRAM — is
+// preserved.
+func COMAClientConfig() ClientConfig {
+	return ClientConfig{
+		CapacityLines: 1 << 18, // 16MB of 64B lines
+		HitLat:        sim.FromNanos(98.1),
+		AdapterLat:    50 * sim.Nanosecond,
+	}
+}
+
+type clientLine struct {
+	state mesi
+	lru   uint64
+	data  [64]byte
+}
+
+// Client is one node's participant in the directory protocol: a coherent
+// cache (or attraction memory) plus the snoop responder, registered on
+// the host's FHA endpoint.
+type Client struct {
+	eng  *sim.Engine
+	h    *host.Host
+	home flit.PortID
+	cfg  ClientConfig
+
+	lines map[uint64]*clientLine
+	// wbPending holds dirty data of lines evicted but whose writeback
+	// has not yet been acknowledged; snoops are answered from here so a
+	// late writeback can never lose the newest data.
+	wbPending map[uint64][64]byte
+	tick      uint64
+	// pending serializes client ops per line and against snoops.
+	pending map[uint64][]func()
+	busy    map[uint64]bool
+
+	// Metrics.
+	Hits      sim.Counter
+	Misses    sim.Counter
+	Upgrades  sim.Counter // S->M requiring a directory round trip
+	Evictions sim.Counter
+	SnoopsIn  sim.Counter
+}
+
+// NewClient registers a coherence client for home on h's endpoint.
+func NewClient(eng *sim.Engine, h *host.Host, home flit.PortID, cfg ClientConfig) *Client {
+	c := &Client{
+		eng: eng, h: h, home: home, cfg: cfg,
+		lines:     make(map[uint64]*clientLine),
+		wbPending: make(map[uint64][64]byte),
+		pending:   make(map[uint64][]func()),
+		busy:      make(map[uint64]bool),
+	}
+	h.Handle(flit.OpSnpInv, c.handleSnoop)
+	h.Handle(flit.OpSnpData, c.handleSnoop)
+	return c
+}
+
+// Host returns the underlying host.
+func (c *Client) Host() *host.Host { return c.h }
+
+// acquire serializes per-line work; release runs the next queued op.
+func (c *Client) acquire(addr uint64, fn func(release func())) {
+	run := func() {
+		c.busy[addr] = true
+		fn(func() {
+			c.busy[addr] = false
+			if q := c.pending[addr]; len(q) > 0 {
+				next := q[0]
+				c.pending[addr] = q[1:]
+				next()
+			} else {
+				delete(c.pending, addr)
+			}
+		})
+	}
+	if c.busy[addr] {
+		c.pending[addr] = append(c.pending[addr], run)
+		return
+	}
+	run()
+}
+
+// Read returns the 64B line at device address addr (line-aligned).
+func (c *Client) Read(addr uint64) *sim.Future[[]byte] {
+	addr &^= 63
+	f := sim.NewFuture[[]byte]()
+	c.acquire(addr, func(release func()) {
+		if l, ok := c.lines[addr]; ok && l.state != stI {
+			c.Hits.Inc()
+			c.touch(l)
+			c.eng.After(c.cfg.HitLat, func() {
+				data := append([]byte(nil), l.data[:]...)
+				release()
+				f.Complete(data)
+			})
+			return
+		}
+		c.Misses.Inc()
+		c.protocol(flit.OpCacheRd, addr, nil, func(grant uint32, data []byte) {
+			st := stS
+			if grant == grantExclusive {
+				st = stE
+			}
+			l := c.install(addr, data, st)
+			out := append([]byte(nil), l.data[:]...)
+			release()
+			f.Complete(out)
+		})
+	})
+	return f
+}
+
+// Write stores data (≤64B) into the line at addr, obtaining ownership
+// first if needed.
+func (c *Client) Write(addr uint64, data []byte) *sim.Future[struct{}] {
+	base := addr &^ 63
+	off := addr - base
+	if off+uint64(len(data)) > 64 {
+		panic("coherence: Write crosses a line")
+	}
+	f := sim.NewFuture[struct{}]()
+	c.acquire(base, func(release func()) {
+		if l, ok := c.lines[base]; ok && (l.state == stM || l.state == stE) {
+			c.Hits.Inc()
+			l.state = stM
+			c.touch(l)
+			copy(l.data[off:], data)
+			c.eng.After(c.cfg.HitLat, func() {
+				release()
+				f.Complete(struct{}{})
+			})
+			return
+		}
+		if l, ok := c.lines[base]; ok && l.state == stS {
+			c.Upgrades.Inc()
+		} else {
+			c.Misses.Inc()
+		}
+		c.protocol(flit.OpCacheRdOwn, base, nil, func(grant uint32, lineData []byte) {
+			if grant != grantModified {
+				panic(fmt.Sprintf("coherence: RdOwn granted %d", grant))
+			}
+			l := c.install(base, lineData, stM)
+			copy(l.data[off:], data)
+			release()
+			f.Complete(struct{}{})
+		})
+	})
+	return f
+}
+
+// ReadP / WriteP are the blocking forms.
+func (c *Client) ReadP(p *sim.Proc, addr uint64) []byte { return c.Read(addr).MustAwait(p) }
+
+// WriteP blocks until the write commits with ownership.
+func (c *Client) WriteP(p *sim.Proc, addr uint64, data []byte) { c.Write(addr, data).MustAwait(p) }
+
+// Read64P reads a uint64 coherently.
+func (c *Client) Read64P(p *sim.Proc, addr uint64) uint64 {
+	b := c.ReadP(p, addr)
+	off := addr & 63
+	v := uint64(0)
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[off+uint64(i)])
+	}
+	return v
+}
+
+// Write64P writes a uint64 coherently.
+func (c *Client) Write64P(p *sim.Proc, addr uint64, v uint64) {
+	b := [8]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24),
+		byte(v >> 32), byte(v >> 40), byte(v >> 48), byte(v >> 56)}
+	c.WriteP(p, addr, b[:])
+}
+
+// protocol issues one coherent request to the home directory.
+func (c *Client) protocol(op flit.Op, addr uint64, data []byte,
+	done func(grant uint32, data []byte)) {
+	req := &flit.Packet{Chan: flit.ChCache, Op: op, Dst: c.home, Addr: addr}
+	if data != nil {
+		req.Size = uint32(len(data))
+		req.Data = append([]byte(nil), data...)
+	}
+	c.eng.After(c.cfg.AdapterLat, func() {
+		c.h.Endpoint().Request(req).OnComplete(func(resp *flit.Packet, err error) {
+			if err != nil {
+				panic("coherence: protocol request failed: " + err.Error())
+			}
+			done(resp.ReqLen, resp.Data)
+		})
+	})
+}
+
+func (c *Client) touch(l *clientLine) {
+	c.tick++
+	l.lru = c.tick
+}
+
+// install places a line, evicting LRU if at capacity. Evicted M lines
+// write back; E lines send a dataless eviction notice; S lines leave
+// silently.
+func (c *Client) install(addr uint64, data []byte, st mesi) *clientLine {
+	if l, ok := c.lines[addr]; ok {
+		l.state = st
+		copy(l.data[:], data)
+		c.touch(l)
+		return l
+	}
+	if len(c.lines) >= c.cfg.CapacityLines {
+		c.evictLRU()
+	}
+	l := &clientLine{state: st}
+	copy(l.data[:], data)
+	c.lines[addr] = l
+	c.touch(l)
+	return l
+}
+
+func (c *Client) evictLRU() {
+	var victim uint64
+	var vl *clientLine
+	oldest := ^uint64(0)
+	for a, l := range c.lines {
+		if l.lru < oldest && !c.busy[a] {
+			victim, vl, oldest = a, l, l.lru
+		}
+	}
+	if vl == nil {
+		return // everything busy; allow temporary overcommit
+	}
+	c.Evictions.Inc()
+	delete(c.lines, victim)
+	switch vl.state {
+	case stM:
+		c.wbPending[victim] = vl.data
+		// The per-line lock is held for the writeback's duration, so a
+		// re-request of this line waits until the directory has
+		// processed the eviction.
+		c.acquire(victim, func(release func()) {
+			c.protocol(flit.OpCacheWB, victim, vl.data[:], func(uint32, []byte) {
+				delete(c.wbPending, victim)
+				release()
+			})
+		})
+	case stE:
+		c.acquire(victim, func(release func()) {
+			c.protocol(flit.OpCacheWB, victim, nil, func(uint32, []byte) { release() })
+		})
+	}
+}
+
+// handleSnoop answers directory snoops against the local cache.
+func (c *Client) handleSnoop(req *flit.Packet, reply func(*flit.Packet)) {
+	c.SnoopsIn.Inc()
+	addr := req.Addr &^ 63
+	l, ok := c.lines[addr]
+	respond := func(data []byte) {
+		resp := req.Response(flit.OpSnpResp, uint32(len(data)))
+		resp.Data = append([]byte(nil), data...)
+		c.eng.After(c.cfg.AdapterLat, func() { reply(resp) })
+	}
+	if !ok || l.state == stI {
+		// A line evicted with its writeback still in flight is answered
+		// from the writeback buffer (the directory drops the late
+		// writeback's stale home update).
+		if wb, inFlight := c.wbPending[addr]; inFlight {
+			respond(wb[:])
+			return
+		}
+		respond(nil)
+		return
+	}
+	switch req.Op {
+	case flit.OpSnpInv:
+		dirty := l.state == stM
+		data := l.data
+		delete(c.lines, addr)
+		if dirty {
+			respond(data[:])
+			return
+		}
+		respond(nil)
+	case flit.OpSnpData:
+		dirty := l.state == stM
+		l.state = stS
+		if dirty {
+			respond(l.data[:])
+			return
+		}
+		respond(nil)
+	default:
+		panic("coherence: unexpected snoop " + req.Op.String())
+	}
+}
+
+// LinesCached reports the client's resident line count.
+func (c *Client) LinesCached() int { return len(c.lines) }

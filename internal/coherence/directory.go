@@ -1,0 +1,303 @@
+// Package coherence implements the memory-node types the paper's
+// Difference #2 enumerates, beyond the plain CPU-less expander:
+//
+//   - CC-NUMA: a cross-node, directory-based, write-invalidate MESI
+//     protocol implemented in the FEA (Directory) and the FHA of each
+//     participating host (Client) — the lineage of DASH/FLASH.
+//   - Non-CC-NUMA: load/store access without hardware coherence; the
+//     NCCClient offers software acquire/release barriers instead (the
+//     SCC / Cell SPE model).
+//   - COMA: cache-only attraction memory — realised as the same
+//     directory protocol with a DRAM-sized, DRAM-latency attraction
+//     memory per node, so data migrates/replicates to its users
+//     (the DDM model; COMAConfig documents the simplification).
+//
+// All protocol traffic travels as real CXL.cache packets through the
+// simulated fabric.
+package coherence
+
+import (
+	"fmt"
+
+	"fcc/internal/flit"
+	"fcc/internal/mem"
+	"fcc/internal/sim"
+)
+
+// Grant codes carried in OpCacheResp.ReqLen.
+const (
+	grantShared    = 1
+	grantExclusive = 2
+	grantModified  = 3
+)
+
+// dirState is the directory's view of one line.
+type dirState uint8
+
+const (
+	dirUncached dirState = iota
+	dirShared
+	dirExclusive // single owner, possibly dirty (E or M at the owner)
+)
+
+type dirEntry struct {
+	state   dirState
+	owner   flit.PortID
+	sharers map[flit.PortID]bool
+	busy    bool
+	queue   []func()
+}
+
+// Directory is the home-node coherence engine living in a FAM's FEA. It
+// serializes protocol actions per line and uses the device's DRAM as the
+// backing home memory. Non-coherent traffic passes through to the FAM.
+type Directory struct {
+	eng   *sim.Engine
+	fam   *mem.FAM
+	lines map[uint64]*dirEntry
+
+	// Metrics.
+	ReadMisses  sim.Counter
+	WriteMisses sim.Counter
+	Snoops      sim.Counter
+	Writebacks  sim.Counter
+	Forwards    sim.Counter // dirty data supplied by a remote owner
+}
+
+// NewDirectory wraps fam with a coherence directory.
+func NewDirectory(eng *sim.Engine, fam *mem.FAM) *Directory {
+	d := &Directory{eng: eng, fam: fam, lines: make(map[uint64]*dirEntry)}
+	fam.SetHandler(d.handle)
+	return d
+}
+
+// ID reports the home node's fabric port.
+func (d *Directory) ID() flit.PortID { return d.fam.ID() }
+
+func (d *Directory) entry(addr uint64) *dirEntry {
+	e, ok := d.lines[addr]
+	if !ok {
+		e = &dirEntry{sharers: make(map[flit.PortID]bool)}
+		d.lines[addr] = e
+	}
+	return e
+}
+
+// handle dispatches device traffic: coherent ops to the protocol engine,
+// everything else to the FAM.
+func (d *Directory) handle(req *flit.Packet, reply func(*flit.Packet)) {
+	switch req.Op {
+	case flit.OpCacheRd, flit.OpCacheRdOwn, flit.OpCacheWB:
+		addr := req.Addr &^ 63
+		e := d.entry(addr)
+		run := func() {
+			e.busy = true
+			d.serve(e, addr, req, func(resp *flit.Packet) {
+				reply(resp)
+				e.busy = false
+				if len(e.queue) > 0 {
+					next := e.queue[0]
+					e.queue = e.queue[1:]
+					next()
+				}
+			})
+		}
+		if e.busy {
+			e.queue = append(e.queue, run)
+			return
+		}
+		run()
+	default:
+		d.fam.Serve(req, reply)
+	}
+}
+
+// serve executes one serialized protocol action.
+func (d *Directory) serve(e *dirEntry, addr uint64, req *flit.Packet, reply func(*flit.Packet)) {
+	fea := d.fam.FEALat()
+	switch req.Op {
+	case flit.OpCacheRd:
+		d.ReadMisses.Inc()
+		switch e.state {
+		case dirUncached:
+			d.readHome(addr, func(data []byte) {
+				e.state = dirExclusive
+				e.owner = req.Src
+				d.eng.After(fea, func() { reply(grantResp(req, grantExclusive, data)) })
+			})
+		case dirShared:
+			d.readHome(addr, func(data []byte) {
+				e.sharers[req.Src] = true
+				d.eng.After(fea, func() { reply(grantResp(req, grantShared, data)) })
+			})
+		case dirExclusive:
+			if e.owner == req.Src {
+				// Owner re-reading its own line (stale directory after a
+				// lost eviction notice): re-grant from home.
+				d.readHome(addr, func(data []byte) {
+					d.eng.After(fea, func() { reply(grantResp(req, grantExclusive, data)) })
+				})
+				return
+			}
+			// Downgrade the owner; it supplies the (possibly dirty) data.
+			d.snoop(flit.OpSnpData, e.owner, addr, func(dirty []byte) {
+				done := func(data []byte) {
+					e.sharers[e.owner] = true
+					e.sharers[req.Src] = true
+					e.owner = 0
+					e.state = dirShared
+					d.eng.After(fea, func() { reply(grantResp(req, grantShared, data)) })
+				}
+				if dirty != nil {
+					d.Forwards.Inc()
+					d.writeHome(addr, dirty, func() { done(dirty) })
+					return
+				}
+				d.readHome(addr, done)
+			})
+		}
+	case flit.OpCacheRdOwn:
+		d.WriteMisses.Inc()
+		switch e.state {
+		case dirUncached:
+			d.grantOwnership(e, addr, req, reply, nil)
+		case dirShared:
+			targets := make([]flit.PortID, 0, len(e.sharers))
+			for s := range e.sharers {
+				if s != req.Src {
+					targets = append(targets, s)
+				}
+			}
+			d.invalidateAll(targets, addr, func() {
+				e.sharers = make(map[flit.PortID]bool)
+				d.grantOwnership(e, addr, req, reply, nil)
+			})
+		case dirExclusive:
+			if e.owner == req.Src {
+				// Owner re-requesting (e.g. lost race with its own
+				// eviction); just re-grant.
+				d.grantOwnership(e, addr, req, reply, nil)
+				return
+			}
+			d.snoop(flit.OpSnpInv, e.owner, addr, func(dirty []byte) {
+				if dirty != nil {
+					d.Forwards.Inc()
+					d.writeHome(addr, dirty, func() {
+						d.grantOwnership(e, addr, req, reply, dirty)
+					})
+					return
+				}
+				d.grantOwnership(e, addr, req, reply, nil)
+			})
+		}
+	case flit.OpCacheWB:
+		d.Writebacks.Inc()
+		stillOwner := e.state == dirExclusive && e.owner == req.Src
+		finish := func() {
+			if stillOwner {
+				e.state = dirUncached
+				e.owner = 0
+			} else {
+				delete(e.sharers, req.Src)
+				if len(e.sharers) == 0 && e.state == dirShared {
+					e.state = dirUncached
+				}
+			}
+			d.eng.After(fea, func() { reply(req.Response(flit.OpCacheResp, 0)) })
+		}
+		// A writeback from a node that no longer owns the line lost a
+		// race with a snoop that already supplied the fresh data; its
+		// home update is stale and must be dropped.
+		if req.Size > 0 && stillOwner {
+			d.writeHome(addr, req.Data, finish)
+			return
+		}
+		finish()
+	}
+}
+
+func (d *Directory) grantOwnership(e *dirEntry, addr uint64, req *flit.Packet,
+	reply func(*flit.Packet), dirty []byte) {
+	fea := d.fam.FEALat()
+	done := func(data []byte) {
+		e.state = dirExclusive
+		e.owner = req.Src
+		d.eng.After(fea, func() { reply(grantResp(req, grantModified, data)) })
+	}
+	if dirty != nil {
+		done(dirty)
+		return
+	}
+	d.readHome(addr, done)
+}
+
+func grantResp(req *flit.Packet, grant uint32, data []byte) *flit.Packet {
+	resp := req.Response(flit.OpCacheResp, uint32(len(data)))
+	resp.ReqLen = grant
+	resp.Data = append([]byte(nil), data...)
+	return resp
+}
+
+// snoop sends a snoop to one node; done receives dirty data or nil.
+func (d *Directory) snoop(op flit.Op, target flit.PortID, addr uint64, done func(dirty []byte)) {
+	d.Snoops.Inc()
+	req := &flit.Packet{Chan: flit.ChCache, Op: op, Dst: target, Addr: addr}
+	d.fam.Endpoint().Request(req).OnComplete(func(resp *flit.Packet, err error) {
+		if err != nil {
+			panic(fmt.Sprintf("coherence: snoop %v to %d failed: %v", op, target, err))
+		}
+		if resp.Size > 0 {
+			done(resp.Data)
+			return
+		}
+		done(nil)
+	})
+}
+
+// invalidateAll snoops every target in parallel and calls done when all
+// have acknowledged.
+func (d *Directory) invalidateAll(targets []flit.PortID, addr uint64, done func()) {
+	if len(targets) == 0 {
+		done()
+		return
+	}
+	remaining := len(targets)
+	for _, t := range targets {
+		d.snoop(flit.OpSnpInv, t, addr, func(dirty []byte) {
+			// Shared copies are clean by protocol invariant; dirty data
+			// here would be a protocol bug.
+			if dirty != nil {
+				panic("coherence: dirty data from a shared copy")
+			}
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		})
+	}
+}
+
+func (d *Directory) readHome(addr uint64, done func([]byte)) {
+	d.fam.DRAM().Read(addr, 64, done)
+}
+
+func (d *Directory) writeHome(addr uint64, data []byte, done func()) {
+	d.fam.DRAM().Write(addr, data, done)
+}
+
+// StateOf reports the directory's view of a line (testing/diagnostics):
+// "uncached", "shared(n)", or "exclusive".
+func (d *Directory) StateOf(addr uint64) string {
+	e, ok := d.lines[addr&^63]
+	if !ok {
+		return "uncached"
+	}
+	switch e.state {
+	case dirShared:
+		return fmt.Sprintf("shared(%d)", len(e.sharers))
+	case dirExclusive:
+		return "exclusive"
+	default:
+		return "uncached"
+	}
+}

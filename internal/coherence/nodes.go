@@ -1,0 +1,103 @@
+package coherence
+
+import (
+	"fcc/internal/host"
+	"fcc/internal/sim"
+)
+
+// NodeClient is the uniform software-visible interface over the four
+// memory-node types, so workloads (and the E6 node-type experiment) can
+// run unchanged across them.
+type NodeClient interface {
+	// Read64P coherently (per the node's own contract) reads 8 bytes.
+	Read64P(p *sim.Proc, addr uint64) uint64
+	// Write64P writes 8 bytes.
+	Write64P(p *sim.Proc, addr uint64, v uint64)
+	// Kind names the node type.
+	Kind() string
+}
+
+// Kind implements NodeClient for the CC-NUMA / COMA directory client.
+func (c *Client) Kind() string {
+	if c.cfg.CapacityLines >= 1<<16 {
+		return "COMA"
+	}
+	return "CC-NUMA"
+}
+
+// CPULessClient accesses a Type 3 expander through the host's own cache
+// hierarchy (host-only coherence): the fabric-attached CPU-less NUMA
+// node of Difference #2. Correct only while the host owns the region
+// exclusively (or software partitions writers).
+type CPULessClient struct {
+	H    *host.Host
+	Base uint64 // host address where the device region is mapped
+}
+
+// Kind implements NodeClient.
+func (c *CPULessClient) Kind() string { return "CPU-less NUMA" }
+
+// Read64P implements NodeClient via the host's cached path.
+func (c *CPULessClient) Read64P(p *sim.Proc, addr uint64) uint64 {
+	return c.H.Load64P(p, c.Base+addr)
+}
+
+// Write64P implements NodeClient via the host's cached path.
+func (c *CPULessClient) Write64P(p *sim.Proc, addr uint64, v uint64) {
+	c.H.Store64P(p, c.Base+addr, v)
+}
+
+// NCCClient accesses a non-cache-coherent NUMA node. Every access goes
+// to the device uncached; Acquire/Release barriers let software build
+// its own coherence on top (flush before publishing, invalidate before
+// consuming) when it opts into cached mode.
+type NCCClient struct {
+	H    *host.Host
+	Base uint64
+	// Cached selects host-cached access with explicit software
+	// coherence (barriers required) instead of fully uncached access.
+	Cached bool
+}
+
+// Kind implements NodeClient.
+func (c *NCCClient) Kind() string { return "NCC-NUMA" }
+
+// Read64P implements NodeClient.
+func (c *NCCClient) Read64P(p *sim.Proc, addr uint64) uint64 {
+	if c.Cached {
+		return c.H.Load64P(p, c.Base+addr)
+	}
+	b := c.H.UncachedRead(c.Base+addr, 8).MustAwait(p)
+	v := uint64(0)
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// Write64P implements NodeClient.
+func (c *NCCClient) Write64P(p *sim.Proc, addr uint64, v uint64) {
+	if c.Cached {
+		c.H.Store64P(p, c.Base+addr, v)
+		return
+	}
+	b := [8]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24),
+		byte(v >> 32), byte(v >> 40), byte(v >> 48), byte(v >> 56)}
+	c.H.UncachedWrite(c.Base+addr, b[:]).MustAwait(p)
+}
+
+// Release flushes [addr, addr+n) so other nodes can observe this node's
+// writes (the software-coherence publish barrier).
+func (c *NCCClient) Release(p *sim.Proc, addr, n uint64) {
+	if c.Cached {
+		c.H.FlushRangeP(p, c.Base+addr, n)
+	}
+}
+
+// Acquire invalidates [addr, addr+n) so subsequent reads observe other
+// nodes' writes (the software-coherence consume barrier).
+func (c *NCCClient) Acquire(addr, n uint64) {
+	if c.Cached {
+		c.H.InvalidateRange(c.Base+addr, n)
+	}
+}

@@ -1,0 +1,46 @@
+package dsp
+
+import (
+	"testing"
+
+	"fcc/internal/sim"
+)
+
+// BenchmarkFFT64 measures the 64-point FFT used per OFDM symbol.
+func BenchmarkFFT64(b *testing.B) {
+	x := make([]complex128, 64)
+	rng := sim.NewRNG(1)
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+	}
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+// BenchmarkViterbi measures decoding 128 coded bits.
+func BenchmarkViterbi(b *testing.B) {
+	rng := sim.NewRNG(2)
+	bits := make([]byte, 62)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	coded := ConvEncode(bits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ViterbiDecode(coded)
+	}
+}
+
+// BenchmarkModulateQAM16 measures symbol mapping.
+func BenchmarkModulateQAM16(b *testing.B) {
+	rng := sim.NewRNG(3)
+	bits := make([]byte, 1024)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Modulate(QAM16, bits)
+	}
+}

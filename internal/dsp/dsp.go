@@ -1,0 +1,298 @@
+// Package dsp supplies the real signal-processing kernels behind the
+// paper's §5 case study (the software MIMO baseband engine): radix-2
+// FFT/IFFT, per-subcarrier zero-forcing equalisation, QPSK/16-QAM
+// (de)modulation, and a rate-1/2 K=3 convolutional code with a
+// hard-decision Viterbi decoder. The kernels compute real results —
+// pipelines built on them verify bit-exact recovery — while the FAA
+// layer charges simulated execution time.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x.
+// len(x) must be a power of two.
+func FFT(x []complex128) {
+	fftInternal(x, false)
+}
+
+// IFFT computes the inverse FFT (normalized by 1/N).
+func IFFT(x []complex128) {
+	fftInternal(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftInternal(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// Equalize performs per-subcarrier zero-forcing: given received symbols
+// rx and channel estimates h (both length N), returns rx[i]/h[i].
+func Equalize(rx, h []complex128) []complex128 {
+	if len(rx) != len(h) {
+		panic("dsp: rx/channel length mismatch")
+	}
+	out := make([]complex128, len(rx))
+	for i := range rx {
+		if h[i] == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = rx[i] / h[i]
+	}
+	return out
+}
+
+// EstimateChannel produces per-subcarrier channel estimates from
+// received pilots and the known transmitted pilot symbols.
+func EstimateChannel(rxPilot, txPilot []complex128) []complex128 {
+	if len(rxPilot) != len(txPilot) {
+		panic("dsp: pilot length mismatch")
+	}
+	h := make([]complex128, len(rxPilot))
+	for i := range h {
+		if txPilot[i] == 0 {
+			h[i] = 1
+			continue
+		}
+		h[i] = rxPilot[i] / txPilot[i]
+	}
+	return h
+}
+
+// Modulation selects a constellation.
+type Modulation uint8
+
+// Supported constellations.
+const (
+	QPSK Modulation = iota
+	QAM16
+)
+
+// BitsPerSymbol reports the constellation's bits per symbol.
+func (m Modulation) BitsPerSymbol() int {
+	if m == QPSK {
+		return 2
+	}
+	return 4
+}
+
+// qam16Level maps 2 bits to a Gray-coded PAM level.
+var qam16Level = [4]float64{-3, -1, 3, 1}
+
+// Modulate maps bits (one per byte entry, 0/1) to symbols. len(bits)
+// must be a multiple of BitsPerSymbol.
+func Modulate(m Modulation, bits []byte) []complex128 {
+	bps := m.BitsPerSymbol()
+	if len(bits)%bps != 0 {
+		panic("dsp: bit count not a multiple of bits/symbol")
+	}
+	out := make([]complex128, len(bits)/bps)
+	for i := range out {
+		b := bits[i*bps : (i+1)*bps]
+		switch m {
+		case QPSK:
+			re := 1.0 - 2.0*float64(b[0])
+			im := 1.0 - 2.0*float64(b[1])
+			out[i] = complex(re/math.Sqrt2, im/math.Sqrt2)
+		case QAM16:
+			re := qam16Level[b[0]<<1|b[1]]
+			im := qam16Level[b[2]<<1|b[3]]
+			out[i] = complex(re/math.Sqrt(10), im/math.Sqrt(10))
+		}
+	}
+	return out
+}
+
+// Demodulate hard-decides symbols back into bits.
+func Demodulate(m Modulation, syms []complex128) []byte {
+	bps := m.BitsPerSymbol()
+	out := make([]byte, 0, len(syms)*bps)
+	for _, s := range syms {
+		switch m {
+		case QPSK:
+			out = append(out, b2u(real(s) < 0), b2u(imag(s) < 0))
+		case QAM16:
+			out = append(out, pamBits(real(s)*math.Sqrt(10))...)
+			out = append(out, pamBits(imag(s)*math.Sqrt(10))...)
+		}
+	}
+	return out
+}
+
+func b2u(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// pamBits inverts qam16Level by nearest level.
+func pamBits(v float64) []byte {
+	best, bestD := 0, math.Inf(1)
+	for idx, lv := range qam16Level {
+		d := math.Abs(v - lv)
+		if d < bestD {
+			best, bestD = idx, d
+		}
+	}
+	return []byte{byte(best >> 1), byte(best & 1)}
+}
+
+// ConvEncode encodes bits with the rate-1/2, K=3 convolutional code
+// (generators 7 and 5 octal), appending 2 tail bits to flush the
+// encoder. Output has 2*(len(bits)+2) bits.
+func ConvEncode(bits []byte) []byte {
+	out := make([]byte, 0, 2*(len(bits)+2))
+	var s uint8 // two-bit shift register
+	emit := func(b byte) {
+		g0 := b ^ (s & 1) ^ (s >> 1) // 111
+		g1 := b ^ (s >> 1)           // 101
+		out = append(out, g0, g1)
+		s = (s << 1 | b) & 3
+	}
+	for _, b := range bits {
+		emit(b & 1)
+	}
+	emit(0)
+	emit(0)
+	return out
+}
+
+// ViterbiDecode hard-decision-decodes a rate-1/2 K=3 stream produced by
+// ConvEncode, returning the original bits (tail removed).
+func ViterbiDecode(coded []byte) []byte {
+	if len(coded)%2 != 0 {
+		panic("dsp: coded length must be even")
+	}
+	nSteps := len(coded) / 2
+	const states = 4
+	const inf = 1 << 30
+	// expected[state][input] -> (g0,g1, nextState)
+	type edge struct {
+		g0, g1 byte
+		next   int
+	}
+	var trellis [states][2]edge
+	for s := 0; s < states; s++ {
+		for in := 0; in < 2; in++ {
+			b := byte(in)
+			g0 := b ^ byte(s&1) ^ byte(s>>1)
+			g1 := b ^ byte(s>>1)
+			trellis[s][in] = edge{g0: g0, g1: g1, next: ((s << 1) | in) & 3}
+		}
+	}
+	dist := [states]int{0, inf, inf, inf}
+	// survivors[t][state] = (prevState, inputBit)
+	type back struct{ prev, bit int8 }
+	surv := make([][states]back, nSteps)
+	for t := 0; t < nSteps; t++ {
+		r0, r1 := coded[2*t]&1, coded[2*t+1]&1
+		var nd [states]int
+		var nb [states]back
+		for i := range nd {
+			nd[i] = inf
+		}
+		for s := 0; s < states; s++ {
+			if dist[s] >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				e := trellis[s][in]
+				m := dist[s]
+				if e.g0 != r0 {
+					m++
+				}
+				if e.g1 != r1 {
+					m++
+				}
+				if m < nd[e.next] {
+					nd[e.next] = m
+					nb[e.next] = back{prev: int8(s), bit: int8(in)}
+				}
+			}
+		}
+		dist = nd
+		surv[t] = nb
+	}
+	// Trace back from state 0 (encoder was flushed).
+	state := 0
+	bits := make([]byte, nSteps)
+	for t := nSteps - 1; t >= 0; t-- {
+		b := surv[t][state]
+		bits[t] = byte(b.bit)
+		state = int(b.prev)
+	}
+	if nSteps < 2 {
+		return nil
+	}
+	return bits[:nSteps-2] // drop tail
+}
+
+// BitErrors counts positions where a and b differ (shorter length).
+func BitErrors(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		if a[i]&1 != b[i]&1 {
+			errs++
+		}
+	}
+	return errs
+}
+
+// AWGN adds white Gaussian noise at the given SNR (dB) to symbols,
+// using the supplied uniform source for Box-Muller sampling.
+func AWGN(syms []complex128, snrDB float64, uniform func() float64) []complex128 {
+	sigma := math.Sqrt(math.Pow(10, -snrDB/10) / 2)
+	out := make([]complex128, len(syms))
+	for i, s := range syms {
+		u1, u2 := uniform(), uniform()
+		if u1 < 1e-12 {
+			u1 = 1e-12
+		}
+		r := math.Sqrt(-2 * math.Log(u1))
+		out[i] = s + complex(sigma*r*math.Cos(2*math.Pi*u2), sigma*r*math.Sin(2*math.Pi*u2))
+	}
+	return out
+}

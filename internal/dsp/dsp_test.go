@@ -1,0 +1,265 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"fcc/internal/sim"
+)
+
+func approxEq(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) < tol
+}
+
+func TestFFTKnownVector(t *testing.T) {
+	// FFT([1,1,1,1]) = [4,0,0,0].
+	x := []complex128{1, 1, 1, 1}
+	FFT(x)
+	want := []complex128{4, 0, 0, 0}
+	for i := range x {
+		if !approxEq(x[i], want[i], 1e-9) {
+			t.Fatalf("FFT[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of an impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i := range x {
+		if !approxEq(x[i], 1, 1e-9) {
+			t.Fatalf("FFT[%d] = %v", i, x[i])
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin k transforms to N*delta[k].
+	const n, k = 16, 3
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*float64(k*i)/n)
+	}
+	FFT(x)
+	for i := range x {
+		want := complex(0, 0)
+		if i == k {
+			want = complex(n, 0)
+		}
+		if !approxEq(x[i], want, 1e-9) {
+			t.Fatalf("bin %d = %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTripProperty(t *testing.T) {
+	rng := sim.NewRNG(5)
+	prop := func(seed uint32) bool {
+		n := 64
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if !approxEq(x[i], orig[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := sim.NewRNG(9)
+	n := 32
+	x := make([]complex128, n)
+	var timeE float64
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+		timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	FFT(x)
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-9 {
+		t.Fatalf("Parseval violated: %v vs %v", freqE/float64(n), timeE)
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two accepted")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestModulateDemodulateRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(3)
+	for _, m := range []Modulation{QPSK, QAM16} {
+		bits := make([]byte, 256)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		syms := Modulate(m, bits)
+		if len(syms) != len(bits)/m.BitsPerSymbol() {
+			t.Fatalf("%v: %d symbols", m, len(syms))
+		}
+		got := Demodulate(m, syms)
+		if BitErrors(bits, got) != 0 {
+			t.Fatalf("%v: noiseless round trip has bit errors", m)
+		}
+	}
+}
+
+func TestModulateUnitEnergy(t *testing.T) {
+	rng := sim.NewRNG(4)
+	for _, m := range []Modulation{QPSK, QAM16} {
+		bits := make([]byte, 4096)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		syms := Modulate(m, bits)
+		var e float64
+		for _, s := range syms {
+			e += real(s)*real(s) + imag(s)*imag(s)
+		}
+		e /= float64(len(syms))
+		if e < 0.9 || e > 1.1 {
+			t.Fatalf("%v mean symbol energy = %v, want ≈1", m, e)
+		}
+	}
+}
+
+func TestEqualizeInvertsChannel(t *testing.T) {
+	rng := sim.NewRNG(6)
+	bits := make([]byte, 128)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	tx := Modulate(QPSK, bits)
+	h := make([]complex128, len(tx))
+	rx := make([]complex128, len(tx))
+	for i := range tx {
+		h[i] = cmplx.Rect(0.5+rng.Float64(), rng.Float64()*2*math.Pi)
+		rx[i] = tx[i] * h[i]
+	}
+	eq := Equalize(rx, h)
+	if BitErrors(bits, Demodulate(QPSK, eq)) != 0 {
+		t.Fatal("equalized symbols decode with errors on a noiseless channel")
+	}
+}
+
+func TestEstimateChannelFromPilots(t *testing.T) {
+	txp := []complex128{1, -1, 1i, -1i}
+	h := []complex128{0.5 + 0.5i, 2, -1i, 0.3}
+	rxp := make([]complex128, 4)
+	for i := range rxp {
+		rxp[i] = txp[i] * h[i]
+	}
+	got := EstimateChannel(rxp, txp)
+	for i := range h {
+		if !approxEq(got[i], h[i], 1e-12) {
+			t.Fatalf("h[%d] = %v, want %v", i, got[i], h[i])
+		}
+	}
+}
+
+func TestConvCodeRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(8)
+	bits := make([]byte, 500)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	coded := ConvEncode(bits)
+	if len(coded) != 2*(len(bits)+2) {
+		t.Fatalf("coded length %d", len(coded))
+	}
+	got := ViterbiDecode(coded)
+	if len(got) != len(bits) || BitErrors(bits, got) != 0 {
+		t.Fatalf("clean decode had %d errors", BitErrors(bits, got))
+	}
+}
+
+func TestViterbiCorrectsBitErrors(t *testing.T) {
+	rng := sim.NewRNG(10)
+	bits := make([]byte, 400)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	coded := ConvEncode(bits)
+	// Flip isolated bits (spaced beyond the code's memory).
+	for i := 10; i < len(coded); i += 50 {
+		coded[i] ^= 1
+	}
+	got := ViterbiDecode(coded)
+	if n := BitErrors(bits, got); n != 0 {
+		t.Fatalf("Viterbi left %d errors after isolated flips", n)
+	}
+}
+
+func TestConvCodeRoundTripProperty(t *testing.T) {
+	prop := func(raw []byte) bool {
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		got := ViterbiDecode(ConvEncode(bits))
+		return BitErrors(bits, got) == 0 && len(got) == len(bits)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAWGNHighSNRIsHarmless(t *testing.T) {
+	rng := sim.NewRNG(12)
+	bits := make([]byte, 512)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	tx := Modulate(QPSK, bits)
+	rx := AWGN(tx, 30, rng.Float64) // 30dB: effectively clean for QPSK
+	if n := BitErrors(bits, Demodulate(QPSK, rx)); n != 0 {
+		t.Fatalf("30dB SNR QPSK had %d bit errors", n)
+	}
+}
+
+func TestAWGNLowSNRCausesErrorsAndCodingFixesThem(t *testing.T) {
+	rng := sim.NewRNG(14)
+	info := make([]byte, 300)
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	coded := ConvEncode(info)
+	// Pad coded bits to a full symbol count.
+	for len(coded)%QPSK.BitsPerSymbol() != 0 {
+		coded = append(coded, 0)
+	}
+	tx := Modulate(QPSK, coded)
+	rx := AWGN(tx, 6, rng.Float64) // noisy enough for raw bit errors
+	raw := Demodulate(QPSK, rx)
+	rawErrs := BitErrors(coded, raw)
+	if rawErrs == 0 {
+		t.Skip("no channel errors sampled at 6dB; nothing to correct")
+	}
+	decoded := ViterbiDecode(raw[:2*(len(info)+2)])
+	decErrs := BitErrors(info, decoded)
+	if decErrs*4 > rawErrs {
+		t.Fatalf("coding gain absent: raw=%d decoded=%d", rawErrs, decErrs)
+	}
+}

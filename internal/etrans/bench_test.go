@@ -1,0 +1,47 @@
+package etrans
+
+import (
+	"testing"
+
+	"fcc/internal/fabric"
+	"fcc/internal/link"
+	"fcc/internal/mem"
+	"fcc/internal/sim"
+	"fcc/internal/txn"
+)
+
+// BenchmarkDelegated4K measures one delegated 4KB elastic transaction.
+func BenchmarkDelegated4K(b *testing.B) {
+	eng := sim.NewEngine()
+	bd := fabric.NewBuilder(eng)
+	sw := bd.AddSwitch("fs0", fabric.DefaultSwitchConfig())
+	att := func(name string, role fabric.Role) *fabric.Attachment {
+		a, err := bd.AttachEndpoint(sw, name, role, link.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	ha := att("init", fabric.RoleHost)
+	init := txn.NewEndpoint(eng, ha.ID, ha.Port, 0)
+	ha.Port.SetSink(init)
+	famA := mem.NewFAM(eng, att("famA", fabric.RoleFAM), mem.DefaultFAMConfig(1<<24))
+	famB := mem.NewFAM(eng, att("famB", fabric.RoleFAM), mem.DefaultFAMConfig(1<<24))
+	agent := NewAgent(eng, att("agent", fabric.RoleFAA))
+	if err := bd.Discover(); err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(eng, init)
+	e.AddAgent(agent.ID(), famB.ID())
+	b.SetBytes(4096)
+	eng.Go("driver", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.SubmitP(p, &Request{
+				Src: []Segment{{Port: famA.ID(), Addr: 0, Size: 4096}},
+				Dst: []Segment{{Port: famB.ID(), Addr: 0, Size: 4096}},
+			})
+		}
+	})
+	eng.Run()
+}

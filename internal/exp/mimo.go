@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"encoding/binary"
+	"math"
+	"math/cmplx"
+
+	"fcc"
+	"fcc/internal/dsp"
+	"fcc/internal/flit"
+	"fcc/internal/sim"
+	"fcc/internal/task"
+)
+
+// The E7 pipeline parameters (mirrors examples/mimo).
+const (
+	mimoSub   = 64
+	mimoInfo  = 62 // 2*(62+2) coded bits = 128 = 64 QPSK symbols
+	mimoFrame = mimoSub * 16
+	mimoSNR   = 18.0
+)
+
+func mimoC2B(xs []complex128) []byte {
+	out := make([]byte, len(xs)*16)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[i*16:], math.Float64bits(real(x)))
+		binary.LittleEndian.PutUint64(out[i*16+8:], math.Float64bits(imag(x)))
+	}
+	return out
+}
+
+func mimoB2C(b []byte) []complex128 {
+	out := make([]complex128, len(b)/16)
+	for i := range out {
+		out[i] = complex(
+			math.Float64frombits(binary.LittleEndian.Uint64(b[i*16:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(b[i*16+8:])))
+	}
+	return out
+}
+
+func mimoPilot() []complex128 {
+	p := make([]complex128, mimoSub)
+	for i := range p {
+		if i%2 == 0 {
+			p[i] = 1
+		} else {
+			p[i] = -1
+		}
+	}
+	return p
+}
+
+// runMIMO drives the three-stage pipeline for the given frame count.
+func runMIMO(c *fcc.Cluster, runner *task.Runner, frames int) MIMOResult {
+	fam := c.FAMs[0]
+	rng := sim.NewRNG(2026)
+	totalBits, totalErrs := 0, 0
+	frameLat := sim.NewHistogram()
+	c.Go("baseband", func(p *sim.Proc) {
+		for frame := 0; frame < frames; frame++ {
+			info := make([]byte, mimoInfo)
+			for i := range info {
+				info[i] = byte(rng.Intn(2))
+			}
+			coded := dsp.ConvEncode(info)
+			txSyms := dsp.Modulate(dsp.QPSK, coded)
+			h := make([]complex128, mimoSub)
+			for i := range h {
+				h[i] = cmplx.Rect(0.6+0.8*rng.Float64(), 2*math.Pi*rng.Float64())
+			}
+			tx := func(syms []complex128) []complex128 {
+				faded := make([]complex128, mimoSub)
+				for i := range syms {
+					faded[i] = syms[i] * h[i]
+				}
+				t := append([]complex128(nil), faded...)
+				dsp.IFFT(t)
+				return dsp.AWGN(t, mimoSNR+10*math.Log10(mimoSub), rng.Float64)
+			}
+			base := uint64(frame%16) * 0x10000
+			fam.DRAM().Store().Write(base, mimoC2B(tx(txSyms)))
+			fam.DRAM().Store().Write(base+0x1000, mimoC2B(tx(mimoPilot())))
+
+			start := p.Now()
+			runner.SubmitP(p, mimoFFTTask(fam.ID(), base))
+			runner.SubmitP(p, mimoEqTask(fam.ID(), base))
+			runner.SubmitP(p, mimoDecodeTask(fam.ID(), base))
+			frameLat.ObserveTime(p.Now() - start)
+
+			got := make([]byte, mimoInfo)
+			fam.DRAM().Store().Read(base+0x5000, got)
+			totalBits += mimoInfo
+			totalErrs += dsp.BitErrors(info, got)
+		}
+	})
+	c.Run()
+	return MIMOResult{
+		Frames:      frames,
+		BER:         float64(totalErrs) / float64(totalBits),
+		MeanFrameUs: frameLat.Mean() / 1000,
+		RecoveredOK: totalErrs == 0,
+	}
+}
+
+func mimoFFTTask(fam flit.PortID, base uint64) *task.Task {
+	return &task.Task{
+		Name: "fft",
+		Inputs: []task.Region{
+			{Port: fam, Addr: base, Size: mimoFrame},
+			{Port: fam, Addr: base + 0x1000, Size: mimoFrame},
+		},
+		Outputs: []task.Region{
+			{Port: fam, Addr: base + 0x2000, Size: mimoFrame},
+			{Port: fam, Addr: base + 0x3000, Size: mimoFrame},
+		},
+		Body: func(c *task.Ctx) error {
+			for i := 0; i < 2; i++ {
+				x := mimoB2C(c.Input(i))
+				dsp.FFT(x)
+				copy(c.Output(i), mimoC2B(x))
+			}
+			c.Compute(4 * sim.Microsecond)
+			return nil
+		},
+		MaxAttempts: 50,
+	}
+}
+
+func mimoEqTask(fam flit.PortID, base uint64) *task.Task {
+	return &task.Task{
+		Name: "eq-demod",
+		Inputs: []task.Region{
+			{Port: fam, Addr: base + 0x2000, Size: mimoFrame},
+			{Port: fam, Addr: base + 0x3000, Size: mimoFrame},
+		},
+		Outputs: []task.Region{{Port: fam, Addr: base + 0x4000, Size: 128}},
+		Body: func(c *task.Ctx) error {
+			data := mimoB2C(c.Input(0))
+			rxPilot := mimoB2C(c.Input(1))
+			h := dsp.EstimateChannel(rxPilot, mimoPilot())
+			bits := dsp.Demodulate(dsp.QPSK, dsp.Equalize(data, h))
+			copy(c.Output(0), bits)
+			c.Compute(3 * sim.Microsecond)
+			return nil
+		},
+		MaxAttempts: 50,
+	}
+}
+
+func mimoDecodeTask(fam flit.PortID, base uint64) *task.Task {
+	return &task.Task{
+		Name:    "viterbi",
+		Inputs:  []task.Region{{Port: fam, Addr: base + 0x4000, Size: 128}},
+		Outputs: []task.Region{{Port: fam, Addr: base + 0x5000, Size: mimoInfo}},
+		Body: func(c *task.Ctx) error {
+			copy(c.Output(0), dsp.ViterbiDecode(c.Input(0)))
+			c.Compute(5 * sim.Microsecond)
+			return nil
+		},
+		MaxAttempts: 50,
+	}
+}

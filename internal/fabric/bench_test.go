@@ -1,0 +1,63 @@
+package fabric
+
+import (
+	"testing"
+
+	"fcc/internal/flit"
+	"fcc/internal/link"
+	"fcc/internal/sim"
+	"fcc/internal/txn"
+)
+
+// BenchmarkSwitchRouting measures simulator cost per routed request
+// (request + response across one switch).
+func BenchmarkSwitchRouting(b *testing.B) {
+	eng := sim.NewEngine()
+	bd := NewBuilder(eng)
+	sw := bd.AddSwitch("fs0", DefaultSwitchConfig())
+	ha, _ := bd.AttachEndpoint(sw, "h", RoleHost, link.DefaultConfig())
+	h := txn.NewEndpoint(eng, ha.ID, ha.Port, 0)
+	ha.Port.SetSink(h)
+	da, _ := bd.AttachEndpoint(sw, "d", RoleFAM, link.DefaultConfig())
+	d := txn.NewEndpoint(eng, da.ID, da.Port, 0)
+	da.Port.SetSink(d)
+	d.Handler = func(req *flit.Packet, reply func(*flit.Packet)) {
+		reply(req.Response(flit.OpMemRdData, 64))
+	}
+	if err := bd.Discover(); err != nil {
+		b.Fatal(err)
+	}
+	eng.Go("driver", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Request(&flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd, Dst: da.ID}).MustAwait(p)
+		}
+	})
+	eng.Run()
+}
+
+// BenchmarkDiscovery measures fabric-manager route installation on a
+// 4-switch, 64-endpoint topology.
+func BenchmarkDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		bd := NewBuilder(eng)
+		var sws []*Switch
+		for s := 0; s < 4; s++ {
+			sws = append(sws, bd.AddSwitch("fs", DefaultSwitchConfig()))
+			if s > 0 {
+				if err := bd.ConnectSwitches(sws[s-1], sws[s], link.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		for e := 0; e < 64; e++ {
+			if _, err := bd.AttachEndpoint(sws[e%4], "ep", RoleHost, link.DefaultConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := bd.Discover(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"fcc/internal/flit"
+	"fcc/internal/link"
+	"fcc/internal/phys"
+	"fcc/internal/sim"
+	"fcc/internal/txn"
+)
+
+// star builds host(s) and device(s) around one switch and returns the
+// endpoints, with the device echoing Mem and IO requests.
+func star(t *testing.T, hosts, devs int, devTime sim.Time) (*sim.Engine, *Builder, []*txn.Endpoint, []*txn.Endpoint) {
+	t.Helper()
+	eng := sim.NewEngine()
+	b := NewBuilder(eng)
+	sw := b.AddSwitch("fs0", DefaultSwitchConfig())
+	mk := func(name string, role Role) *txn.Endpoint {
+		att, err := b.AttachEndpoint(sw, name, role, link.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := txn.NewEndpoint(eng, att.ID, att.Port, 0)
+		att.Port.SetSink(ep)
+		return ep
+	}
+	var hs, ds []*txn.Endpoint
+	for i := 0; i < hosts; i++ {
+		hs = append(hs, mk("host"+string(rune('0'+i)), RoleHost))
+	}
+	for i := 0; i < devs; i++ {
+		d := mk("fam"+string(rune('0'+i)), RoleFAM)
+		d.Handler = func(req *flit.Packet, reply func(*flit.Packet)) {
+			eng.After(devTime, func() {
+				switch req.Op {
+				case flit.OpMemRd:
+					reply(req.Response(flit.OpMemRdData, 64))
+				case flit.OpMemWr:
+					reply(req.Response(flit.OpMemWrAck, 0))
+				case flit.OpIOWr:
+					reply(req.Response(flit.OpIOAck, 0))
+				case flit.OpIORd:
+					reply(req.Response(flit.OpIOData, req.ReqLen))
+				}
+			})
+		}
+		ds = append(ds, d)
+	}
+	if err := b.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	return eng, b, hs, ds
+}
+
+func TestSwitchRoutesHostToDevice(t *testing.T) {
+	eng, _, hs, ds := star(t, 1, 1, 100*sim.Nanosecond)
+	var resp *flit.Packet
+	eng.After(0, func() {
+		hs[0].Request(&flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd,
+			Dst: ds[0].ID(), Addr: 0x1000}).
+			OnComplete(func(p *flit.Packet, err error) { resp = p })
+	})
+	eng.Run()
+	if resp == nil {
+		t.Fatal("no response through switch")
+	}
+	if resp.Op != flit.OpMemRdData {
+		t.Fatalf("resp = %v", resp)
+	}
+	// Request crossed one switch, response crossed it again.
+	if resp.Hops != 1 {
+		t.Fatalf("response hops = %d, want 1", resp.Hops)
+	}
+}
+
+func TestSwitchAddsCrossbarLatency(t *testing.T) {
+	measure := func(lat sim.Time) sim.Time {
+		eng := sim.NewEngine()
+		b := NewBuilder(eng)
+		cfg := DefaultSwitchConfig()
+		cfg.Latency = lat
+		sw := b.AddSwitch("fs0", cfg)
+		ha, _ := b.AttachEndpoint(sw, "h", RoleHost, link.DefaultConfig())
+		da, _ := b.AttachEndpoint(sw, "d", RoleFAM, link.DefaultConfig())
+		h := txn.NewEndpoint(eng, ha.ID, ha.Port, 0)
+		ha.Port.SetSink(h)
+		d := txn.NewEndpoint(eng, da.ID, da.Port, 0)
+		da.Port.SetSink(d)
+		d.Handler = func(req *flit.Packet, reply func(*flit.Packet)) {
+			reply(req.Response(flit.OpMemRdData, 64))
+		}
+		if err := b.Discover(); err != nil {
+			t.Fatal(err)
+		}
+		var done sim.Time
+		eng.After(0, func() {
+			h.Request(&flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd, Dst: da.ID}).
+				OnComplete(func(*flit.Packet, error) { done = eng.Now() })
+		})
+		eng.Run()
+		return done
+	}
+	fast := measure(0)
+	slow := measure(100 * sim.Nanosecond)
+	delta := slow - fast
+	// Two traversals (request + response) of 100ns extra each.
+	if delta != 200*sim.Nanosecond {
+		t.Fatalf("latency delta = %v, want 200ns", delta)
+	}
+}
+
+func TestMultiHopRouting(t *testing.T) {
+	// host -- fs0 -- fs1 -- fs2 -- dev : three switches in a line.
+	eng := sim.NewEngine()
+	b := NewBuilder(eng)
+	var sws []*Switch
+	for _, n := range []string{"fs0", "fs1", "fs2"} {
+		sws = append(sws, b.AddSwitch(n, DefaultSwitchConfig()))
+	}
+	if err := b.ConnectSwitches(sws[0], sws[1], link.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ConnectSwitches(sws[1], sws[2], link.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := b.AttachEndpoint(sws[0], "h", RoleHost, link.DefaultConfig())
+	da, _ := b.AttachEndpoint(sws[2], "d", RoleFAM, link.DefaultConfig())
+	h := txn.NewEndpoint(eng, ha.ID, ha.Port, 0)
+	ha.Port.SetSink(h)
+	d := txn.NewEndpoint(eng, da.ID, da.Port, 0)
+	da.Port.SetSink(d)
+	d.Handler = func(req *flit.Packet, reply func(*flit.Packet)) {
+		if req.Hops != 3 {
+			t.Errorf("request hops = %d, want 3", req.Hops)
+		}
+		reply(req.Response(flit.OpMemRdData, 64))
+	}
+	if err := b.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	ok := false
+	eng.After(0, func() {
+		h.Request(&flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd, Dst: da.ID}).
+			OnComplete(func(*flit.Packet, error) { ok = true })
+	})
+	eng.Run()
+	if !ok {
+		t.Fatal("no response across 3 switches")
+	}
+}
+
+func TestDiscoverInstallsAllRoutes(t *testing.T) {
+	_, b, _, _ := star(t, 3, 3, 0)
+	sw := b.Switches()[0]
+	if sw.Routes() != 6 {
+		t.Fatalf("routes = %d, want 6", sw.Routes())
+	}
+}
+
+func TestPBRIDsAreSequentialAndBounded(t *testing.T) {
+	_, b, hs, ds := star(t, 2, 2, 0)
+	want := flit.PortID(0)
+	for _, e := range append(hs, ds...) {
+		if e.ID() != want {
+			t.Fatalf("ID = %d, want %d", e.ID(), want)
+		}
+		want++
+	}
+	_ = b
+}
+
+func TestManyToOneIncastDelivers(t *testing.T) {
+	// 4 hosts hammer one device; everything must complete despite
+	// output-queue backpressure at the device's switch port.
+	eng, _, hs, ds := star(t, 4, 1, 50*sim.Nanosecond)
+	done := 0
+	eng.After(0, func() {
+		for _, h := range hs {
+			h := h
+			for i := 0; i < 50; i++ {
+				h.Request(&flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd,
+					Dst: ds[0].ID(), Addr: uint64(i * 64)}).
+					OnComplete(func(*flit.Packet, error) { done++ })
+			}
+		}
+	})
+	eng.Run()
+	if done != 200 {
+		t.Fatalf("done = %d, want 200", done)
+	}
+}
+
+func TestBackpressureHoldsInputBuffers(t *testing.T) {
+	// Tiny output queue at the switch + a slow device: the switch must
+	// stall inputs rather than drop packets.
+	eng := sim.NewEngine()
+	b := NewBuilder(eng)
+	cfg := DefaultSwitchConfig()
+	cfg.OutQueueFlits = 9 // one 512B packet's worth
+	sw := b.AddSwitch("fs0", cfg)
+	ha, _ := b.AttachEndpoint(sw, "h", RoleHost, link.DefaultConfig())
+	// Device link is 4x narrower than the host link, so the switch's
+	// output queue toward the device fills and inputs must hold.
+	devCfg := link.DefaultConfig()
+	devCfg.Phys = phys.Gen4x4
+	da, _ := b.AttachEndpoint(sw, "d", RoleFAM, devCfg)
+	h := txn.NewEndpoint(eng, ha.ID, ha.Port, 0)
+	ha.Port.SetSink(h)
+	d := txn.NewEndpoint(eng, da.ID, da.Port, 0)
+	da.Port.SetSink(d)
+	d.Handler = func(req *flit.Packet, reply func(*flit.Packet)) {
+		eng.After(sim.Microsecond, func() { reply(req.Response(flit.OpIOAck, 0)) })
+	}
+	if err := b.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	eng.After(0, func() {
+		for i := 0; i < 20; i++ {
+			h.Request(&flit.Packet{Chan: flit.ChIO, Op: flit.OpIOWr, Dst: da.ID,
+				Size: 512}).OnComplete(func(*flit.Packet, error) { done++ })
+		}
+	})
+	eng.Run()
+	if done != 20 {
+		t.Fatalf("done = %d, want 20 (backpressure must not drop)", done)
+	}
+	if sw.HolStalls.Value() == 0 {
+		t.Fatal("expected HoL stalls with a 9-flit output queue")
+	}
+}
+
+func TestAdaptiveRoutingUsesBothPaths(t *testing.T) {
+	// Diamond: fs0 connects to fs3 via fs1 and fs2. With adaptive
+	// routing, bulk traffic should spread across both middle switches.
+	build := func(adaptive bool) (int64, int64, *sim.Engine) {
+		eng := sim.NewEngine()
+		b := NewBuilder(eng)
+		cfg := DefaultSwitchConfig()
+		cfg.Adaptive = adaptive
+		fs0 := b.AddSwitch("fs0", cfg)
+		fs1 := b.AddSwitch("fs1", cfg)
+		fs2 := b.AddSwitch("fs2", cfg)
+		fs3 := b.AddSwitch("fs3", cfg)
+		for _, pr := range [][2]*Switch{{fs0, fs1}, {fs0, fs2}, {fs1, fs3}, {fs2, fs3}} {
+			if err := b.ConnectSwitches(pr[0], pr[1], link.DefaultConfig()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ha, _ := b.AttachEndpoint(fs0, "h", RoleHost, link.DefaultConfig())
+		da, _ := b.AttachEndpoint(fs3, "d", RoleFAM, link.DefaultConfig())
+		h := txn.NewEndpoint(eng, ha.ID, ha.Port, 0)
+		ha.Port.SetSink(h)
+		d := txn.NewEndpoint(eng, da.ID, da.Port, 0)
+		da.Port.SetSink(d)
+		d.Handler = func(req *flit.Packet, reply func(*flit.Packet)) {
+			reply(req.Response(flit.OpIOAck, 0))
+		}
+		if err := b.Discover(); err != nil {
+			t.Fatal(err)
+		}
+		eng.After(0, func() {
+			for i := 0; i < 60; i++ {
+				h.Request(&flit.Packet{Chan: flit.ChIO, Op: flit.OpIOWr,
+					Dst: da.ID, Size: 512})
+			}
+		})
+		eng.Run()
+		return fs1.PktsRouted.Value(), fs2.PktsRouted.Value(), eng
+	}
+	f1, f2, _ := build(false)
+	if f1 == 0 || f2 != 0 {
+		t.Fatalf("deterministic routing used fs1=%d fs2=%d, want all on fs1", f1, f2)
+	}
+	a1, a2, _ := build(true)
+	if a1 == 0 || a2 == 0 {
+		t.Fatalf("adaptive routing used fs1=%d fs2=%d, want both", a1, a2)
+	}
+}
+
+func TestUnroutablePacketPanics(t *testing.T) {
+	eng, _, hs, _ := star(t, 1, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("unroutable packet did not panic")
+		}
+	}()
+	eng.After(0, func() {
+		hs[0].Request(&flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd, Dst: 999})
+	})
+	eng.Run()
+}
+
+func TestPortIDSpaceExhaustion(t *testing.T) {
+	eng := sim.NewEngine()
+	b := NewBuilder(eng)
+	b.nextID = flit.MaxPortID // pretend 4095 endpoints already exist
+	sw := b.AddSwitch("fs0", DefaultSwitchConfig())
+	if _, err := b.AttachEndpoint(sw, "last", RoleHost, link.DefaultConfig()); err != nil {
+		t.Fatalf("attaching endpoint 4095: %v", err)
+	}
+	if _, err := b.AttachEndpoint(sw, "overflow", RoleHost, link.DefaultConfig()); err == nil {
+		t.Fatal("PBR ID overflow not detected")
+	}
+}
+
+func TestRenderContainsTopology(t *testing.T) {
+	_, b, _, _ := star(t, 2, 1, 0)
+	out := b.Render()
+	for _, want := range []string{"FS fs0", "host0", "fam0", "FHA", "FEA", "PBR 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLookupFindsAttachment(t *testing.T) {
+	_, b, _, _ := star(t, 1, 1, 0)
+	if b.Lookup("host0") == nil || b.Lookup("fam0") == nil {
+		t.Fatal("Lookup failed")
+	}
+	if b.Lookup("nope") != nil {
+		t.Fatal("Lookup invented an attachment")
+	}
+}
+
+func TestDiscoverWithoutEndpointsFails(t *testing.T) {
+	b := NewBuilder(sim.NewEngine())
+	b.AddSwitch("fs0", DefaultSwitchConfig())
+	if err := b.Discover(); err == nil {
+		t.Fatal("Discover with no endpoints should fail")
+	}
+}

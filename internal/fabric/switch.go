@@ -1,0 +1,189 @@
+// Package fabric implements the switching fabric of the composable
+// infrastructure (§2.2): fabric switches with upstream/downstream ports,
+// bounded output queues with backpressure, PBR (port-based routing)
+// tables filled by a central fabric manager, adaptive multi-path
+// routing, and a topology builder that assembles hosts, FAM and FAA
+// chassis, and switches into a cluster — the architecture of Figure 1b.
+package fabric
+
+import (
+	"fmt"
+
+	"fcc/internal/flit"
+	"fcc/internal/link"
+	"fcc/internal/sim"
+)
+
+// SwitchConfig controls one fabric switch.
+type SwitchConfig struct {
+	// Latency is the crossbar traversal time per packet. The FabreX
+	// datasheet the paper cites claims <100ns non-blocking per port; the
+	// Omega testbed is similar.
+	Latency sim.Time
+	// OutQueueFlits bounds each output port's transmit queue per VC.
+	// When an output is full, inbound packets hold their input receive
+	// buffers — that is how backpressure (and congestion trees, §3 D#3)
+	// propagate upstream.
+	OutQueueFlits int
+	// Adaptive selects the least-loaded output among equal-cost paths
+	// instead of always the first (§2.1 "adaptive routing techniques").
+	Adaptive bool
+}
+
+// DefaultSwitchConfig matches the <100ns/port class of hardware.
+func DefaultSwitchConfig() SwitchConfig {
+	return SwitchConfig{Latency: 80 * sim.Nanosecond, OutQueueFlits: 64}
+}
+
+// Switch is a PBR-capable fabric switch. Ports are created by the
+// topology Builder; the routing table is installed by the fabric
+// manager after discovery.
+type Switch struct {
+	eng  *sim.Engine
+	name string
+	cfg  SwitchConfig
+
+	ports []*swPort
+
+	// routes maps destination PBR ID to candidate output port indexes
+	// (all tied at shortest distance; adaptive routing picks among them).
+	routes map[flit.PortID][]int
+
+	// rr rotates tie-breaking among equal-cost adaptive candidates.
+	rr int
+
+	// Metrics.
+	PktsRouted sim.Counter
+	HolStalls  sim.Counter // packets that had to wait for output space
+	Transit    *sim.Histogram
+}
+
+// swPort is one switch port: the switch side of a link.
+type swPort struct {
+	sw   *Switch
+	idx  int
+	port *link.Port
+	// waiting holds packets routed to this port but blocked on output
+	// queue space. Their input-side release closures are held too, so
+	// backpressure propagates to the upstream sender.
+	waiting []heldPacket
+}
+
+type heldPacket struct {
+	pkt     *flit.Packet
+	release func()
+}
+
+func newSwitch(eng *sim.Engine, name string, cfg SwitchConfig) *Switch {
+	if cfg.OutQueueFlits <= 0 {
+		cfg.OutQueueFlits = 64
+	}
+	return &Switch{
+		eng:     eng,
+		name:    name,
+		cfg:     cfg,
+		routes:  make(map[flit.PortID][]int),
+		Transit: sim.NewHistogram(),
+	}
+}
+
+// Name reports the switch name.
+func (s *Switch) Name() string { return s.name }
+
+// Ports reports the number of attached ports.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// attach registers a link port as switch port index len(ports).
+func (s *Switch) attach(p *link.Port) int {
+	sp := &swPort{sw: s, idx: len(s.ports), port: p}
+	p.SetSink(sp)
+	p.DrainHook = sp.tryDrain
+	s.ports = append(s.ports, sp)
+	return sp.idx
+}
+
+// InstallRoute sets the candidate output ports for a destination.
+func (s *Switch) InstallRoute(dst flit.PortID, outs []int) {
+	for _, o := range outs {
+		if o < 0 || o >= len(s.ports) {
+			panic(fmt.Sprintf("fabric: switch %s route to %d via invalid port %d", s.name, dst, o))
+		}
+	}
+	s.routes[dst] = outs
+}
+
+// Routes reports the number of installed destination entries.
+func (s *Switch) Routes() int { return len(s.routes) }
+
+// Arrive implements link.Sink for a switch port.
+func (sp *swPort) Arrive(pkt *flit.Packet, release func()) {
+	s := sp.sw
+	outs, ok := s.routes[pkt.Dst]
+	if !ok || len(outs) == 0 {
+		panic(fmt.Sprintf("fabric: switch %s has no route to %d (packet %v)", s.name, pkt.Dst, pkt))
+	}
+	pkt.Hops++
+	arrived := s.eng.Now()
+	// Crossbar traversal, then output enqueue (or hold under backpressure).
+	s.eng.After(s.cfg.Latency, func() {
+		out := s.pickOutput(outs, pkt)
+		op := s.ports[out]
+		if s.spaceFor(op, pkt) {
+			s.forward(op, pkt, release, arrived)
+			return
+		}
+		s.HolStalls.Inc()
+		op.waiting = append(op.waiting, heldPacket{pkt: pkt, release: release})
+	})
+}
+
+// pickOutput selects among equal-cost candidates.
+func (s *Switch) pickOutput(outs []int, pkt *flit.Packet) int {
+	if !s.cfg.Adaptive || len(outs) == 1 {
+		return outs[0]
+	}
+	// Least-loaded wins; ties rotate so equal-cost paths share traffic.
+	s.rr++
+	best, bestLoad := -1, 1<<30
+	for i := range outs {
+		o := outs[(s.rr+i)%len(outs)]
+		load := s.ports[o].port.TxQueueFlits(pkt.Chan) + len(s.ports[o].waiting)
+		if load < bestLoad {
+			best, bestLoad = o, load
+		}
+	}
+	return best
+}
+
+func (s *Switch) spaceFor(op *swPort, pkt *flit.Packet) bool {
+	mode := op.port.Config().Mode
+	need := mode.FlitsFor(pkt.Size)
+	return op.port.TxQueueFlits(pkt.Chan)+need <= s.cfg.OutQueueFlits
+}
+
+func (s *Switch) forward(op *swPort, pkt *flit.Packet, release func(), arrived sim.Time) {
+	op.port.Send(pkt)
+	release() // input buffer freed only once the packet has output space
+	s.PktsRouted.Inc()
+	s.Transit.ObserveTime(s.eng.Now() - arrived)
+}
+
+// tryDrain moves held packets into the output queue as space frees.
+func (sp *swPort) tryDrain() {
+	s := sp.sw
+	for len(sp.waiting) > 0 {
+		h := sp.waiting[0]
+		if !s.spaceFor(sp, h.pkt) {
+			return
+		}
+		sp.waiting = sp.waiting[1:]
+		s.forward(sp, h.pkt, h.release, s.eng.Now())
+	}
+}
+
+// QueuedAt reports held (backpressured) packets at an output port.
+func (s *Switch) QueuedAt(port int) int { return len(s.ports[port].waiting) }
+
+// Port exposes the link port behind switch port i (credit-allocation
+// policies resize its receive buffers; tests inspect its counters).
+func (s *Switch) Port(i int) *link.Port { return s.ports[i].port }

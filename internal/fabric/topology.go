@@ -1,0 +1,231 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fcc/internal/flit"
+	"fcc/internal/link"
+	"fcc/internal/sim"
+)
+
+// Role classifies a fabric endpoint for management and rendering.
+type Role uint8
+
+// Endpoint roles (Figure 1b).
+const (
+	RoleHost    Role = iota // a host server behind an FHA
+	RoleFAM                 // fabric-attached memory chassis (behind an FEA)
+	RoleFAA                 // fabric-attached accelerator chassis
+	RoleManager             // the fabric manager / central arbiter
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleHost:
+		return "host"
+	case RoleFAM:
+		return "FAM"
+	case RoleFAA:
+		return "FAA"
+	case RoleManager:
+		return "manager"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Attachment is what an endpoint receives when it joins the fabric: its
+// assigned PBR ID and the link port it sends/receives on.
+type Attachment struct {
+	Name string
+	Role Role
+	ID   flit.PortID
+	Port *link.Port
+	// Switch and SwitchPort identify where the endpoint attaches.
+	Switch     *Switch
+	SwitchPort int
+}
+
+// Builder assembles a fabric topology: switches, inter-switch links, and
+// endpoint attachments. After construction, Discover plays the fabric
+// manager: it walks the topology and installs PBR routes on every
+// switch, exactly as the paper describes the FM "filling up the
+// switching table" (§2.1).
+type Builder struct {
+	eng        *sim.Engine
+	switches   []*Switch
+	links      []*isl
+	attached   []*Attachment
+	nextID     flit.PortID
+	discovered bool
+}
+
+// isl is an inter-switch link record.
+type isl struct {
+	a, b         *Switch
+	aPort, bPort int
+}
+
+// NewBuilder returns an empty topology bound to eng.
+func NewBuilder(eng *sim.Engine) *Builder {
+	return &Builder{eng: eng}
+}
+
+// AddSwitch creates a switch.
+func (b *Builder) AddSwitch(name string, cfg SwitchConfig) *Switch {
+	sw := newSwitch(b.eng, name, cfg)
+	b.switches = append(b.switches, sw)
+	return sw
+}
+
+// ConnectSwitches joins two switches with a link (a PBR link within a
+// domain, or an HBR link between domains — routing treats them alike).
+func (b *Builder) ConnectSwitches(x, y *Switch, cfg link.Config) error {
+	l, err := link.New(b.eng, fmt.Sprintf("%s<->%s", x.name, y.name), cfg)
+	if err != nil {
+		return err
+	}
+	xp := x.attach(l.A())
+	yp := y.attach(l.B())
+	b.links = append(b.links, &isl{a: x, b: y, aPort: xp, bPort: yp})
+	return nil
+}
+
+// AttachEndpoint joins an endpoint (host FHA, FAM/FAA FEA) to a switch
+// and assigns it the next PBR ID. The returned Attachment's Port is the
+// endpoint side; callers attach their own sink (usually a txn.Endpoint).
+func (b *Builder) AttachEndpoint(sw *Switch, name string, role Role, cfg link.Config) (*Attachment, error) {
+	if b.nextID > flit.MaxPortID {
+		return nil, fmt.Errorf("fabric: PBR ID space exhausted (12-bit, max %d endpoints)", flit.MaxPortID+1)
+	}
+	l, err := link.New(b.eng, fmt.Sprintf("%s<->%s", name, sw.name), cfg)
+	if err != nil {
+		return nil, err
+	}
+	swPortIdx := sw.attach(l.B())
+	att := &Attachment{
+		Name:       name,
+		Role:       role,
+		ID:         b.nextID,
+		Port:       l.A(),
+		Switch:     sw,
+		SwitchPort: swPortIdx,
+	}
+	b.nextID++
+	b.attached = append(b.attached, att)
+	return att, nil
+}
+
+// Discover runs the fabric-manager pass: breadth-first search from every
+// switch to every endpoint, installing all equal-cost shortest-path
+// output candidates in each switch's PBR table. It must be called after
+// the topology is complete and before traffic flows.
+func (b *Builder) Discover() error {
+	if len(b.attached) == 0 {
+		return fmt.Errorf("fabric: no endpoints attached")
+	}
+	// adjacency: switch index -> list of (neighbor switch index, out port)
+	idx := make(map[*Switch]int, len(b.switches))
+	for i, s := range b.switches {
+		idx[s] = i
+	}
+	type edge struct{ to, port int }
+	adj := make([][]edge, len(b.switches))
+	for _, l := range b.links {
+		ai, bi := idx[l.a], idx[l.b]
+		adj[ai] = append(adj[ai], edge{to: bi, port: l.aPort})
+		adj[bi] = append(adj[bi], edge{to: ai, port: l.bPort})
+	}
+	// For each endpoint, BFS over the switch graph from its home switch;
+	// each switch routes toward the endpoint via every neighbor that is
+	// one hop closer (equal-cost multipath).
+	for _, att := range b.attached {
+		home := idx[att.Switch]
+		dist := make([]int, len(b.switches))
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[home] = 0
+		queue := []int{home}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[cur] {
+				if dist[e.to] == -1 {
+					dist[e.to] = dist[cur] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		for si, sw := range b.switches {
+			if si == home {
+				sw.InstallRoute(att.ID, []int{att.SwitchPort})
+				continue
+			}
+			if dist[si] == -1 {
+				continue // partitioned topology: unreachable from here
+			}
+			var outs []int
+			for _, e := range adj[si] {
+				if dist[e.to] == dist[si]-1 {
+					outs = append(outs, e.port)
+				}
+			}
+			sort.Ints(outs)
+			if len(outs) == 0 {
+				return fmt.Errorf("fabric: BFS inconsistency routing to %s from %s", att.Name, sw.name)
+			}
+			sw.InstallRoute(att.ID, outs)
+		}
+	}
+	b.discovered = true
+	return nil
+}
+
+// Attachments lists all endpoint attachments in ID order.
+func (b *Builder) Attachments() []*Attachment { return b.attached }
+
+// Switches lists the fabric switches.
+func (b *Builder) Switches() []*Switch { return b.switches }
+
+// Lookup finds an attachment by name.
+func (b *Builder) Lookup(name string) *Attachment {
+	for _, a := range b.attached {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Render draws the topology as ASCII art — the regeneration of the
+// paper's Figure 1b (composable infrastructure overview).
+func (b *Builder) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Composable infrastructure: %d switches, %d endpoints\n",
+		len(b.switches), len(b.attached))
+	for _, sw := range b.switches {
+		fmt.Fprintf(&sb, "\n[FS %s] (%d ports, %v crossbar)\n", sw.name, sw.Ports(), sw.cfg.Latency)
+		for _, l := range b.links {
+			if l.a == sw {
+				fmt.Fprintf(&sb, "  port %-2d ==== [FS %s] port %d\n", l.aPort, l.b.name, l.bPort)
+			} else if l.b == sw {
+				fmt.Fprintf(&sb, "  port %-2d ==== [FS %s] port %d\n", l.bPort, l.a.name, l.aPort)
+			}
+		}
+		for _, a := range b.attached {
+			if a.Switch == sw {
+				adapter := "FHA"
+				if a.Role == RoleFAM || a.Role == RoleFAA {
+					adapter = "FEA"
+				}
+				fmt.Fprintf(&sb, "  port %-2d ---- [%s] %-7s %-12s (PBR %d, %s)\n",
+					a.SwitchPort, adapter, a.Role, a.Name, a.ID, a.Port.Config().Phys)
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,87 @@
+// Package fabricinfo is the registry of commodity memory fabrics behind
+// the paper's Table 1, and the renderer that regenerates that table.
+package fabricinfo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fabric describes one commodity memory-fabric interconnect.
+type Fabric struct {
+	Name           string
+	Vendor         string
+	Development    string // active development years
+	Specifications []string
+	Products       []string
+	// MergedInto names the interconnect this one was absorbed by, if any
+	// ("Gen-Z and OpenCAPI have merged into CXL in the last two years").
+	MergedInto string
+}
+
+// Table1 is the paper's Table 1, verbatim.
+var Table1 = []Fabric{
+	{
+		Name:           "Gen-Z",
+		Vendor:         "HPE/Gen-Z Consortium",
+		Development:    "2016-2021",
+		Specifications: []string{"Gen-Z 1.0", "Gen-Z 1.1"},
+		Products:       []string{"Gen-Z Media Kit", "Gen-Z ChipSet for ExtraScale Fabric"},
+		MergedInto:     "CXL",
+	},
+	{
+		Name:           "CAPI/OpenCAPI",
+		Vendor:         "IBM/OpenCAPI Consortium",
+		Development:    "2014-2022",
+		Specifications: []string{"CAPI 1.0", "CAPI 2.0", "OpenCAPI 3.0", "OpenCAPI 4.0"},
+		Products:       []string{"BlueLink in POWER9"},
+		MergedInto:     "CXL",
+	},
+	{
+		Name:           "CCIX",
+		Vendor:         "Xilinx/CCIX Consortium",
+		Development:    "2016-now",
+		Specifications: []string{"CCIX 1.0", "CCIX 1.1", "CCIX 2.0"},
+		Products:       []string{"CMN-700 Coherent Mesh Network"},
+	},
+	{
+		Name:           "CXL",
+		Vendor:         "Intel/CXL Consortium",
+		Development:    "2019-now",
+		Specifications: []string{"CXL 1.0", "CXL 1.1", "CXL 2.0", "CXL 3.0"},
+		Products:       []string{"Omega Fabric", "Leo Memory Platform"},
+	},
+}
+
+// Lookup finds a fabric by name (case-insensitive).
+func Lookup(name string) *Fabric {
+	for i := range Table1 {
+		if strings.EqualFold(Table1[i].Name, name) {
+			return &Table1[i]
+		}
+	}
+	return nil
+}
+
+// Render prints the registry in the paper's Table 1 layout.
+func Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %-26s %-12s %-35s %s\n",
+		"Interconnect", "Vendor", "Development", "Specification", "Product Demonstration")
+	for _, f := range Table1 {
+		fmt.Fprintf(&b, "%-15s %-26s %-12s %-35s %s\n",
+			f.Name, f.Vendor, f.Development,
+			strings.Join(f.Specifications, "/"),
+			strings.Join(f.Products, ", "))
+	}
+	merged := []string{}
+	for _, f := range Table1 {
+		if f.MergedInto != "" {
+			merged = append(merged, f.Name)
+		}
+	}
+	if len(merged) > 0 {
+		fmt.Fprintf(&b, "\n%s have merged into CXL.\n", strings.Join(merged, " and "))
+	}
+	return b.String()
+}

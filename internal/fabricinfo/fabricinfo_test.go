@@ -1,0 +1,46 @@
+package fabricinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1HasFourFabrics(t *testing.T) {
+	if len(Table1) != 4 {
+		t.Fatalf("registry has %d fabrics, want 4", len(Table1))
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if f := Lookup("cxl"); f == nil || f.Vendor != "Intel/CXL Consortium" {
+		t.Fatalf("Lookup(cxl) = %+v", f)
+	}
+	if f := Lookup("Gen-Z"); f == nil || f.MergedInto != "CXL" {
+		t.Fatalf("Lookup(Gen-Z) = %+v", f)
+	}
+	if Lookup("ethernet") != nil {
+		t.Fatal("ethernet is not a memory fabric")
+	}
+}
+
+func TestRenderContainsEveryRow(t *testing.T) {
+	out := Render()
+	for _, want := range []string{"Gen-Z", "CAPI/OpenCAPI", "CCIX", "CXL",
+		"Omega Fabric", "BlueLink in POWER9", "merged into CXL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestMergersRecorded(t *testing.T) {
+	merged := 0
+	for _, f := range Table1 {
+		if f.MergedInto == "CXL" {
+			merged++
+		}
+	}
+	if merged != 2 {
+		t.Fatalf("merged = %d, want 2 (Gen-Z and OpenCAPI)", merged)
+	}
+}

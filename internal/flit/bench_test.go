@@ -1,0 +1,38 @@
+package flit
+
+import "testing"
+
+// BenchmarkEncode64B measures cacheline-packet encoding (2 flits).
+func BenchmarkEncode64B(b *testing.B) {
+	p := &Packet{Chan: ChMem, Op: OpMemWr, Src: 1, Dst: 2, Size: 64,
+		Data: make([]byte, 64)}
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(Mode68, p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode512B measures max-payload packet reassembly + CRC.
+func BenchmarkDecode512B(b *testing.B) {
+	p := &Packet{Chan: ChIO, Op: OpIOWr, Src: 1, Dst: 2, Size: 512,
+		Data: make([]byte, 512)}
+	flits, _ := Encode(Mode68, p, 0)
+	b.SetBytes(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(Mode68, flits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCRC16 measures the per-flit checksum.
+func BenchmarkCRC16(b *testing.B) {
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		_ = CRC16(buf)
+	}
+}

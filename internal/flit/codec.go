@@ -1,0 +1,233 @@
+package flit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Mode selects the flit format. CXL Flex Bus supports a 68-byte flit
+// (CXL 1.x/2.0) and a 256-byte flit (CXL 3.0, PBR) — §2.1.
+type Mode uint8
+
+const (
+	// Mode68 is the 68B flit: 2B protocol ID, 64B slot payload, 2B CRC.
+	Mode68 Mode = iota
+	// Mode256 is the 256B flit: 2B protocol ID, 248B payload, 6B
+	// CRC/FEC trailer.
+	Mode256
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Mode68 {
+		return "68B"
+	}
+	return "256B"
+}
+
+// WireBytes is the total size of one flit on the wire.
+func (m Mode) WireBytes() int {
+	if m == Mode68 {
+		return 68
+	}
+	return 256
+}
+
+// PayloadBytes is the number of packet bytes one flit carries.
+func (m Mode) PayloadBytes() int {
+	if m == Mode68 {
+		return 64
+	}
+	return 248
+}
+
+// headerSize is the fixed encoded size of a packet header. Layout:
+//
+//	[0]   channel
+//	[1]   op
+//	[2:4] src (12-bit PBR ID)
+//	[4:6] dst
+//	[6:8] tag
+//	[8:16] addr
+//	[16:20] size
+//	[20]  hops
+//	[21:24] reqlen (24-bit requested read length)
+const headerSize = 24
+
+// FlitsFor reports how many flits are needed to carry a packet with the
+// given payload size in this mode.
+func (m Mode) FlitsFor(payloadBytes uint32) int {
+	total := headerSize + int(payloadBytes)
+	per := m.PayloadBytes()
+	return (total + per - 1) / per
+}
+
+// WireBytesFor reports the total wire bytes for a packet: flit count
+// times flit wire size. This is what the physical layer serializes.
+func (m Mode) WireBytesFor(payloadBytes uint32) int {
+	return m.FlitsFor(payloadBytes) * m.WireBytes()
+}
+
+// Flit is one encoded flit as it travels the wire.
+type Flit struct {
+	Seq     uint32 // link-level sequence number (for replay)
+	Last    bool   // final flit of its packet
+	Payload []byte // PayloadBytes() of packet bytes (zero-padded)
+	CRC     uint16 // CRC-16/CCITT over Payload
+}
+
+// errors returned by the codec.
+var (
+	ErrCRC        = errors.New("flit: CRC mismatch")
+	ErrTruncated  = errors.New("flit: truncated packet")
+	ErrBadPortID  = errors.New("flit: port ID exceeds 12 bits")
+	ErrSizeBounds = errors.New("flit: payload size out of bounds")
+)
+
+// MaxPayload bounds a single packet's payload (a sanity limit well above
+// the 16KB bulk writes the paper's §3 experiments use).
+const MaxPayload = 1 << 20
+
+// EncodeHeader writes the packet header into buf (len >= headerSize).
+func EncodeHeader(p *Packet, buf []byte) {
+	buf[0] = byte(p.Chan)
+	buf[1] = byte(p.Op)
+	binary.LittleEndian.PutUint16(buf[2:4], uint16(p.Src))
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(p.Dst))
+	binary.LittleEndian.PutUint16(buf[6:8], p.Tag)
+	binary.LittleEndian.PutUint64(buf[8:16], p.Addr)
+	binary.LittleEndian.PutUint32(buf[16:20], p.Size)
+	buf[20] = p.Hops
+	buf[21] = byte(p.ReqLen)
+	buf[22] = byte(p.ReqLen >> 8)
+	buf[23] = byte(p.ReqLen >> 16)
+}
+
+// DecodeHeader parses a packet header from buf.
+func DecodeHeader(buf []byte) (*Packet, error) {
+	if len(buf) < headerSize {
+		return nil, ErrTruncated
+	}
+	p := &Packet{
+		Chan:   Channel(buf[0]),
+		Op:     Op(buf[1]),
+		Src:    PortID(binary.LittleEndian.Uint16(buf[2:4])),
+		Dst:    PortID(binary.LittleEndian.Uint16(buf[4:6])),
+		Tag:    binary.LittleEndian.Uint16(buf[6:8]),
+		Addr:   binary.LittleEndian.Uint64(buf[8:16]),
+		Size:   binary.LittleEndian.Uint32(buf[16:20]),
+		Hops:   buf[20],
+		ReqLen: uint32(buf[21]) | uint32(buf[22])<<8 | uint32(buf[23])<<16,
+	}
+	if p.Src > MaxPortID || p.Dst > MaxPortID {
+		return nil, ErrBadPortID
+	}
+	if p.Size > MaxPayload {
+		return nil, ErrSizeBounds
+	}
+	return p, nil
+}
+
+// Encode splits a packet into flits, starting at link sequence number
+// firstSeq. Packets with nil Data get a zero payload of p.Size bytes
+// (timing-only models); packets with Data carry it verbatim.
+func Encode(m Mode, p *Packet, firstSeq uint32) ([]*Flit, error) {
+	if p.Src > MaxPortID || p.Dst > MaxPortID {
+		return nil, ErrBadPortID
+	}
+	if p.Size > MaxPayload {
+		return nil, ErrSizeBounds
+	}
+	if p.Data != nil && uint32(len(p.Data)) != p.Size {
+		return nil, fmt.Errorf("flit: data length %d != size %d", len(p.Data), p.Size)
+	}
+	total := headerSize + int(p.Size)
+	raw := make([]byte, total)
+	EncodeHeader(p, raw[:headerSize])
+	if p.Data != nil {
+		copy(raw[headerSize:], p.Data)
+	}
+	per := m.PayloadBytes()
+	n := m.FlitsFor(p.Size)
+	flits := make([]*Flit, 0, n)
+	for i := 0; i < n; i++ {
+		chunk := make([]byte, per)
+		lo := i * per
+		hi := lo + per
+		if hi > total {
+			hi = total
+		}
+		copy(chunk, raw[lo:hi])
+		f := &Flit{
+			Seq:     firstSeq + uint32(i),
+			Last:    i == n-1,
+			Payload: chunk,
+		}
+		f.CRC = CRC16(chunk)
+		flits = append(flits, f)
+	}
+	return flits, nil
+}
+
+// Decode reassembles a packet from its flits, verifying every CRC.
+func Decode(m Mode, flits []*Flit) (*Packet, error) {
+	if len(flits) == 0 {
+		return nil, ErrTruncated
+	}
+	raw := make([]byte, 0, len(flits)*m.PayloadBytes())
+	for _, f := range flits {
+		if CRC16(f.Payload) != f.CRC {
+			return nil, ErrCRC
+		}
+		raw = append(raw, f.Payload...)
+	}
+	p, err := DecodeHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	need := headerSize + int(p.Size)
+	if len(raw) < need {
+		return nil, ErrTruncated
+	}
+	if p.Size > 0 {
+		p.Data = append([]byte(nil), raw[headerSize:need]...)
+	}
+	if m.FlitsFor(p.Size) != len(flits) {
+		return nil, ErrTruncated
+	}
+	return p, nil
+}
+
+// Corrupt flips one bit of the flit payload (for link-error injection)
+// without updating the CRC, so Decode will detect it.
+func (f *Flit) Corrupt(bit int) {
+	idx := (bit / 8) % len(f.Payload)
+	f.Payload[idx] ^= 1 << (bit % 8)
+}
+
+// crcTable is the CRC-16/CCITT-FALSE table (poly 0x1021).
+var crcTable [256]uint16
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for j := 0; j < 8; j++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+		crcTable[i] = crc
+	}
+}
+
+// CRC16 computes CRC-16/CCITT-FALSE over data.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
+	}
+	return crc
+}

@@ -1,0 +1,225 @@
+package flit
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestModeGeometry(t *testing.T) {
+	if Mode68.WireBytes() != 68 || Mode68.PayloadBytes() != 64 {
+		t.Fatal("Mode68 geometry wrong")
+	}
+	if Mode256.WireBytes() != 256 || Mode256.PayloadBytes() != 248 {
+		t.Fatal("Mode256 geometry wrong")
+	}
+}
+
+func TestFlitsForSmallPacket(t *testing.T) {
+	// Header (24B) + 64B cacheline = 88B -> 2 flits in 68B mode, 1 in 256B.
+	if got := Mode68.FlitsFor(64); got != 2 {
+		t.Fatalf("Mode68.FlitsFor(64) = %d, want 2", got)
+	}
+	if got := Mode256.FlitsFor(64); got != 1 {
+		t.Fatalf("Mode256.FlitsFor(64) = %d, want 1", got)
+	}
+	// Dataless ack: header only -> 1 flit either mode.
+	if got := Mode68.FlitsFor(0); got != 1 {
+		t.Fatalf("Mode68.FlitsFor(0) = %d, want 1", got)
+	}
+}
+
+func TestFlitsForBulk(t *testing.T) {
+	// 16KB bulk write (the §3 interference workload).
+	if got := Mode68.FlitsFor(16384); got != (24+16384+63)/64 {
+		t.Fatalf("Mode68.FlitsFor(16K) = %d", got)
+	}
+	if got := Mode256.WireBytesFor(16384); got != Mode256.FlitsFor(16384)*256 {
+		t.Fatal("WireBytesFor inconsistent with FlitsFor")
+	}
+}
+
+func roundTrip(t *testing.T, m Mode, p *Packet) *Packet {
+	t.Helper()
+	flits, err := Encode(m, p, 100)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(flits) != m.FlitsFor(p.Size) {
+		t.Fatalf("flit count %d != FlitsFor %d", len(flits), m.FlitsFor(p.Size))
+	}
+	for i, f := range flits {
+		if f.Seq != 100+uint32(i) {
+			t.Fatalf("flit %d seq = %d", i, f.Seq)
+		}
+		if (i == len(flits)-1) != f.Last {
+			t.Fatalf("Last flag wrong at flit %d", i)
+		}
+	}
+	q, err := Decode(m, flits)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return q
+}
+
+func TestRoundTripHeaderFields(t *testing.T) {
+	p := &Packet{
+		Chan: ChMem, Op: OpMemRd, Src: 0x123, Dst: 0xFFF,
+		Tag: 0xBEEF, Addr: 0xDEADBEEF00, Size: 0, Hops: 3,
+	}
+	for _, m := range []Mode{Mode68, Mode256} {
+		q := roundTrip(t, m, p)
+		if q.Chan != p.Chan || q.Op != p.Op || q.Src != p.Src || q.Dst != p.Dst ||
+			q.Tag != p.Tag || q.Addr != p.Addr || q.Size != p.Size || q.Hops != p.Hops {
+			t.Fatalf("mode %v: round trip mismatch: %+v vs %+v", m, q, p)
+		}
+	}
+}
+
+func TestRoundTripPayload(t *testing.T) {
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	p := &Packet{Chan: ChIO, Op: OpIOWr, Src: 1, Dst: 2, Tag: 9,
+		Size: uint32(len(data)), Data: data}
+	for _, m := range []Mode{Mode68, Mode256} {
+		q := roundTrip(t, m, p)
+		if !bytes.Equal(q.Data, data) {
+			t.Fatalf("mode %v: payload corrupted", m)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(src, dst uint16, tag uint16, addr uint64, payload []byte) bool {
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		p := &Packet{
+			Chan: ChMem, Op: OpMemWr,
+			Src: PortID(src & 0xFFF), Dst: PortID(dst & 0xFFF),
+			Tag: tag, Addr: addr,
+			Size: uint32(len(payload)),
+		}
+		if len(payload) > 0 {
+			p.Data = payload
+		}
+		for _, m := range []Mode{Mode68, Mode256} {
+			flits, err := Encode(m, p, 0)
+			if err != nil {
+				return false
+			}
+			q, err := Decode(m, flits)
+			if err != nil {
+				return false
+			}
+			if q.Src != p.Src || q.Dst != p.Dst || q.Tag != p.Tag ||
+				q.Addr != p.Addr || q.Size != p.Size {
+				return false
+			}
+			if len(payload) > 0 && !bytes.Equal(q.Data, payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRCDetectsCorruption(t *testing.T) {
+	p := &Packet{Chan: ChMem, Op: OpMemWr, Src: 1, Dst: 2, Size: 64,
+		Data: bytes.Repeat([]byte{0xAB}, 64)}
+	flits, err := Encode(Mode68, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flits[1].Corrupt(13)
+	if _, err := Decode(Mode68, flits); err != ErrCRC {
+		t.Fatalf("Decode after corruption: err = %v, want ErrCRC", err)
+	}
+}
+
+func TestEncodeRejectsOversizedPortID(t *testing.T) {
+	p := &Packet{Chan: ChMem, Op: OpMemRd, Src: 0x1000, Dst: 2}
+	if _, err := Encode(Mode68, p, 0); err != ErrBadPortID {
+		t.Fatalf("err = %v, want ErrBadPortID", err)
+	}
+}
+
+func TestEncodeRejectsMismatchedData(t *testing.T) {
+	p := &Packet{Chan: ChMem, Op: OpMemWr, Src: 1, Dst: 2, Size: 64,
+		Data: make([]byte, 32)}
+	if _, err := Encode(Mode68, p, 0); err == nil {
+		t.Fatal("mismatched Data/Size not rejected")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	p := &Packet{Chan: ChMem, Op: OpMemWr, Src: 1, Dst: 2, Size: 256,
+		Data: make([]byte, 256)}
+	flits, err := Encode(Mode68, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(Mode68, flits[:len(flits)-1]); err == nil {
+		t.Fatal("truncated flit stream not rejected")
+	}
+	if _, err := Decode(Mode68, nil); err == nil {
+		t.Fatal("empty flit stream not rejected")
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16 = %#x, want 0x29B1", got)
+	}
+}
+
+func TestResponseSwapsEndpoints(t *testing.T) {
+	req := &Packet{Chan: ChMem, Op: OpMemRd, Src: 5, Dst: 9, Tag: 77, Addr: 0x1000}
+	resp := req.Response(OpMemRdData, 64)
+	if resp.Src != 9 || resp.Dst != 5 || resp.Tag != 77 || resp.Addr != 0x1000 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if resp.Chan != ChMem {
+		t.Fatalf("response channel = %v", resp.Chan)
+	}
+}
+
+func TestOpChannelMapping(t *testing.T) {
+	cases := map[Op]Channel{
+		OpMemRd: ChMem, OpMemWrAck: ChMem,
+		OpSnpInv: ChCache, OpCacheWB: ChCache,
+		OpIOWr: ChIO, OpCfgRd: ChIO,
+		OpCtrlGrant: ChCtrl, OpCtrlCreditReserve: ChCtrl,
+	}
+	for op, want := range cases {
+		if got := op.Channel(); got != want {
+			t.Errorf("%v.Channel() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestIsRequest(t *testing.T) {
+	if !OpMemRd.IsRequest() || OpMemRdData.IsRequest() {
+		t.Fatal("MemRd/MemRdData request classification wrong")
+	}
+	if !OpCfgWr.IsRequest() || OpCfgRsp.IsRequest() {
+		t.Fatal("Cfg request classification wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := &Packet{Chan: ChIO, Op: OpIOWr, Src: 1, Dst: 2, Size: 4,
+		Data: []byte{1, 2, 3, 4}}
+	q := p.Clone()
+	q.Data[0] = 99
+	if p.Data[0] != 1 {
+		t.Fatal("Clone shares Data")
+	}
+}

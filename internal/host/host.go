@@ -1,0 +1,427 @@
+package host
+
+import (
+	"fmt"
+
+	"fcc/internal/fabric"
+	"fcc/internal/flit"
+	"fcc/internal/mem"
+	"fcc/internal/sim"
+	"fcc/internal/txn"
+)
+
+// Config describes the host microarchitecture. The defaults are
+// calibrated against the paper's Table 2 (Omega Fabric testbed).
+type Config struct {
+	L1 CacheConfig
+	L2 CacheConfig
+	// IssueWidth bounds concurrent cache accesses in the core pipeline
+	// (hit throughput = IssueWidth / hit latency).
+	IssueWidth int
+	// MSHRs bounds outstanding misses — the memory-level parallelism
+	// that, per Difference #1, caps the remote throughput a core can
+	// drive (throughput = MSHRs / remote latency).
+	MSHRs int
+	// VictimBufEntries bounds in-flight dirty writebacks; a full victim
+	// buffer stalls fills that evict dirty lines, so streaming stores
+	// bind on writeback drain rate.
+	VictimBufEntries int
+	// StoreCommit is the extra commit time after a store's fill.
+	StoreCommit sim.Time
+	// FHALat is the fabric host adapter processing time per crossing.
+	FHALat sim.Time
+	// LocalMemSize is the capacity of the host's DIMMs, mapped at
+	// physical address 0.
+	LocalMemSize uint64
+	// DRAM is the local DIMM timing.
+	DRAM mem.DRAMConfig
+	// PrefetchDepth enables the next-line/stride prefetcher: on each
+	// demand miss it fetches up to this many predicted lines using
+	// spare MSHRs. 0 disables prefetch.
+	PrefetchDepth int
+	// MaxTags is the FHA's outstanding-transaction window (0 = default).
+	MaxTags int
+}
+
+// DefaultConfig returns the Table 2 calibration: L1 32KB/8-way at 5.4ns,
+// L2 1MB/16-way at +8.2ns (13.6ns total), local DIMM at 111.7ns, and an
+// FHA whose 317.9ns per-crossing cost lands remote reads at 1575ns.
+func DefaultConfig() Config {
+	return Config{
+		L1:               CacheConfig{Size: 32 << 10, Ways: 8, ReadLat: sim.FromNanos(5.4), WriteLat: sim.FromNanos(5.4)},
+		L2:               CacheConfig{Size: 1 << 20, Ways: 16, ReadLat: sim.FromNanos(8.2), WriteLat: sim.FromNanos(7.1)},
+		IssueWidth:       2,
+		MSHRs:            4,
+		VictimBufEntries: 4,
+		StoreCommit:      sim.FromNanos(8.7),
+		FHALat:           sim.FromNanos(317.9),
+		LocalMemSize:     256 << 20,
+		DRAM: mem.DRAMConfig{
+			ReadLat:  sim.FromNanos(98.1),
+			WriteLat: sim.FromNanos(100.3),
+			ReadOcc:  sim.FromNanos(34.0),
+			WriteOcc: sim.FromNanos(59.2),
+			Banks:    1,
+		},
+	}
+}
+
+// mshr tracks one outstanding line fill and its merged waiters.
+type mshr struct {
+	waiters []func(l *line)
+}
+
+// Host is one host server: core, caches, local memory, and FHA.
+type Host struct {
+	eng  *sim.Engine
+	name string
+	cfg  Config
+
+	l1, l2 *cache
+	amap   *AddrMap
+	dram   *mem.DRAM
+	ep     *txn.Endpoint
+
+	issue   *sim.Semaphore
+	mshrSem *sim.Semaphore
+	mshrs   map[uint64]*mshr
+	vb      *victimBuffer
+
+	handlers map[flit.Op]txn.Handler
+
+	lastMissLine uint64
+	lastStride   int64
+
+	// Metrics.
+	Loads        sim.Counter
+	Stores       sim.Counter
+	RemoteReads  sim.Counter
+	RemoteWrites sim.Counter
+	Writebacks   sim.Counter
+	PrefIssued   sim.Counter
+	PrefUseful   sim.Counter
+}
+
+// New builds a host. att may be nil for a fabric-less host (local memory
+// only); otherwise the host's FHA endpoint attaches to att's port.
+func New(eng *sim.Engine, name string, cfg Config, att *fabric.Attachment) *Host {
+	h := &Host{
+		eng:      eng,
+		name:     name,
+		cfg:      cfg,
+		l1:       newCache(cfg.L1),
+		l2:       newCache(cfg.L2),
+		amap:     NewAddrMap(),
+		dram:     mem.NewDRAM(eng, cfg.DRAM, cfg.LocalMemSize),
+		issue:    sim.NewSemaphore(cfg.IssueWidth),
+		mshrSem:  sim.NewSemaphore(cfg.MSHRs),
+		mshrs:    make(map[uint64]*mshr),
+		vb:       newVictimBuffer(cfg.VictimBufEntries),
+		handlers: make(map[flit.Op]txn.Handler),
+	}
+	if err := h.amap.Add(Region{Name: "local", Base: 0, Size: cfg.LocalMemSize, Local: true}); err != nil {
+		panic(err)
+	}
+	if att != nil {
+		h.ep = txn.NewEndpoint(eng, att.ID, att.Port, cfg.MaxTags)
+		h.ep.Handler = h.dispatch
+		att.Port.SetSink(h.ep)
+	}
+	return h
+}
+
+// Name reports the host name.
+func (h *Host) Name() string { return h.name }
+
+// ID reports the host's fabric port ID (panics if fabric-less).
+func (h *Host) ID() flit.PortID { return h.ep.ID() }
+
+// Endpoint exposes the FHA transaction endpoint.
+func (h *Host) Endpoint() *txn.Endpoint { return h.ep }
+
+// LocalDRAM exposes the host's DIMMs (for direct seeding in tests).
+func (h *Host) LocalDRAM() *mem.DRAM { return h.dram }
+
+// AddrMap exposes the host's physical memory map.
+func (h *Host) AddrMap() *AddrMap { return h.amap }
+
+// Engine returns the simulation engine.
+func (h *Host) Engine() *sim.Engine { return h.eng }
+
+// MapRemote maps size bytes of device devPort (starting at devBase) at
+// host physical address base.
+func (h *Host) MapRemote(name string, base, size uint64, devPort flit.PortID, devBase uint64) error {
+	return h.amap.Add(Region{Name: name, Base: base, Size: size, Port: devPort, DevBase: devBase})
+}
+
+// Handle registers a handler for inbound fabric requests with opcode op
+// (snoops from coherence directories, task shipping, migration control).
+func (h *Host) Handle(op flit.Op, fn txn.Handler) { h.handlers[op] = fn }
+
+func (h *Host) dispatch(req *flit.Packet, reply func(*flit.Packet)) {
+	if fn, ok := h.handlers[req.Op]; ok {
+		fn(req, reply)
+		return
+	}
+	panic(fmt.Sprintf("host %s: no handler for inbound %v", h.name, req))
+}
+
+// victimBuffer holds dirty evicted lines awaiting writeback. Fills that
+// evict dirty lines must obtain a slot, so a saturated writeback path
+// backpressures the core.
+type victimBuffer struct {
+	sem  *sim.Semaphore
+	data map[uint64][LineSize]byte
+}
+
+func newVictimBuffer(entries int) *victimBuffer {
+	return &victimBuffer{sem: sim.NewSemaphore(entries), data: make(map[uint64][LineSize]byte)}
+}
+
+// ---- core access path ----
+
+// access performs one cached load or store of the line containing addr.
+// done receives the L1 line after the access commits; missed reports
+// whether the access went all the way to memory (stores pay their
+// commit cost only on that path).
+func (h *Host) access(addr uint64, write bool, done func(l *line, missed bool)) {
+	lineAddr := addr & LineMask
+	if write {
+		h.Stores.Inc()
+	} else {
+		h.Loads.Inc()
+	}
+	l1Lat, l2Lat := h.cfg.L1.ReadLat, h.cfg.L2.ReadLat
+	if write {
+		l1Lat, l2Lat = h.cfg.L1.WriteLat, h.cfg.L2.WriteLat
+	}
+	h.issue.Acquire(func() {
+		h.eng.After(l1Lat, func() {
+			if l := h.l1.lookup(lineAddr); l != nil {
+				if l.pref {
+					l.pref = false
+					h.PrefUseful.Inc()
+				}
+				if write {
+					l.dirty = true
+				}
+				h.issue.Release()
+				done(l, false)
+				return
+			}
+			h.eng.After(l2Lat, func() {
+				if l2l := h.l2.lookup(lineAddr); l2l != nil {
+					if l2l.pref {
+						l2l.pref = false
+						h.PrefUseful.Inc()
+					}
+					// Fill L1 from L2; L2 keeps its copy clean relative
+					// to L1 (dirtiness migrates up with the data).
+					l := h.fillL1(lineAddr, &l2l.data, l2l.dirty)
+					l2l.dirty = false
+					if write {
+						l.dirty = true
+					}
+					h.issue.Release()
+					done(l, false)
+					return
+				}
+				// Full miss. Victim-buffer forwarding: the line may be
+				// in flight to memory.
+				if vbData, ok := h.vb.data[lineAddr]; ok {
+					d := vbData
+					l := h.installLine(lineAddr, &d, true, func(l *line) {
+						if write {
+							l.dirty = true
+						}
+						h.issue.Release()
+						done(l, false)
+					})
+					_ = l
+					return
+				}
+				h.missToMemory(lineAddr, write, done)
+			})
+		})
+	})
+}
+
+// missToMemory handles an L2 miss: MSHR allocation/merge, the memory or
+// fabric fetch, fill, and waiter wakeup.
+func (h *Host) missToMemory(lineAddr uint64, write bool, done func(l *line, missed bool)) {
+	if m, ok := h.mshrs[lineAddr]; ok {
+		// Merge with the outstanding fill.
+		m.waiters = append(m.waiters, func(l *line) {
+			if write {
+				l.dirty = true
+			}
+			done(l, true)
+		})
+		h.issue.Release()
+		return
+	}
+	// The issue slot is held while waiting for an MSHR: a full miss
+	// queue stalls the pipeline.
+	h.mshrSem.Acquire(func() {
+		m := &mshr{}
+		m.waiters = append(m.waiters, func(l *line) {
+			if write {
+				l.dirty = true
+			}
+			done(l, true)
+		})
+		h.mshrs[lineAddr] = m
+		h.issue.Release()
+		h.prefetchAfterMiss(lineAddr)
+		h.fetchLine(lineAddr, func(data *[LineSize]byte) {
+			h.installLine(lineAddr, data, false, func(l *line) {
+				waiters := m.waiters
+				delete(h.mshrs, lineAddr)
+				h.mshrSem.Release()
+				for _, w := range waiters {
+					w(l)
+				}
+			})
+		})
+	})
+}
+
+// fetchLine reads one line from local DRAM or a remote device.
+func (h *Host) fetchLine(lineAddr uint64, done func(*[LineSize]byte)) {
+	r := h.amap.MustLookup(lineAddr)
+	if r.Local {
+		h.dram.Read(lineAddr, LineSize, func(b []byte) {
+			var d [LineSize]byte
+			copy(d[:], b)
+			done(&d)
+		})
+		return
+	}
+	h.RemoteReads.Inc()
+	req := &flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd, Dst: r.Port,
+		Addr: r.DevAddr(lineAddr), ReqLen: LineSize}
+	h.eng.After(h.cfg.FHALat, func() {
+		h.ep.Request(req).OnComplete(func(resp *flit.Packet, err error) {
+			if err != nil {
+				panic("host: remote read failed: " + err.Error())
+			}
+			if resp.Op != flit.OpMemRdData {
+				panic(fmt.Sprintf("host %s: remote read of %#x returned %v", h.name, lineAddr, resp.Op))
+			}
+			h.eng.After(h.cfg.FHALat, func() {
+				var d [LineSize]byte
+				copy(d[:], resp.Data)
+				done(&d)
+			})
+		})
+	})
+}
+
+// installLine inserts a fetched line into L2 then L1, draining dirty
+// victims through the victim buffer. done receives the L1 line.
+func (h *Host) installLine(lineAddr uint64, data *[LineSize]byte, fromVB bool, done func(l *line)) *line {
+	finish := func() {
+		l := h.fillL1(lineAddr, data, false)
+		done(l)
+	}
+	ev, has := h.l2.insert(lineAddr, data, false)
+	if has {
+		// A dirty L2 victim needs a victim-buffer slot before the fill
+		// can complete; this is where streaming stores feel writeback
+		// backpressure.
+		h.vb.sem.Acquire(func() {
+			h.vb.data[ev.addr] = ev.data
+			h.writeback(ev.addr, ev.data)
+			finish()
+		})
+		return nil
+	}
+	finish()
+	return nil
+}
+
+// fillL1 inserts into L1, spilling any dirty L1 victim into L2.
+func (h *Host) fillL1(lineAddr uint64, data *[LineSize]byte, dirty bool) *line {
+	ev, has := h.l1.insert(lineAddr, data, dirty)
+	if has {
+		ev2, has2 := h.l2.insert(ev.addr, &ev.data, true)
+		if has2 {
+			h.vb.sem.Acquire(func() {
+				h.vb.data[ev2.addr] = ev2.data
+				h.writeback(ev2.addr, ev2.data)
+			})
+		}
+	}
+	return h.l1.peek(lineAddr)
+}
+
+// writeback sends one dirty line to its home (local DRAM or remote FAM)
+// and frees the victim-buffer slot on completion.
+func (h *Host) writeback(lineAddr uint64, data [LineSize]byte) {
+	h.Writebacks.Inc()
+	release := func() {
+		delete(h.vb.data, lineAddr)
+		h.vb.sem.Release()
+	}
+	r := h.amap.MustLookup(lineAddr)
+	if r.Local {
+		h.dram.Write(lineAddr, data[:], release)
+		return
+	}
+	h.RemoteWrites.Inc()
+	req := &flit.Packet{Chan: flit.ChMem, Op: flit.OpMemWr, Dst: r.Port,
+		Addr: r.DevAddr(lineAddr), Size: LineSize, Data: append([]byte(nil), data[:]...)}
+	h.eng.After(h.cfg.FHALat, func() {
+		h.ep.Request(req).OnComplete(func(resp *flit.Packet, err error) {
+			if resp != nil && resp.Op == flit.OpMemErr {
+				panic(fmt.Sprintf("host %s: writeback of %#x poisoned", h.name, lineAddr))
+			}
+			release()
+		})
+	})
+}
+
+// prefetchAfterMiss predicts and fetches future lines using spare MSHRs.
+func (h *Host) prefetchAfterMiss(lineAddr uint64) {
+	if h.cfg.PrefetchDepth <= 0 {
+		return
+	}
+	stride := int64(LineSize)
+	if h.lastMissLine != 0 {
+		d := int64(lineAddr) - int64(h.lastMissLine)
+		if d != 0 && d == h.lastStride {
+			stride = d
+		}
+		h.lastStride = d
+	}
+	h.lastMissLine = lineAddr
+	for i := 1; i <= h.cfg.PrefetchDepth; i++ {
+		target := uint64(int64(lineAddr) + stride*int64(i))
+		if h.amap.Lookup(target) == nil {
+			return
+		}
+		if h.l1.peek(target) != nil || h.l2.peek(target) != nil {
+			continue
+		}
+		if _, busy := h.mshrs[target]; busy {
+			continue
+		}
+		if !h.mshrSem.TryAcquire() {
+			return // demand misses keep priority on MSHRs
+		}
+		m := &mshr{}
+		h.mshrs[target] = m
+		h.PrefIssued.Inc()
+		h.fetchLine(target, func(data *[LineSize]byte) {
+			h.installLine(target, data, false, func(l *line) {
+				l.pref = true
+				waiters := m.waiters
+				delete(h.mshrs, target)
+				h.mshrSem.Release()
+				for _, w := range waiters {
+					w(l)
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,305 @@
+package host
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fcc/internal/flit"
+	"fcc/internal/sim"
+)
+
+// ---- cached load/store API ----
+//
+// Futures for asynchronous model code; *P variants block a sim.Proc —
+// the natural notation for workload drivers.
+
+// Load64 reads the little-endian uint64 at addr through the caches.
+func (h *Host) Load64(addr uint64) *sim.Future[uint64] {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("host: unaligned Load64 at %#x", addr))
+	}
+	f := sim.NewFuture[uint64]()
+	h.access(addr, false, func(l *line, _ bool) {
+		f.Complete(binary.LittleEndian.Uint64(l.data[addr&(LineSize-1):]))
+	})
+	return f
+}
+
+// Store64 writes v at addr through the caches (write-allocate,
+// write-back). The future resolves when the store commits into L1.
+func (h *Host) Store64(addr uint64, v uint64) *sim.Future[struct{}] {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("host: unaligned Store64 at %#x", addr))
+	}
+	f := sim.NewFuture[struct{}]()
+	h.access(addr, true, func(l *line, missed bool) {
+		binary.LittleEndian.PutUint64(l.data[addr&(LineSize-1):], v)
+		if missed {
+			h.eng.After(h.cfg.StoreCommit, func() { f.Complete(struct{}{}) })
+		} else {
+			f.Complete(struct{}{})
+		}
+	})
+	return f
+}
+
+// LoadBytes reads n bytes at addr (must not cross a cacheline).
+func (h *Host) LoadBytes(addr uint64, n int) *sim.Future[[]byte] {
+	if addr&LineMask != (addr+uint64(n)-1)&LineMask {
+		panic(fmt.Sprintf("host: LoadBytes [%#x,+%d) crosses a line", addr, n))
+	}
+	f := sim.NewFuture[[]byte]()
+	h.access(addr, false, func(l *line, _ bool) {
+		off := addr & (LineSize - 1)
+		f.Complete(append([]byte(nil), l.data[off:off+uint64(n)]...))
+	})
+	return f
+}
+
+// StoreBytes writes data at addr (must not cross a cacheline).
+func (h *Host) StoreBytes(addr uint64, data []byte) *sim.Future[struct{}] {
+	if addr&LineMask != (addr+uint64(len(data))-1)&LineMask {
+		panic(fmt.Sprintf("host: StoreBytes [%#x,+%d) crosses a line", addr, len(data)))
+	}
+	f := sim.NewFuture[struct{}]()
+	h.access(addr, true, func(l *line, missed bool) {
+		copy(l.data[addr&(LineSize-1):], data)
+		if missed {
+			h.eng.After(h.cfg.StoreCommit, func() { f.Complete(struct{}{}) })
+		} else {
+			f.Complete(struct{}{})
+		}
+	})
+	return f
+}
+
+// Load64P is the blocking form of Load64.
+func (h *Host) Load64P(p *sim.Proc, addr uint64) uint64 { return h.Load64(addr).MustAwait(p) }
+
+// Store64P is the blocking form of Store64.
+func (h *Host) Store64P(p *sim.Proc, addr uint64, v uint64) { h.Store64(addr, v).MustAwait(p) }
+
+// ReadBufP reads an arbitrary buffer through the caches, line by line.
+func (h *Host) ReadBufP(p *sim.Proc, addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		off := addr & (LineSize - 1)
+		n := LineSize - int(off)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		b := h.LoadBytes(addr, n).MustAwait(p)
+		copy(buf, b)
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+// WriteBufP writes an arbitrary buffer through the caches, line by line.
+func (h *Host) WriteBufP(p *sim.Proc, addr uint64, data []byte) {
+	for len(data) > 0 {
+		off := addr & (LineSize - 1)
+		n := LineSize - int(off)
+		if n > len(data) {
+			n = len(data)
+		}
+		h.StoreBytes(addr, data[:n]).MustAwait(p)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// ---- cache management ----
+
+// FlushLine writes back the line containing addr if dirty and
+// invalidates it from both levels. The future resolves when any
+// writeback has reached its home. This is the software-coherence
+// primitive that non-CC-NUMA node types require (§3, Difference #2).
+func (h *Host) FlushLine(addr uint64) *sim.Future[struct{}] {
+	lineAddr := addr & LineMask
+	f := sim.NewFuture[struct{}]()
+	var dirtyData *[LineSize]byte
+	if d, dirty, present := h.l1.invalidate(lineAddr); present && dirty {
+		dd := d
+		dirtyData = &dd
+	}
+	if d, dirty, present := h.l2.invalidate(lineAddr); present && dirty && dirtyData == nil {
+		dd := d
+		dirtyData = &dd
+	}
+	if dirtyData == nil {
+		f.Complete(struct{}{})
+		return f
+	}
+	r := h.amap.MustLookup(lineAddr)
+	if r.Local {
+		h.dram.Write(lineAddr, dirtyData[:], func() { f.Complete(struct{}{}) })
+		return f
+	}
+	h.RemoteWrites.Inc()
+	req := &flit.Packet{Chan: flit.ChMem, Op: flit.OpMemWr, Dst: r.Port,
+		Addr: r.DevAddr(lineAddr), Size: LineSize, Data: append([]byte(nil), dirtyData[:]...)}
+	h.eng.After(h.cfg.FHALat, func() {
+		h.ep.Request(req).OnComplete(func(*flit.Packet, error) { f.Complete(struct{}{}) })
+	})
+	return f
+}
+
+// FlushRangeP flushes every line overlapping [addr, addr+n).
+func (h *Host) FlushRangeP(p *sim.Proc, addr uint64, n uint64) {
+	for a := addr & LineMask; a < addr+n; a += LineSize {
+		h.FlushLine(a).MustAwait(p)
+	}
+}
+
+// InvalidateLine drops the line containing addr without writeback —
+// the receiving side of software coherence (discard stale data).
+func (h *Host) InvalidateLine(addr uint64) {
+	lineAddr := addr & LineMask
+	h.l1.invalidate(lineAddr)
+	h.l2.invalidate(lineAddr)
+}
+
+// InvalidateRange drops every line overlapping [addr, addr+n).
+func (h *Host) InvalidateRange(addr uint64, n uint64) {
+	for a := addr & LineMask; a < addr+n; a += LineSize {
+		h.InvalidateLine(a)
+	}
+}
+
+// CacheStats reports hit/miss counters for both levels.
+func (h *Host) CacheStats() (l1Hits, l1Misses, l2Hits, l2Misses int64) {
+	return h.l1.Hits(), h.l1.Misses(), h.l2.Hits(), h.l2.Misses()
+}
+
+// ---- uncached operations ----
+
+// FetchAdd performs a remote (or local) atomic fetch-add on the 8 bytes
+// at addr, bypassing the caches (the line is flushed first so the
+// atomic operates on the current value). Resolves to the prior value.
+func (h *Host) FetchAdd(addr uint64, delta uint64) *sim.Future[uint64] {
+	f := sim.NewFuture[uint64]()
+	h.FlushLine(addr).OnComplete(func(struct{}, error) {
+		r := h.amap.MustLookup(addr)
+		if r.Local {
+			h.dram.Atomic(addr, delta, func(prev uint64) { f.Complete(prev) })
+			return
+		}
+		var op [8]byte
+		binary.LittleEndian.PutUint64(op[:], delta)
+		req := &flit.Packet{Chan: flit.ChMem, Op: flit.OpMemAtomic, Dst: r.Port,
+			Addr: r.DevAddr(addr), Size: 8, Data: op[:]}
+		h.eng.After(h.cfg.FHALat, func() {
+			h.ep.Request(req).OnComplete(func(resp *flit.Packet, err error) {
+				if err != nil {
+					f.Fail(err)
+					return
+				}
+				if resp.Op != flit.OpMemAtomicR {
+					f.Fail(fmt.Errorf("host: atomic at %#x returned %v", addr, resp.Op))
+					return
+				}
+				h.eng.After(h.cfg.FHALat, func() {
+					f.Complete(binary.LittleEndian.Uint64(resp.Data))
+				})
+			})
+		})
+	})
+	return f
+}
+
+// FetchAddP is the blocking form of FetchAdd.
+func (h *Host) FetchAddP(p *sim.Proc, addr uint64, delta uint64) uint64 {
+	return h.FetchAdd(addr, delta).MustAwait(p)
+}
+
+// UncachedRead fetches n bytes (≤ one max packet payload) at addr
+// bypassing the cache hierarchy (CXL.io-style non-coherent access).
+// Lines that may be cached locally are NOT flushed; callers manage
+// coherence explicitly.
+func (h *Host) UncachedRead(addr uint64, n uint32) *sim.Future[[]byte] {
+	if n > maxUncached {
+		panic(fmt.Sprintf("host: UncachedRead of %d bytes; use UncachedReadBigP", n))
+	}
+	f := sim.NewFuture[[]byte]()
+	r := h.amap.MustLookup(addr)
+	if r.Local {
+		h.dram.Read(addr, int(n), func(b []byte) { f.Complete(b) })
+		return f
+	}
+	req := &flit.Packet{Chan: flit.ChIO, Op: flit.OpIORd, Dst: r.Port,
+		Addr: r.DevAddr(addr), ReqLen: n}
+	h.eng.After(h.cfg.FHALat, func() {
+		h.ep.Request(req).OnComplete(func(resp *flit.Packet, err error) {
+			if err != nil {
+				f.Fail(err)
+				return
+			}
+			if resp.Op == flit.OpMemErr {
+				f.Fail(fmt.Errorf("host: uncached read of %#x poisoned", addr))
+				return
+			}
+			f.Complete(resp.Data)
+		})
+	})
+	return f
+}
+
+// UncachedWrite stores data (≤ one max packet payload) at addr
+// bypassing the caches.
+func (h *Host) UncachedWrite(addr uint64, data []byte) *sim.Future[struct{}] {
+	if len(data) > maxUncached {
+		panic(fmt.Sprintf("host: UncachedWrite of %d bytes; use UncachedWriteBigP", len(data)))
+	}
+	f := sim.NewFuture[struct{}]()
+	r := h.amap.MustLookup(addr)
+	if r.Local {
+		h.dram.Write(addr, data, func() { f.Complete(struct{}{}) })
+		return f
+	}
+	req := &flit.Packet{Chan: flit.ChIO, Op: flit.OpIOWr, Dst: r.Port,
+		Addr: r.DevAddr(addr), Size: uint32(len(data)), Data: append([]byte(nil), data...)}
+	h.eng.After(h.cfg.FHALat, func() {
+		h.ep.Request(req).OnComplete(func(resp *flit.Packet, err error) {
+			if err != nil {
+				f.Fail(err)
+				return
+			}
+			f.Complete(struct{}{})
+		})
+	})
+	return f
+}
+
+// maxUncached is the single-packet payload limit for uncached ops.
+const maxUncached = 512
+
+// UncachedReadBigP reads an arbitrary-size buffer uncached, in
+// max-payload chunks, blocking the calling process.
+func (h *Host) UncachedReadBigP(p *sim.Proc, addr uint64, n uint64) []byte {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		c := uint64(maxUncached)
+		if n < c {
+			c = n
+		}
+		b := h.UncachedRead(addr, uint32(c)).MustAwait(p)
+		out = append(out, b...)
+		addr += c
+		n -= c
+	}
+	return out
+}
+
+// UncachedWriteBigP writes an arbitrary-size buffer uncached, in
+// max-payload chunks, blocking the calling process.
+func (h *Host) UncachedWriteBigP(p *sim.Proc, addr uint64, data []byte) {
+	for len(data) > 0 {
+		c := maxUncached
+		if len(data) < c {
+			c = len(data)
+		}
+		h.UncachedWrite(addr, data[:c]).MustAwait(p)
+		data = data[c:]
+		addr += uint64(c)
+	}
+}

@@ -1,0 +1,68 @@
+package link
+
+import (
+	"testing"
+
+	"fcc/internal/flit"
+	"fcc/internal/sim"
+)
+
+// BenchmarkLinkPacketDelivery measures simulator cost per delivered
+// packet (one 64B Mem packet = 2 flits, auto-released).
+func BenchmarkLinkPacketDelivery(b *testing.B) {
+	eng := sim.NewEngine()
+	l, err := New(eng, "bench", DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	delivered := 0
+	l.B().SetSink(SinkFunc(func(pkt *flit.Packet, release func()) {
+		delivered++
+		release()
+	}))
+	l.A().SetSink(SinkFunc(func(pkt *flit.Packet, release func()) { release() }))
+	sent := 0
+	var pump func()
+	pump = func() {
+		for sent-delivered < 16 && sent < b.N {
+			sent++
+			l.A().Send(&flit.Packet{Chan: flit.ChMem, Op: flit.OpMemWr,
+				Src: 1, Dst: 2, Size: 64})
+		}
+		if sent < b.N {
+			eng.After(100*sim.Nanosecond, pump)
+		}
+	}
+	b.ResetTimer()
+	eng.After(0, pump)
+	eng.Run()
+	if delivered < b.N {
+		b.Fatalf("delivered %d < %d", delivered, b.N)
+	}
+}
+
+// BenchmarkLinkRetryOverhead measures the same stream with the replay
+// machinery enabled (zero BER: pure bookkeeping cost).
+func BenchmarkLinkRetryOverhead(b *testing.B) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.RetryEnabled = true
+	l, err := New(eng, "bench", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delivered := 0
+	l.B().SetSink(SinkFunc(func(pkt *flit.Packet, release func()) {
+		delivered++
+		release()
+	}))
+	l.A().SetSink(SinkFunc(func(pkt *flit.Packet, release func()) { release() }))
+	b.ResetTimer()
+	eng.After(0, func() {
+		for i := 0; i < b.N; i++ {
+			l.A().Send(&flit.Packet{Chan: flit.ChMem, Op: flit.OpMemWr,
+				Src: 1, Dst: 2, Size: 64})
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,416 @@
+package link
+
+import (
+	"fmt"
+
+	"fcc/internal/flit"
+	"fcc/internal/sim"
+)
+
+// Link is one bidirectional physical link with a Port at each end.
+type Link struct {
+	a, b *Port
+}
+
+// New creates a link. Sinks are attached to the ports afterwards with
+// SetSink; packets sent on A arrive at B's sink and vice versa.
+func New(eng *sim.Engine, name string, cfg Config) (*Link, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Phys.BER > 0 && !cfg.RetryEnabled {
+		return nil, fmt.Errorf("link: BER %v requires RetryEnabled", cfg.Phys.BER)
+	}
+	if cfg.SharedCreditPool {
+		cfg.PacketArbitration = true
+	}
+	l := &Link{
+		a: newPort(eng, name+".A", cfg),
+		b: newPort(eng, name+".B", cfg),
+	}
+	l.a.peer, l.b.peer = l.b, l.a
+	return l, nil
+}
+
+// A returns the first endpoint.
+func (l *Link) A() *Port { return l.a }
+
+// B returns the second endpoint.
+func (l *Link) B() *Port { return l.b }
+
+// txPacket is a packet queued for transmission, flit by flit.
+type txPacket struct {
+	pkt   *flit.Packet
+	flits []*flit.Flit
+	next  int
+	enq   sim.Time
+}
+
+// Port is one directionful endpoint of a link: it transmits packets
+// toward its peer and receives packets for its sink.
+type Port struct {
+	eng  *sim.Engine
+	name string
+	cfg  Config
+	peer *Port
+	sink Sink
+	rng  *sim.RNG
+
+	// Transmit state.
+	txq      [flit.NumChannels][]*txPacket
+	retryq   [flit.NumChannels][]*flit.Flit
+	credits  [flit.NumChannels]int
+	shared   int
+	sending  bool
+	lockedVC int
+	sched    Scheduler
+	vcSeq    [flit.NumChannels]uint32
+	replay   [flit.NumChannels]map[uint32]*flit.Flit
+
+	// Receive state.
+	rxAsm    [flit.NumChannels][]*flit.Flit
+	rxUsed   [flit.NumChannels]int
+	rxLimit  [flit.NumChannels]int
+	rxDebt   [flit.NumChannels]int
+	rxExpect [flit.NumChannels]uint32
+	rxStash  [flit.NumChannels]map[uint32]*flit.Flit
+
+	// DrainHook, when set, is invoked after each flit leaves the
+	// transmitter — switches use it to refill bounded output queues.
+	DrainHook func()
+
+	// Metrics.
+	FlitsTx     sim.Counter
+	FlitsRx     sim.Counter
+	PktsTx      sim.Counter
+	PktsRx      sim.Counter
+	CRCErrors   sim.Counter
+	Retransmits sim.Counter
+	StallPicks  sim.Counter // kicks that found traffic but no credits
+	QueueLat    *sim.Histogram
+}
+
+func newPort(eng *sim.Engine, name string, cfg Config) *Port {
+	p := &Port{
+		eng:      eng,
+		name:     name,
+		cfg:      cfg,
+		lockedVC: -1,
+		rng:      sim.NewRNG(cfg.Seed ^ 0xfabc),
+		QueueLat: sim.NewHistogram(),
+	}
+	if cfg.NewScheduler != nil {
+		p.sched = cfg.NewScheduler()
+	} else {
+		p.sched = NewRoundRobin()
+	}
+	for i := range p.credits {
+		p.credits[i] = cfg.RxBufFlits[i]
+		p.rxLimit[i] = cfg.RxBufFlits[i]
+		if cfg.RetryEnabled {
+			p.replay[i] = make(map[uint32]*flit.Flit)
+			p.rxStash[i] = make(map[uint32]*flit.Flit)
+		}
+	}
+	if cfg.SharedCreditPool {
+		total := 0
+		for _, n := range cfg.RxBufFlits {
+			total += n
+		}
+		p.shared = total
+	}
+	return p
+}
+
+// Name reports the port's diagnostic name.
+func (p *Port) Name() string { return p.name }
+
+// Config returns the link configuration.
+func (p *Port) Config() Config { return p.cfg }
+
+// SetSink attaches the packet consumer. Must be set before traffic flows.
+func (p *Port) SetSink(s Sink) { p.sink = s }
+
+// Send enqueues a packet for transmission to the peer. The queue is
+// unbounded; callers that need backpressure bound it via TxQueueFlits.
+func (p *Port) Send(pkt *flit.Packet) {
+	if pkt.Size > MaxPacketPayload {
+		panic(fmt.Sprintf("link: packet payload %d exceeds MaxPacketPayload %d (segment it at the transaction layer)",
+			pkt.Size, MaxPacketPayload))
+	}
+	vc := pkt.Chan
+	fl, err := flit.Encode(p.cfg.Mode, pkt, p.vcSeq[vc])
+	if err != nil {
+		panic("link: encode: " + err.Error())
+	}
+	p.vcSeq[vc] += uint32(len(fl))
+	p.txq[vc] = append(p.txq[vc], &txPacket{pkt: pkt, flits: fl, enq: p.eng.Now()})
+	p.kick()
+}
+
+// TxQueueFlits reports the flits queued (not yet on the wire) for a VC.
+func (p *Port) TxQueueFlits(vc flit.Channel) int {
+	n := len(p.retryq[vc])
+	for _, tp := range p.txq[vc] {
+		n += len(tp.flits) - tp.next
+	}
+	return n
+}
+
+// TxQueuePackets reports the packets queued on a VC.
+func (p *Port) TxQueuePackets(vc flit.Channel) int { return len(p.txq[vc]) }
+
+// Credits reports the transmit credits currently available on a VC (or
+// the shared pool when so configured).
+func (p *Port) Credits(vc flit.Channel) int {
+	if p.cfg.SharedCreditPool {
+		return p.shared
+	}
+	return p.credits[vc]
+}
+
+// creditAvailable reports whether one flit's worth of credit exists.
+func (p *Port) creditAvailable(vc flit.Channel) bool { return p.Credits(vc) > 0 }
+
+func (p *Port) consumeCredit(vc flit.Channel) {
+	if p.cfg.SharedCreditPool {
+		p.shared--
+		if p.shared < 0 {
+			panic("link: shared credit underflow")
+		}
+		return
+	}
+	p.credits[vc]--
+	if p.credits[vc] < 0 {
+		panic("link: credit underflow on " + vc.String())
+	}
+}
+
+// addCredits is invoked (after wire delay) when the peer frees buffer.
+func (p *Port) addCredits(vc flit.Channel, n int) {
+	if p.cfg.SharedCreditPool {
+		p.shared += n
+	} else {
+		p.credits[vc] += n
+	}
+	p.kick()
+}
+
+// pickVC chooses the VC for the next flit, honouring packet arbitration.
+func (p *Port) pickVC() int {
+	if p.lockedVC >= 0 {
+		vc := flit.Channel(p.lockedVC)
+		if p.eligible(vc) {
+			return p.lockedVC
+		}
+		return -1 // locked but stalled: packet-level head-of-line blocking
+	}
+	views := make([]VCView, flit.NumChannels)
+	any := false
+	for i := range views {
+		vc := flit.Channel(i)
+		v := VCView{
+			Channel:       vc,
+			QueuedFlits:   p.TxQueueFlits(vc),
+			QueuedPackets: len(p.txq[vc]),
+			Credits:       p.Credits(vc),
+			Eligible:      p.eligible(vc),
+		}
+		if len(p.txq[vc]) > 0 {
+			v.HeadAge = int64(p.eng.Now() - p.txq[vc][0].enq)
+		}
+		views[i] = v
+		if v.QueuedFlits > 0 {
+			any = true
+		}
+	}
+	idx := p.sched.Pick(views)
+	if idx < 0 && any {
+		p.StallPicks.Inc()
+	}
+	return idx
+}
+
+func (p *Port) eligible(vc flit.Channel) bool {
+	if len(p.retryq[vc]) > 0 {
+		return true // retransmissions own their credit already
+	}
+	return len(p.txq[vc]) > 0 && p.creditAvailable(vc)
+}
+
+// kick advances the transmitter if the wire is idle and a flit is ready.
+func (p *Port) kick() {
+	if p.sending {
+		return
+	}
+	idx := p.pickVC()
+	if idx < 0 {
+		return
+	}
+	vc := flit.Channel(idx)
+	var f *flit.Flit
+	if len(p.retryq[vc]) > 0 {
+		f = p.retryq[vc][0]
+		p.retryq[vc] = p.retryq[vc][1:]
+		p.Retransmits.Inc()
+	} else {
+		tp := p.txq[vc][0]
+		f = tp.flits[tp.next]
+		p.consumeCredit(vc)
+		tp.next++
+		if tp.next == len(tp.flits) {
+			p.txq[vc] = p.txq[vc][1:]
+			p.PktsTx.Inc()
+			p.QueueLat.ObserveTime(p.eng.Now() - tp.enq)
+			if p.lockedVC == idx {
+				p.lockedVC = -1
+			}
+		} else if p.cfg.PacketArbitration {
+			p.lockedVC = idx
+		}
+	}
+	if p.cfg.RetryEnabled {
+		p.replay[vc][f.Seq] = f
+	}
+	p.sending = true
+	p.FlitsTx.Inc()
+	ser := p.cfg.Phys.SerTime(p.cfg.Mode.WireBytes())
+	p.eng.After(ser, func() {
+		p.sending = false
+		p.eng.After(p.cfg.Phys.Propagation, func() {
+			p.peer.receiveFlit(vc, f)
+		})
+		if p.DrainHook != nil {
+			p.DrainHook()
+		}
+		p.kick()
+	})
+}
+
+// receiveFlit handles one arriving flit: error injection, selective
+// repeat reordering, reassembly, and delivery.
+func (p *Port) receiveFlit(vc flit.Channel, f *flit.Flit) {
+	p.FlitsRx.Inc()
+	if p.cfg.RetryEnabled {
+		corrupted := p.cfg.Phys.BER > 0 && p.rng.Float64() < p.cfg.Phys.BER
+		if corrupted {
+			p.CRCErrors.Inc()
+			p.eng.After(p.cfg.Phys.Propagation, func() { p.peer.handleNak(vc, f.Seq) })
+			return
+		}
+		p.eng.After(p.cfg.Phys.Propagation, func() { p.peer.handleAck(vc, f.Seq) })
+		if f.Seq != p.rxExpect[vc] {
+			p.rxStash[vc][f.Seq] = f
+			return
+		}
+		p.acceptFlit(vc, f)
+		for {
+			nf, ok := p.rxStash[vc][p.rxExpect[vc]]
+			if !ok {
+				break
+			}
+			delete(p.rxStash[vc], p.rxExpect[vc])
+			p.acceptFlit(vc, nf)
+		}
+		return
+	}
+	p.acceptFlit(vc, f)
+}
+
+// acceptFlit buffers an in-order flit and delivers completed packets.
+func (p *Port) acceptFlit(vc flit.Channel, f *flit.Flit) {
+	p.rxExpect[vc] = f.Seq + 1
+	p.rxUsed[vc]++
+	p.rxAsm[vc] = append(p.rxAsm[vc], f)
+	if !f.Last {
+		return
+	}
+	flits := p.rxAsm[vc]
+	p.rxAsm[vc] = nil
+	pkt, err := flit.Decode(p.cfg.Mode, flits)
+	if err != nil {
+		panic(fmt.Sprintf("link %s: reassembly on %v: %v", p.name, vc, err))
+	}
+	p.PktsRx.Inc()
+	n := len(flits)
+	released := false
+	release := func() {
+		if released {
+			panic("link: packet released twice")
+		}
+		released = true
+		p.rxUsed[vc] -= n
+		ret := n
+		if p.rxDebt[vc] > 0 {
+			swallow := min(p.rxDebt[vc], ret)
+			p.rxDebt[vc] -= swallow
+			ret -= swallow
+		}
+		if ret > 0 {
+			p.eng.After(p.cfg.CreditReturnDelay+p.cfg.Phys.Propagation, func() {
+				p.peer.addCredits(vc, ret)
+			})
+		}
+	}
+	if p.sink == nil {
+		panic("link " + p.name + ": packet arrived with no sink attached")
+	}
+	p.sink.Arrive(pkt, release)
+}
+
+// handleNak retransmits the flit with the given sequence number. The
+// retransmission reuses the credit consumed by the original send.
+func (p *Port) handleNak(vc flit.Channel, seq uint32) {
+	f, ok := p.replay[vc][seq]
+	if !ok {
+		return // already retransmitted and acked
+	}
+	p.retryq[vc] = append(p.retryq[vc], f)
+	p.kick()
+}
+
+// handleAck drops a delivered flit from the replay buffer.
+func (p *Port) handleAck(vc flit.Channel, seq uint32) {
+	delete(p.replay[vc], seq)
+}
+
+// ReplayBufferLen reports unacknowledged flits on a VC (retry mode only).
+func (p *Port) ReplayBufferLen(vc flit.Channel) int { return len(p.replay[vc]) }
+
+// RxBufUsed reports occupied receive-buffer flits on a VC.
+func (p *Port) RxBufUsed(vc flit.Channel) int { return p.rxUsed[vc] }
+
+// SetRxBuf dynamically resizes this port's receive buffer for a VC —
+// the mechanism credit-allocation policies (cfcpolicy) use to shift
+// buffer between contending ports. Growth grants the peer extra credits
+// after one propagation delay; shrinkage is absorbed as freed slots
+// drain (a debt swallowed from future credit returns). Unsupported in
+// shared-pool mode.
+func (p *Port) SetRxBuf(vc flit.Channel, n int) {
+	if p.cfg.SharedCreditPool {
+		panic("link: SetRxBuf unsupported with a shared credit pool")
+	}
+	minFlits := p.cfg.Mode.FlitsFor(MaxPacketPayload)
+	if n < minFlits {
+		panic(fmt.Sprintf("link: SetRxBuf(%v, %d) below max packet size %d flits", vc, n, minFlits))
+	}
+	delta := n - p.rxLimit[vc]
+	p.rxLimit[vc] = n
+	switch {
+	case delta > 0:
+		grant := delta
+		if p.rxDebt[vc] > 0 { // growth first cancels outstanding debt
+			cancel := min(p.rxDebt[vc], grant)
+			p.rxDebt[vc] -= cancel
+			grant -= cancel
+		}
+		if grant > 0 {
+			p.eng.After(p.cfg.Phys.Propagation, func() { p.peer.addCredits(vc, grant) })
+		}
+	case delta < 0:
+		p.rxDebt[vc] += -delta
+	}
+}
+
+// RxLimit reports the advertised buffer size for a VC.
+func (p *Port) RxLimit(vc flit.Channel) int { return p.rxLimit[vc] }

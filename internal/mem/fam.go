@@ -1,0 +1,275 @@
+package mem
+
+import (
+	"fmt"
+
+	"fcc/internal/fabric"
+	"fcc/internal/flit"
+	"fcc/internal/sim"
+	"fcc/internal/txn"
+)
+
+// DeviceType classifies a CXL device by its channel semantics (§2.2).
+type DeviceType uint8
+
+const (
+	// Type1 extends a PCIe device with a coherent cache (no host-managed
+	// memory). FAAs with caches are Type 1.
+	Type1 DeviceType = iota + 1
+	// Type2 has both host-managed memory and a coherent cache.
+	Type2
+	// Type3 is a memory expander: CXL.mem (+ CXL.io) only. Most of
+	// today's CPU-less NUMA expanders are Type 3.
+	Type3
+)
+
+// String names the device type.
+func (t DeviceType) String() string { return fmt.Sprintf("Type%d", uint8(t)) }
+
+// FAMConfig configures one fabric-attached memory chassis.
+type FAMConfig struct {
+	Capacity uint64
+	DRAM     DRAMConfig
+	// FEALat is the fabric-endpoint-adapter processing time charged in
+	// each direction (request parse, integrity check, response build).
+	// FPGA-based early adapters like the Omega testbed's are slow; this
+	// constant dominates the 1.5us remote access of Table 2.
+	FEALat sim.Time
+	// FEAOccBase and FEAOccPerLine define the FEA's serialized ingest
+	// service time per request: base + ceil(payload/64)*perLine. The FEA
+	// is a single station shared by ALL channels, so deep bulk-write
+	// queues delay small reads behind them — the incast interference
+	// FCC's central arbiter exists to prevent.
+	FEAOccBase    sim.Time
+	FEAOccPerLine sim.Time
+	Type          DeviceType
+}
+
+// DefaultFAMConfig matches the Omega testbed calibration.
+func DefaultFAMConfig(capacity uint64) FAMConfig {
+	return FAMConfig{
+		Capacity:      capacity,
+		DRAM:          DefaultDRAM(),
+		FEALat:        310 * sim.Nanosecond,
+		FEAOccBase:    20 * sim.Nanosecond,
+		FEAOccPerLine: 55 * sim.Nanosecond,
+		Type:          Type3,
+	}
+}
+
+// partition is one host's slice of a shared expander.
+type partition struct {
+	owner flit.PortID
+	base  uint64
+	size  uint64
+}
+
+// FAM is a fabric-attached memory device: an FEA front end plus DRAM.
+// It serves CXL.mem loads/stores/atomics and CXL.io bulk transfers.
+//
+// A FAM may be owned exclusively (no partitions registered — any
+// requester may access everything, enforcement left to software) or
+// shared with enforced partitions (§3, Difference #2: "the FEA needs to
+// partition the capacity").
+type FAM struct {
+	eng  *sim.Engine
+	name string
+	cfg  FAMConfig
+	dram *DRAM
+	ep   *txn.Endpoint
+	fea  *sim.Pipe // serialized FEA ingest station
+	part []partition
+
+	// OnAccess, when set, observes every served request (for traffic
+	// matrices and migration profiling).
+	OnAccess func(pkt *flit.Packet)
+
+	Violations sim.Counter
+}
+
+// NewFAM builds a FAM and registers it as the handler on att's port.
+func NewFAM(eng *sim.Engine, att *fabric.Attachment, cfg FAMConfig) *FAM {
+	f := &FAM{
+		eng:  eng,
+		name: att.Name,
+		cfg:  cfg,
+		dram: NewDRAM(eng, cfg.DRAM, cfg.Capacity),
+		fea:  sim.NewPipe(eng),
+	}
+	f.ep = txn.NewEndpoint(eng, att.ID, att.Port, 0)
+	f.ep.Handler = f.handle
+	att.Port.SetSink(f.ep)
+	return f
+}
+
+// ID reports the device's fabric port ID.
+func (f *FAM) ID() flit.PortID { return f.ep.ID() }
+
+// Name reports the chassis name.
+func (f *FAM) Name() string { return f.name }
+
+// Capacity reports the device capacity in bytes.
+func (f *FAM) Capacity() uint64 { return f.cfg.Capacity }
+
+// DRAM exposes the underlying module (tests and migration agents).
+func (f *FAM) DRAM() *DRAM { return f.dram }
+
+// Endpoint exposes the device's transaction endpoint (for co-resident
+// agents such as migration executors).
+func (f *FAM) Endpoint() *txn.Endpoint { return f.ep }
+
+// Partition grants [base, base+size) exclusively to owner. Once any
+// partition exists, accesses outside the requester's partitions are
+// rejected with OpMemErr.
+func (f *FAM) Partition(owner flit.PortID, base, size uint64) error {
+	if base+size > f.cfg.Capacity {
+		return fmt.Errorf("mem: partition [%#x,%#x) beyond capacity %#x", base, base+size, f.cfg.Capacity)
+	}
+	for _, p := range f.part {
+		if base < p.base+p.size && p.base < base+size {
+			return fmt.Errorf("mem: partition overlaps existing [%#x,%#x)", p.base, p.base+p.size)
+		}
+	}
+	f.part = append(f.part, partition{owner: owner, base: base, size: size})
+	return nil
+}
+
+// allowed checks partition enforcement for a request.
+func (f *FAM) allowed(src flit.PortID, addr uint64, n uint32) bool {
+	if len(f.part) == 0 {
+		return true
+	}
+	end := addr + uint64(n)
+	for _, p := range f.part {
+		if p.owner == src && addr >= p.base && end <= p.base+p.size {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *FAM) handle(req *flit.Packet, reply func(*flit.Packet)) {
+	// Every request first passes the serialized FEA ingest station;
+	// service time scales with inbound payload.
+	occ := f.cfg.FEAOccBase + sim.Time((req.Size+63)/64)*f.cfg.FEAOccPerLine
+	f.fea.Enter(occ, func() { f.serve(req, reply) })
+}
+
+func (f *FAM) serve(req *flit.Packet, reply func(*flit.Packet)) {
+	if f.OnAccess != nil {
+		f.OnAccess(req)
+	}
+	fea := f.cfg.FEALat
+	deny := func() {
+		f.Violations.Inc()
+		f.eng.After(fea, func() { reply(req.Response(flit.OpMemErr, 0)) })
+	}
+	switch req.Op {
+	case flit.OpMemRd:
+		n := req.ReqLen
+		if n == 0 {
+			n = 64
+		}
+		if !f.allowed(req.Src, req.Addr, n) {
+			deny()
+			return
+		}
+		f.eng.After(fea, func() {
+			f.dram.Read(req.Addr, int(n), func(data []byte) {
+				f.eng.After(fea, func() {
+					resp := req.Response(flit.OpMemRdData, n)
+					resp.Data = data
+					reply(resp)
+				})
+			})
+		})
+	case flit.OpMemWr:
+		if !f.allowed(req.Src, req.Addr, req.Size) {
+			deny()
+			return
+		}
+		data := req.Data
+		if data == nil {
+			data = make([]byte, req.Size)
+		}
+		f.eng.After(fea, func() {
+			f.dram.Write(req.Addr, data, func() {
+				f.eng.After(fea, func() { reply(req.Response(flit.OpMemWrAck, 0)) })
+			})
+		})
+	case flit.OpMemAtomic:
+		if !f.allowed(req.Src, req.Addr, 8) {
+			deny()
+			return
+		}
+		var delta uint64
+		if len(req.Data) >= 8 {
+			for i := 7; i >= 0; i-- {
+				delta = delta<<8 | uint64(req.Data[i])
+			}
+		}
+		f.eng.After(fea, func() {
+			f.dram.Atomic(req.Addr, delta, func(prev uint64) {
+				f.eng.After(fea, func() {
+					resp := req.Response(flit.OpMemAtomicR, 8)
+					resp.Data = []byte{byte(prev), byte(prev >> 8), byte(prev >> 16),
+						byte(prev >> 24), byte(prev >> 32), byte(prev >> 40),
+						byte(prev >> 48), byte(prev >> 56)}
+					reply(resp)
+				})
+			})
+		})
+	case flit.OpIORd:
+		n := req.ReqLen
+		if !f.allowed(req.Src, req.Addr, n) {
+			deny()
+			return
+		}
+		f.eng.After(fea, func() {
+			f.dram.Read(req.Addr, int(n), func(data []byte) {
+				f.eng.After(fea, func() {
+					resp := req.Response(flit.OpIOData, n)
+					resp.Data = data
+					reply(resp)
+				})
+			})
+		})
+	case flit.OpIOWr:
+		if !f.allowed(req.Src, req.Addr, req.Size) {
+			deny()
+			return
+		}
+		data := req.Data
+		if data == nil {
+			data = make([]byte, req.Size)
+		}
+		f.eng.After(fea, func() {
+			f.dram.Write(req.Addr, data, func() {
+				f.eng.After(fea, func() { reply(req.Response(flit.OpIOAck, 0)) })
+			})
+		})
+	case flit.OpCfgRd:
+		// Device identification for the fabric manager: capacity in
+		// ReqLen-agnostic 8-byte response.
+		resp := req.Response(flit.OpCfgRsp, 8)
+		cap := f.cfg.Capacity
+		resp.Data = []byte{byte(cap), byte(cap >> 8), byte(cap >> 16), byte(cap >> 24),
+			byte(cap >> 32), byte(cap >> 40), byte(cap >> 48), byte(cap >> 56)}
+		f.eng.After(fea, func() { reply(resp) })
+	default:
+		panic(fmt.Sprintf("mem: FAM %s cannot serve %v", f.name, req))
+	}
+}
+
+// Serve handles one request with the device's standard memory/IO
+// semantics (including the FEA ingest station). Wrappers (e.g. a
+// coherence directory living in the FEA) install their own endpoint
+// handler and delegate non-coherent traffic here.
+func (f *FAM) Serve(req *flit.Packet, reply func(*flit.Packet)) { f.handle(req, reply) }
+
+// FEALat reports the adapter's per-direction processing latency.
+func (f *FAM) FEALat() sim.Time { return f.cfg.FEALat }
+
+// SetHandler replaces the device's endpoint handler (used by the
+// coherence directory to intercept CXL.cache traffic).
+func (f *FAM) SetHandler(h txn.Handler) { f.ep.Handler = h }

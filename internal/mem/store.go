@@ -1,0 +1,87 @@
+// Package mem models memory devices: a sparse byte-addressable backing
+// store, a DRAM timing model, host-local DIMMs, and fabric-attached
+// memory (FAM) chassis — CXL Type 3 expanders behind an FEA, with
+// optional capacity partitioning across hosts (§2.2). Data is stored for
+// real: a value written through the fabric reads back through the
+// fabric, so higher layers (heap, tasks) can assert end-to-end
+// integrity, not just timing.
+package mem
+
+import "fmt"
+
+// pageSize is the allocation granule of the sparse store.
+const pageSize = 4096
+
+// Store is a sparse byte-addressable memory. Unwritten bytes read zero.
+type Store struct {
+	pages map[uint64]*[pageSize]byte
+	limit uint64
+}
+
+// NewStore creates a store of the given capacity in bytes.
+func NewStore(capacity uint64) *Store {
+	return &Store{pages: make(map[uint64]*[pageSize]byte), limit: capacity}
+}
+
+// Capacity reports the store's size in bytes.
+func (s *Store) Capacity() uint64 { return s.limit }
+
+func (s *Store) check(addr uint64, n int) {
+	if addr+uint64(n) > s.limit {
+		panic(fmt.Sprintf("mem: access [%#x,%#x) beyond capacity %#x", addr, addr+uint64(n), s.limit))
+	}
+}
+
+// Read copies len(buf) bytes at addr into buf.
+func (s *Store) Read(addr uint64, buf []byte) {
+	s.check(addr, len(buf))
+	for len(buf) > 0 {
+		pg, off := addr/pageSize, addr%pageSize
+		n := copy(buf, s.pageFor(pg, false)[off:])
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+// Write copies data into the store at addr.
+func (s *Store) Write(addr uint64, data []byte) {
+	s.check(addr, len(data))
+	for len(data) > 0 {
+		pg, off := addr/pageSize, addr%pageSize
+		n := copy(s.pageFor(pg, true)[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+var zeroPage [pageSize]byte
+
+func (s *Store) pageFor(pg uint64, create bool) *[pageSize]byte {
+	if p, ok := s.pages[pg]; ok {
+		return p
+	}
+	if !create {
+		return &zeroPage
+	}
+	p := new([pageSize]byte)
+	s.pages[pg] = p
+	return p
+}
+
+// Read64 reads a little-endian uint64 at addr.
+func (s *Store) Read64(addr uint64) uint64 {
+	var b [8]byte
+	s.Read(addr, b[:])
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Write64 writes a little-endian uint64 at addr.
+func (s *Store) Write64(addr uint64, v uint64) {
+	b := [8]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24),
+		byte(v >> 32), byte(v >> 40), byte(v >> 48), byte(v >> 56)}
+	s.Write(addr, b[:])
+}
+
+// PagesAllocated reports how many 4KB pages are materialized.
+func (s *Store) PagesAllocated() int { return len(s.pages) }

@@ -1,0 +1,95 @@
+// Package phys models the Flex Bus physical layer (§2.1): lane
+// configuration, transfer rate, bifurcation, serialization timing, and
+// stochastic bit errors. It converts bytes-on-the-wire into virtual time;
+// the link layer charges this time per flit.
+package phys
+
+import (
+	"fmt"
+
+	"fcc/internal/sim"
+)
+
+// LinkConfig describes one physical link (both directions are symmetric).
+type LinkConfig struct {
+	// GTs is the per-lane transfer rate in gigatransfers per second.
+	// Flex Bus runs at up to 64 GT/s (PCIe Gen6 signaling).
+	GTs float64
+	// Lanes is the bifurcation width: 4, 8, or 16 (§2.1).
+	Lanes int
+	// Efficiency accounts for line coding and framing overhead
+	// (e.g. ~0.97 for 1b/1b PAM4 with FEC). 0 means 1.0.
+	Efficiency float64
+	// Propagation is the one-way time-of-flight (cable + PHY logic).
+	Propagation sim.Time
+	// BER is the probability that a transmitted flit is corrupted
+	// (captured at flit granularity rather than per bit). Zero disables
+	// error injection.
+	BER float64
+}
+
+// Validate checks the configuration for physically meaningful values.
+func (c LinkConfig) Validate() error {
+	if c.GTs <= 0 {
+		return fmt.Errorf("phys: GTs must be positive, got %v", c.GTs)
+	}
+	switch c.Lanes {
+	case 4, 8, 16:
+	default:
+		return fmt.Errorf("phys: lanes must be 4, 8, or 16 (bifurcation), got %d", c.Lanes)
+	}
+	if c.Efficiency < 0 || c.Efficiency > 1 {
+		return fmt.Errorf("phys: efficiency %v out of [0,1]", c.Efficiency)
+	}
+	if c.BER < 0 || c.BER >= 1 {
+		return fmt.Errorf("phys: BER %v out of [0,1)", c.BER)
+	}
+	if c.Propagation < 0 {
+		return fmt.Errorf("phys: negative propagation %v", c.Propagation)
+	}
+	return nil
+}
+
+// BytesPerSecond reports the usable unidirectional bandwidth.
+func (c LinkConfig) BytesPerSecond() float64 {
+	eff := c.Efficiency
+	if eff == 0 {
+		eff = 1
+	}
+	// One transfer carries one bit per lane.
+	return c.GTs * 1e9 * float64(c.Lanes) / 8 * eff
+}
+
+// GBps reports the usable bandwidth in gigabytes per second.
+func (c LinkConfig) GBps() float64 { return c.BytesPerSecond() / 1e9 }
+
+// SerTime reports how long n bytes occupy the wire.
+func (c LinkConfig) SerTime(n int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	sec := float64(n) / c.BytesPerSecond()
+	return sim.Time(sec*float64(sim.Second) + 0.5)
+}
+
+// String renders the config like "64GT/s x16 (128.0 GB/s)".
+func (c LinkConfig) String() string {
+	return fmt.Sprintf("%.0fGT/s x%d (%.1f GB/s)", c.GTs, c.Lanes, c.GBps())
+}
+
+// Preset link configurations used throughout the experiments.
+var (
+	// Gen5x8 approximates the Omega Fabric testbed's per-port links.
+	Gen5x8 = LinkConfig{GTs: 32, Lanes: 8, Efficiency: 0.97,
+		Propagation: 10 * sim.Nanosecond}
+	// Gen5x16 is a full-width host root port.
+	Gen5x16 = LinkConfig{GTs: 32, Lanes: 16, Efficiency: 0.97,
+		Propagation: 10 * sim.Nanosecond}
+	// Gen6x16 is the CXL 3.0 / 256B-flit generation (§2.1: "runs at
+	// most 64 GT/s").
+	Gen6x16 = LinkConfig{GTs: 64, Lanes: 16, Efficiency: 0.97,
+		Propagation: 10 * sim.Nanosecond}
+	// Gen4x4 is a narrow endpoint link (e.g. an E3.S memory module).
+	Gen4x4 = LinkConfig{GTs: 16, Lanes: 4, Efficiency: 0.97,
+		Propagation: 10 * sim.Nanosecond}
+)

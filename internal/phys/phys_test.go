@@ -1,0 +1,83 @@
+package phys
+
+import (
+	"testing"
+
+	"fcc/internal/sim"
+)
+
+func TestValidateAcceptsPresets(t *testing.T) {
+	for _, c := range []LinkConfig{Gen4x4, Gen5x8, Gen5x16, Gen6x16} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("preset %v invalid: %v", c, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []LinkConfig{
+		{GTs: 0, Lanes: 8},
+		{GTs: 32, Lanes: 3},
+		{GTs: 32, Lanes: 8, Efficiency: 1.5},
+		{GTs: 32, Lanes: 8, BER: 1.0},
+		{GTs: 32, Lanes: 8, Propagation: -sim.Nanosecond},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBandwidthMath(t *testing.T) {
+	c := LinkConfig{GTs: 64, Lanes: 16, Efficiency: 1}
+	// 64 GT/s * 16 lanes = 1024 Gbit/s = 128 GB/s.
+	if got := c.GBps(); got != 128 {
+		t.Fatalf("GBps = %v, want 128", got)
+	}
+	c.Efficiency = 0.5
+	if got := c.GBps(); got != 64 {
+		t.Fatalf("GBps with 0.5 efficiency = %v, want 64", got)
+	}
+}
+
+func TestSerTime(t *testing.T) {
+	c := LinkConfig{GTs: 64, Lanes: 16, Efficiency: 1} // 128 GB/s
+	// 68B flit: 68/128e9 s = 531.25 ps
+	got := c.SerTime(68)
+	if got < 531*sim.Picosecond || got > 532*sim.Picosecond {
+		t.Fatalf("SerTime(68) = %v, want ≈531ps", got)
+	}
+	// 16KB at 128 GB/s = 128 ns.
+	got = c.SerTime(16384)
+	if got < 127*sim.Nanosecond || got > 129*sim.Nanosecond {
+		t.Fatalf("SerTime(16K) = %v, want ≈128ns", got)
+	}
+	if c.SerTime(0) != 0 || c.SerTime(-5) != 0 {
+		t.Fatal("SerTime of non-positive bytes should be 0")
+	}
+}
+
+func TestSerTimeScalesInverselyWithLanes(t *testing.T) {
+	wide := LinkConfig{GTs: 32, Lanes: 16, Efficiency: 1}
+	narrow := LinkConfig{GTs: 32, Lanes: 4, Efficiency: 1}
+	w, n := wide.SerTime(4096), narrow.SerTime(4096)
+	ratio := float64(n) / float64(w)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("x4 vs x16 ser ratio = %v, want ≈4", ratio)
+	}
+}
+
+func TestDefaultEfficiencyIsOne(t *testing.T) {
+	c := LinkConfig{GTs: 16, Lanes: 4}
+	if got := c.GBps(); got != 8 {
+		t.Fatalf("GBps = %v, want 8 (16GT/s x4, eff 1.0 default)", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := LinkConfig{GTs: 32, Lanes: 8, Efficiency: 1}
+	if got := c.String(); got != "32GT/s x8 (32.0 GB/s)" {
+		t.Fatalf("String = %q", got)
+	}
+}

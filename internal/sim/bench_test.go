@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventThroughput measures raw event dispatch rate —
+// the floor under every simulation in this repository.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(Nanosecond, step)
+		}
+	}
+	b.ResetTimer()
+	e.After(0, step)
+	e.Run()
+}
+
+// BenchmarkProcSwitch measures coroutine process handoff cost.
+func BenchmarkProcSwitch(b *testing.B) {
+	e := NewEngine()
+	e.Go("spinner", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkHistogramObserve measures the stats hot path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}
+
+// BenchmarkRNG measures the seeded generator.
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

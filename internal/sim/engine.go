@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is a discrete-event simulation executive. Events fire in
+// timestamp order; ties are broken by scheduling order, which makes every
+// run fully deterministic.
+//
+// Engine is not safe for concurrent use. Processes started with Go run on
+// goroutines but are resumed strictly one at a time (see proc.go), so
+// model code never needs locks.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	stopped bool
+
+	// procs counts live processes so RunUntilIdle can detect deadlock
+	// (live processes but an empty event queue).
+	procs int
+
+	// EventLimit, when >0, aborts Run with a panic after that many events.
+	// It is a guard against accidental infinite simulations in tests.
+	EventLimit uint64
+	fired      uint64
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it indicates a model bug, and silently clamping would hide it.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It reports false when no events are pending.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.fired++
+	if e.EventLimit > 0 && e.fired > e.EventLimit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.EventLimit, e.now))
+	}
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.running, e.stopped = true, false
+	for !e.stopped && e.Step() {
+	}
+	e.running = false
+}
+
+// RunUntil fires events with timestamps <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	e.running, e.stopped = true, false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if !e.stopped && t > e.now {
+		e.now = t
+	}
+	e.running = false
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Stop halts Run/RunUntil after the currently firing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Events reports the total number of events fired so far.
+func (e *Engine) Events() uint64 { return e.fired }

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInTimestampOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30*Nanosecond, func() { got = append(got, 3) })
+	e.At(10*Nanosecond, func() { got = append(got, 1) })
+	e.At(20*Nanosecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Fatalf("Now = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineTieBreaksBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*Nanosecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order = %v", got)
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*Nanosecond, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10*Nanosecond, func() { fired++ })
+	e.At(20*Nanosecond, func() { fired++ })
+	e.At(30*Nanosecond, func() { fired++ })
+	e.RunUntil(20 * Nanosecond)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20*Nanosecond {
+		t.Fatalf("Now = %v, want 20ns", e.Now())
+	}
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("fired = %d after Run, want 3", fired)
+	}
+}
+
+func TestEngineRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(42 * Microsecond)
+	if e.Now() != 42*Microsecond {
+		t.Fatalf("Now = %v, want 42us", e.Now())
+	}
+}
+
+func TestEngineStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1*Nanosecond, func() { fired++; e.Stop() })
+	e.At(2*Nanosecond, func() { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (Stop should halt)", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineAfterIsRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100*Nanosecond, func() {
+		e.After(50*Nanosecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150*Nanosecond {
+		t.Fatalf("After fired at %v, want 150ns", at)
+	}
+}
+
+func TestEngineEventsCascade(t *testing.T) {
+	// Events scheduled from events must fire; classic chain of N.
+	e := NewEngine()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 1000 {
+			e.After(Nanosecond, step)
+		}
+	}
+	e.After(0, step)
+	e.Run()
+	if n != 1000 {
+		t.Fatalf("chain ran %d steps, want 1000", n)
+	}
+	if e.Now() != 999*Nanosecond {
+		t.Fatalf("Now = %v, want 999ns", e.Now())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{5400 * Picosecond, "5.4ns"},
+		{Time(1575300), "1.575us"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d ps -> %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFromNanosRoundTrip(t *testing.T) {
+	if got := FromNanos(5.4); got != 5400*Picosecond {
+		t.Fatalf("FromNanos(5.4) = %v", got)
+	}
+	if got := FromNanos(1575.3); got != Time(1575300) {
+		t.Fatalf("FromNanos(1575.3) = %v", got)
+	}
+}
+
+// Property: for any batch of event delays, events fire in sorted order
+// and the engine clock ends at the max delay.
+func TestEngineOrderingProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			dt := Time(d) * Nanosecond
+			if dt > max {
+				max = dt
+			}
+			e.At(dt, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Now() == max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineEventLimitPanics(t *testing.T) {
+	e := NewEngine()
+	e.EventLimit = 10
+	var step func()
+	step = func() { e.After(Nanosecond, step) }
+	e.After(0, step)
+	defer func() {
+		if recover() == nil {
+			t.Error("event limit did not panic")
+		}
+	}()
+	e.Run()
+}

@@ -1,0 +1,102 @@
+package sim
+
+// Future is a single-assignment cell carrying the eventual result of an
+// asynchronous simulated operation (a memory access, an elastic
+// transaction, a task execution). Callbacks registered before completion
+// fire synchronously, in registration order, when Complete is called;
+// callbacks registered afterwards fire immediately.
+//
+// Futures are the glue between callback-driven protocol state machines
+// and blocking Proc-style model code (via Await).
+type Future[T any] struct {
+	done bool
+	val  T
+	err  error
+	cbs  []func(T, error)
+}
+
+// NewFuture returns an incomplete future.
+func NewFuture[T any]() *Future[T] { return &Future[T]{} }
+
+// CompletedFuture returns a future that already holds v.
+func CompletedFuture[T any](v T) *Future[T] {
+	return &Future[T]{done: true, val: v}
+}
+
+// FailedFuture returns a future that already holds err.
+func FailedFuture[T any](err error) *Future[T] {
+	return &Future[T]{done: true, err: err}
+}
+
+// Done reports whether the future has completed (successfully or not).
+func (f *Future[T]) Done() bool { return f.done }
+
+// Value returns the result; it is only meaningful once Done.
+func (f *Future[T]) Value() T { return f.val }
+
+// Err returns the failure, if any; it is only meaningful once Done.
+func (f *Future[T]) Err() error { return f.err }
+
+// Complete resolves the future with v. Completing twice panics: a
+// simulated operation must have exactly one outcome.
+func (f *Future[T]) Complete(v T) { f.finish(v, nil) }
+
+// Fail resolves the future with err.
+func (f *Future[T]) Fail(err error) {
+	var zero T
+	f.finish(zero, err)
+}
+
+func (f *Future[T]) finish(v T, err error) {
+	if f.done {
+		panic("sim: future completed twice")
+	}
+	f.done = true
+	f.val, f.err = v, err
+	cbs := f.cbs
+	f.cbs = nil
+	for _, cb := range cbs {
+		cb(v, err)
+	}
+}
+
+// OnComplete registers cb to run when the future resolves.
+func (f *Future[T]) OnComplete(cb func(T, error)) {
+	if f.done {
+		cb(f.val, f.err)
+		return
+	}
+	f.cbs = append(f.cbs, cb)
+}
+
+// Await suspends the process until the future resolves, then returns its
+// result.
+func (f *Future[T]) Await(p *Proc) (T, error) {
+	if !f.done {
+		p.Suspend(func(wake func()) {
+			f.OnComplete(func(T, error) { wake() })
+		})
+	}
+	return f.val, f.err
+}
+
+// MustAwait is Await for operations the caller knows cannot fail; it
+// panics on error.
+func (f *Future[T]) MustAwait(p *Proc) T {
+	v, err := f.Await(p)
+	if err != nil {
+		panic("sim: MustAwait: " + err.Error())
+	}
+	return v
+}
+
+// AwaitAll suspends the process until every future in fs resolves and
+// returns the first error encountered (in slice order), if any.
+func AwaitAll[T any](p *Proc, fs []*Future[T]) error {
+	for _, f := range fs {
+		if _, err := f.Await(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

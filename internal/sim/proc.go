@@ -1,0 +1,151 @@
+package sim
+
+import "fmt"
+
+// Proc is a cooperatively scheduled simulation process. Each Proc runs on
+// its own goroutine, but the engine resumes exactly one process at a time
+// and blocks until that process either yields (Sleep/Await/Suspend) or
+// returns, so execution remains deterministic — processes are simply a
+// more convenient notation for sequential model code (workload drivers,
+// CPU threads, controller firmware) than chained callbacks.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{} // engine -> proc: run
+	yield  chan struct{} // proc -> engine: paused or done
+	done   bool
+	killed bool
+}
+
+// Go starts fn as a new process at the current simulation time. The
+// process body may call the blocking operations on Proc; it must never
+// block on anything else (real channels, locks held across yields), or
+// the simulation will deadlock.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	started := false
+	e.After(0, func() {
+		started = true
+		go func() {
+			<-p.resume
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(procKilled); !ok {
+						// Re-panicking on the process goroutine would crash the
+						// program without unwinding the engine; surface the
+						// original panic value via the engine goroutine instead.
+						p.done = true
+						e.procs--
+						p.yield <- struct{}{}
+						panic(r)
+					}
+				}
+				if !p.done {
+					p.done = true
+					e.procs--
+					p.yield <- struct{}{}
+				}
+			}()
+			fn(p)
+			p.done = true
+			e.procs--
+			p.yield <- struct{}{}
+		}()
+		p.run()
+	})
+	_ = started
+	return p
+}
+
+type procKilled struct{}
+
+// run hands control to the process goroutine and waits for it to pause.
+// Resuming an already finished process is a no-op: a Kill and a pending
+// wake-up can race benignly.
+func (p *Proc) run() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// pause returns control to the engine and blocks until resumed. Called
+// from the process goroutine only.
+func (p *Proc) pause() {
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Name reports the name the process was started with.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current simulation time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v in proc %q", d, p.name))
+	}
+	p.eng.After(d, func() { p.run() })
+	p.pause()
+}
+
+// Suspend parks the process until the wake function handed to arm is
+// called from event context. arm runs on the process goroutine before the
+// park, so it can register wake as a completion callback without racing.
+// If wake fires synchronously inside arm (the awaited condition already
+// held), Suspend returns without parking. Waking twice panics.
+func (p *Proc) Suspend(arm func(wake func())) {
+	fired := false
+	parked := false
+	arm(func() {
+		if fired {
+			panic("sim: proc woken twice")
+		}
+		fired = true
+		if parked {
+			p.run()
+		}
+	})
+	if fired {
+		if p.killed {
+			panic(procKilled{})
+		}
+		return
+	}
+	parked = true
+	p.pause()
+}
+
+// Kill aborts the process: the next time it would be resumed it unwinds
+// instead. A parked process is resumed immediately so it cannot linger
+// forever. Kill must be called from event context (or another process),
+// never from the victim itself.
+func (p *Proc) Kill() {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	p.eng.After(0, p.run)
+}
+
+// Yield lets other events scheduled at the current instant run before the
+// process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats is a registry of named metrics owned by a model component.
+// Registries nest (Child), so a whole cluster's metrics form a tree that
+// can be dumped for an experiment report.
+type Stats struct {
+	name     string
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	children []*Stats
+	order    []string
+}
+
+// NewStats returns an empty registry with the given name.
+func NewStats(name string) *Stats {
+	return &Stats{
+		name:     name,
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Child creates (and records) a nested registry.
+func (s *Stats) Child(name string) *Stats {
+	c := NewStats(name)
+	s.children = append(s.children, c)
+	return c
+}
+
+// Counter returns the named counter, creating it on first use.
+func (s *Stats) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.counters[name] = c
+	s.order = append(s.order, "c:"+name)
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (s *Stats) Histogram(name string) *Histogram {
+	if h, ok := s.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram()
+	s.hists[name] = h
+	s.order = append(s.order, "h:"+name)
+	return h
+}
+
+// Dump renders the registry tree as indented text.
+func (s *Stats) Dump() string {
+	var b strings.Builder
+	s.dump(&b, 0)
+	return b.String()
+}
+
+func (s *Stats) dump(b *strings.Builder, depth int) {
+	ind := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s:\n", ind, s.name)
+	for _, key := range s.order {
+		kind, name := key[:2], key[2:]
+		switch kind {
+		case "c:":
+			fmt.Fprintf(b, "%s  %s = %d\n", ind, name, s.counters[name].Value())
+		case "h:":
+			h := s.hists[name]
+			if h.Count() == 0 {
+				continue
+			}
+			fmt.Fprintf(b, "%s  %s: n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f\n",
+				ind, name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+		}
+	}
+	for _, c := range s.children {
+		c.dump(b, depth+1)
+	}
+}
+
+// Counter is a monotonically adjustable integer metric.
+type Counter struct{ v int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Histogram records float64 samples exactly (it keeps them all; our
+// simulations record at most a few million samples per run) and answers
+// mean/quantile/extremum queries.
+type Histogram struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// ObserveTime records a duration sample in nanoseconds.
+func (h *Histogram) ObserveTime(t Time) { h.Observe(t.Nanoseconds()) }
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum reports the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean reports the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Max reports the largest sample (0 when empty).
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[len(h.samples)-1]
+}
+
+// Min reports the smallest sample (0 when empty).
+func (h *Histogram) Min() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[0]
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) by nearest-rank.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Stddev reports the population standard deviation.
+func (h *Histogram) Stddev() float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := h.Mean()
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	c := &Counter{}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Value = %d, want 42", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Quantile(0.5) != 3 {
+		t.Fatalf("p50 = %v", h.Quantile(0.5))
+	}
+	if h.Quantile(1.0) != 5 {
+		t.Fatalf("p100 = %v", h.Quantile(1.0))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.9) != 0 || h.Stddev() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	// Regression: sorting for a quantile must not corrupt later inserts.
+	h := NewHistogram()
+	h.Observe(10)
+	h.Observe(1)
+	_ = h.Quantile(0.5)
+	h.Observe(5)
+	if h.Quantile(0.5) != 5 {
+		t.Fatalf("p50 after re-observe = %v, want 5", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramQuantileProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		// Quantile(q) must be an element and lie within [min, max].
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			got := h.Quantile(q)
+			if got < sorted[0] || got > sorted[len(sorted)-1] {
+				return false
+			}
+		}
+		return h.Max() == sorted[len(sorted)-1] && h.Min() == sorted[0]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsDumpTree(t *testing.T) {
+	s := NewStats("cluster")
+	s.Counter("packets").Add(7)
+	sw := s.Child("switch0")
+	sw.Histogram("latency_ns").Observe(100)
+	out := s.Dump()
+	for _, want := range []string{"cluster:", "packets = 7", "switch0:", "latency_ns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsSameNameReturnsSameMetric(t *testing.T) {
+	s := NewStats("x")
+	if s.Counter("a") != s.Counter("a") {
+		t.Fatal("Counter not memoized")
+	}
+	if s.Histogram("h") != s.Histogram("h") {
+		t.Fatal("Histogram not memoized")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(54321)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(12345).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatal("different seeds look identical")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) hit only %d distinct values", len(seen))
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGForkDecorrelated(t *testing.T) {
+	r := NewRNG(1)
+	a := r.Fork(1)
+	b := r.Fork(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams correlated: %d identical of 64", same)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(42)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	// Rank 0 of Zipf(1.0, n=100) carries ~1/H_100 ≈ 19% of mass.
+	frac := float64(counts[0]) / 50000
+	if frac < 0.12 || frac > 0.28 {
+		t.Fatalf("rank-0 mass = %.3f, want ≈0.19", frac)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewRNG(3)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 1500 || c > 2500 {
+			t.Fatalf("bucket %d = %d, want ≈2000", i, c)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(5)
+	sum := 0.0
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += r.Exp()
+	}
+	mean := sum / float64(n)
+	if mean < 0.95 || mean > 1.05 {
+		t.Fatalf("Exp mean = %v, want ≈1", mean)
+	}
+}
+
+func TestSemaphoreFIFO(t *testing.T) {
+	s := NewSemaphore(2)
+	var grants []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Acquire(func() { grants = append(grants, i) })
+	}
+	if len(grants) != 2 {
+		t.Fatalf("immediate grants = %v", grants)
+	}
+	s.Release()
+	s.Release()
+	s.Release() // third release grants the last waiter, then frees
+	if len(grants) != 5 {
+		t.Fatalf("grants after releases = %v", grants)
+	}
+	for i, g := range grants {
+		if g != i {
+			t.Fatalf("grant order = %v, want FIFO", grants)
+		}
+	}
+}
+
+func TestSemaphoreAccounting(t *testing.T) {
+	s := NewSemaphore(3)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("TryAcquire failed with free slots")
+	}
+	if s.InUse() != 2 || s.Available() != 1 {
+		t.Fatalf("InUse/Available = %d/%d", s.InUse(), s.Available())
+	}
+	s.Acquire(func() {})
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded when full")
+	}
+	s.Acquire(func() {})
+	if s.QueueLen() != 1 {
+		t.Fatalf("QueueLen = %d, want 1", s.QueueLen())
+	}
+}
+
+func TestSemaphoreReleaseBelowZeroPanics(t *testing.T) {
+	s := NewSemaphore(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("release below zero did not panic")
+		}
+	}()
+	s.Release()
+}
+
+func TestSemaphoreProcBlocking(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(1)
+	var order []string
+	e.Go("a", func(p *Proc) {
+		s.AcquireProc(p)
+		order = append(order, "a-in")
+		p.Sleep(100 * Nanosecond)
+		s.Release()
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(Nanosecond) // ensure a wins the slot
+		s.AcquireProc(p)
+		order = append(order, "b-in@"+p.Now().String())
+		s.Release()
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "a-in" || order[1] != "b-in@100ns" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPipeSerializes(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e)
+	var ends []Time
+	e.After(0, func() {
+		p.Use(10*Nanosecond, func() { ends = append(ends, e.Now()) })
+		p.Use(10*Nanosecond, func() { ends = append(ends, e.Now()) })
+		p.Use(5*Nanosecond, func() { ends = append(ends, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10 * Nanosecond, 20 * Nanosecond, 25 * Nanosecond}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestPipeIdleGap(t *testing.T) {
+	e := NewEngine()
+	p := NewPipe(e)
+	var end Time
+	e.After(0, func() { p.Use(10*Nanosecond, nil) })
+	e.At(100*Nanosecond, func() {
+		end = p.Use(10*Nanosecond, nil)
+	})
+	e.Run()
+	if end != 110*Nanosecond {
+		t.Fatalf("second use completes at %v, want 110ns (no back-to-back across idle gap)", end)
+	}
+}

@@ -1,0 +1,51 @@
+package task
+
+import (
+	"testing"
+
+	"fcc/internal/fabric"
+	"fcc/internal/link"
+	"fcc/internal/mem"
+	"fcc/internal/sim"
+	"fcc/internal/txn"
+)
+
+// BenchmarkTaskRoundTrip measures snapshot + execute + commit of a
+// small task on the local engine.
+func BenchmarkTaskRoundTrip(b *testing.B) {
+	eng := sim.NewEngine()
+	bd := fabric.NewBuilder(eng)
+	sw := bd.AddSwitch("fs0", fabric.DefaultSwitchConfig())
+	ha, err := bd.AttachEndpoint(sw, "h", fabric.RoleHost, link.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep := txn.NewEndpoint(eng, ha.ID, ha.Port, 0)
+	ha.Port.SetSink(ep)
+	fa, err := bd.AttachEndpoint(sw, "f", fabric.RoleFAM, link.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := mem.NewFAM(eng, fa, mem.DefaultFAMConfig(1<<24))
+	if err := bd.Discover(); err != nil {
+		b.Fatal(err)
+	}
+	r := NewRunner(eng, ep)
+	r.AddEngine(NewLocalEngine(eng, "cpu", 1))
+	f.DRAM().Store().Write64(0, 5)
+	eng.Go("driver", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.SubmitP(p, &Task{
+				Name:    "bench",
+				Inputs:  []Region{{Port: f.ID(), Addr: 0, Size: 64}},
+				Outputs: []Region{{Port: f.ID(), Addr: 0x1000, Size: 8}},
+				Body: func(c *Ctx) error {
+					PutU64(c.Output(0), 0, GetU64(c.Input(0), 0)+1)
+					return nil
+				},
+			})
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,120 @@
+package task
+
+import (
+	"errors"
+	"fmt"
+
+	"fcc/internal/sim"
+)
+
+// DAG composes idempotent tasks into a dependency graph — the shape the
+// §5 case study's multi-stage pipelines take. Nodes are submitted as
+// soon as every dependency has committed, so independent branches run
+// in parallel across execution engines, and the whole graph inherits
+// the per-task failure recovery of the runner.
+type DAG struct {
+	r     *Runner
+	nodes []*Node
+}
+
+// Node is one task in the graph.
+type Node struct {
+	Task *Task
+	deps []*Node
+	idx  int
+
+	// Result is populated once the node commits.
+	Result *Result
+}
+
+// NewDAG builds an empty graph executed through r.
+func NewDAG(r *Runner) *DAG { return &DAG{r: r} }
+
+// Add inserts a task depending on the given nodes (which must belong to
+// this DAG).
+func (d *DAG) Add(t *Task, deps ...*Node) *Node {
+	n := &Node{Task: t, deps: deps, idx: len(d.nodes)}
+	d.nodes = append(d.nodes, n)
+	return n
+}
+
+// ErrCycle reports a dependency cycle.
+var ErrCycle = errors.New("task: dependency cycle")
+
+// validate checks all deps belong to the DAG and that it is acyclic
+// (nodes can only depend on earlier nodes by construction with Add, but
+// we verify defensively in case callers mutate).
+func (d *DAG) validate() error {
+	for _, n := range d.nodes {
+		for _, dep := range n.deps {
+			if dep.idx >= len(d.nodes) || d.nodes[dep.idx] != dep {
+				return fmt.Errorf("task: node %q depends on a foreign node", n.Task.Name)
+			}
+			if dep.idx >= n.idx {
+				return fmt.Errorf("%w involving %q", ErrCycle, n.Task.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the graph; the future resolves when every node has
+// committed, or fails with the first node error (remaining in-flight
+// nodes still complete; nothing new is launched after a failure).
+func (d *DAG) Run() *sim.Future[struct{}] {
+	f := sim.NewFuture[struct{}]()
+	if err := d.validate(); err != nil {
+		f.Fail(err)
+		return f
+	}
+	if len(d.nodes) == 0 {
+		f.Complete(struct{}{})
+		return f
+	}
+	remainingDeps := make([]int, len(d.nodes))
+	dependents := make([][]int, len(d.nodes))
+	for _, n := range d.nodes {
+		remainingDeps[n.idx] = len(n.deps)
+		for _, dep := range n.deps {
+			dependents[dep.idx] = append(dependents[dep.idx], n.idx)
+		}
+	}
+	pending := len(d.nodes)
+	failed := false
+	var launch func(n *Node)
+	launch = func(n *Node) {
+		d.r.Submit(n.Task).OnComplete(func(res *Result, err error) {
+			if err != nil {
+				if !failed {
+					failed = true
+					f.Fail(fmt.Errorf("task: DAG node %q: %w", n.Task.Name, err))
+				}
+				return
+			}
+			n.Result = res
+			pending--
+			if pending == 0 && !failed {
+				f.Complete(struct{}{})
+				return
+			}
+			for _, di := range dependents[n.idx] {
+				remainingDeps[di]--
+				if remainingDeps[di] == 0 && !failed {
+					launch(d.nodes[di])
+				}
+			}
+		})
+	}
+	for _, n := range d.nodes {
+		if len(n.deps) == 0 {
+			launch(n)
+		}
+	}
+	return f
+}
+
+// RunP is the blocking form of Run.
+func (d *DAG) RunP(p *sim.Proc) error {
+	_, err := d.Run().Await(p)
+	return err
+}

@@ -1,0 +1,157 @@
+package task
+
+import (
+	"testing"
+
+	"fcc/internal/mem"
+	"fcc/internal/sim"
+)
+
+// mkTask builds a task that sums src u64 and writes sum+delta to dst.
+func mkTask(f *mem.FAM, name string, src, dst uint64, delta uint64) *Task {
+	return &Task{
+		Name:    name,
+		Inputs:  []Region{{Port: f.ID(), Addr: src, Size: 8}},
+		Outputs: []Region{{Port: f.ID(), Addr: dst, Size: 8}},
+		Body: func(c *Ctx) error {
+			PutU64(c.Output(0), 0, GetU64(c.Input(0), 0)+delta)
+			c.Compute(2 * sim.Microsecond)
+			return nil
+		},
+		MaxAttempts: 30,
+	}
+}
+
+func TestDAGDiamondOrdering(t *testing.T) {
+	// a -> (b, c) -> d : d must observe both branches' outputs.
+	eng, r, f := rig(t)
+	r.AddEngine(NewLocalEngine(eng, "cpu", 1))
+	f.DRAM().Store().Write64(0x000, 10)
+	d := NewDAG(r)
+	a := d.Add(mkTask(f, "a", 0x000, 0x100, 1))    // 11
+	b := d.Add(mkTask(f, "b", 0x100, 0x200, 2), a) // 13
+	c := d.Add(mkTask(f, "c", 0x100, 0x300, 3), a) // 14
+	join := &Task{
+		Name: "d",
+		Inputs: []Region{
+			{Port: f.ID(), Addr: 0x200, Size: 8},
+			{Port: f.ID(), Addr: 0x300, Size: 8},
+		},
+		Outputs: []Region{{Port: f.ID(), Addr: 0x400, Size: 8}},
+		Body: func(ctx *Ctx) error {
+			PutU64(ctx.Output(0), 0, GetU64(ctx.Input(0), 0)+GetU64(ctx.Input(1), 0))
+			return nil
+		},
+	}
+	d.Add(join, b, c)
+	eng.Go("driver", func(p *sim.Proc) {
+		if err := d.RunP(p); err != nil {
+			t.Errorf("DAG failed: %v", err)
+		}
+	})
+	eng.Run()
+	if got := f.DRAM().Store().Read64(0x400); got != 27 {
+		t.Fatalf("join = %d, want 27 (13+14)", got)
+	}
+}
+
+func TestDAGParallelBranches(t *testing.T) {
+	// Independent branches on two engines must overlap in time: total
+	// wall time ≈ one task, not two.
+	eng, r, f := rig(t)
+	r.AddEngine(NewLocalEngine(eng, "e0", 1))
+	r.AddEngine(NewLocalEngine(eng, "e1", 2))
+	f.DRAM().Store().Write64(0, 1)
+	d := NewDAG(r)
+	d.Add(mkTask(f, "x", 0, 0x100, 1))
+	d.Add(mkTask(f, "y", 0, 0x200, 2))
+	eng.Go("driver", func(p *sim.Proc) { d.RunP(p) })
+	eng.Run()
+	serial := 2 * (2 * sim.Microsecond) // two compute phases back to back
+	if eng.Now() >= serial+2*sim.Microsecond {
+		t.Fatalf("DAG took %v; branches did not overlap", eng.Now())
+	}
+}
+
+func TestDAGSurvivesNodeFailures(t *testing.T) {
+	// A 6-stage chain under 50% engine fail-stop: every stage retries
+	// independently and the chain still produces the exact result.
+	eng, r, f := rig(t)
+	le := NewLocalEngine(eng, "flaky", 5)
+	le.FailProb = 0.5
+	r.AddEngine(le)
+	f.DRAM().Store().Write64(0, 100)
+	d := NewDAG(r)
+	var prev *Node
+	for i := 0; i < 6; i++ {
+		src := uint64(i) * 0x100
+		dst := uint64(i+1) * 0x100
+		n := mkTask(f, "s", src, dst, 1)
+		if prev == nil {
+			prev = d.Add(n)
+		} else {
+			prev = d.Add(n, prev)
+		}
+	}
+	var err error
+	eng.Go("driver", func(p *sim.Proc) { err = d.RunP(p) })
+	eng.Run()
+	if err != nil {
+		t.Fatalf("DAG failed: %v", err)
+	}
+	if got := f.DRAM().Store().Read64(6 * 0x100); got != 106 {
+		t.Fatalf("chain result = %d, want 106", got)
+	}
+	if r.Failures.Value() == 0 {
+		t.Skip("no failures sampled")
+	}
+	if prev.Result == nil {
+		t.Fatal("node result not recorded")
+	}
+}
+
+func TestDAGRejectsForeignDependency(t *testing.T) {
+	eng, r, f := rig(t)
+	r.AddEngine(NewLocalEngine(eng, "cpu", 1))
+	d1 := NewDAG(r)
+	d2 := NewDAG(r)
+	foreign := d2.Add(mkTask(f, "other", 0, 0x100, 1))
+	d1.Add(mkTask(f, "x", 0, 0x200, 1), foreign)
+	var err error
+	eng.Go("driver", func(p *sim.Proc) { err = d1.RunP(p) })
+	eng.Run()
+	if err == nil {
+		t.Fatal("foreign dependency accepted")
+	}
+}
+
+func TestDAGEmptyCompletes(t *testing.T) {
+	eng, r, _ := rig(t)
+	r.AddEngine(NewLocalEngine(eng, "cpu", 1))
+	f := NewDAG(r).Run()
+	if !f.Done() || f.Err() != nil {
+		t.Fatal("empty DAG did not complete immediately")
+	}
+}
+
+func TestDAGFailurePropagates(t *testing.T) {
+	eng, r, f := rig(t)
+	le := NewLocalEngine(eng, "dead", 1)
+	le.FailProb = 1.0
+	r.AddEngine(le)
+	d := NewDAG(r)
+	bad := mkTask(f, "doomed", 0, 0x100, 1)
+	bad.MaxAttempts = 2
+	first := d.Add(bad)
+	d.Add(mkTask(f, "after", 0x100, 0x200, 1), first)
+	var err error
+	eng.Go("driver", func(p *sim.Proc) { err = d.RunP(p) })
+	eng.Run()
+	if err == nil {
+		t.Fatal("DAG succeeded on an always-failing engine")
+	}
+	// The dependent stage must never have run.
+	if got := f.DRAM().Store().Read64(0x200); got != 0 {
+		t.Fatalf("dependent stage ran after failure: %d", got)
+	}
+}

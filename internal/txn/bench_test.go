@@ -1,0 +1,56 @@
+package txn
+
+import (
+	"testing"
+
+	"fcc/internal/flit"
+	"fcc/internal/link"
+	"fcc/internal/sim"
+)
+
+// BenchmarkRequestResponse measures one tag-matched round trip.
+func BenchmarkRequestResponse(b *testing.B) {
+	eng := sim.NewEngine()
+	l, err := link.New(eng, "b", link.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := NewEndpoint(eng, 1, l.A(), 0)
+	d := NewEndpoint(eng, 2, l.B(), 0)
+	l.A().SetSink(a)
+	l.B().SetSink(d)
+	d.Handler = func(req *flit.Packet, reply func(*flit.Packet)) {
+		reply(req.Response(flit.OpMemRdData, 64))
+	}
+	eng.Go("driver", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Request(&flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd, Dst: 2}).MustAwait(p)
+		}
+	})
+	eng.Run()
+}
+
+// BenchmarkBulkWrite16K measures a segmented 16KB transfer.
+func BenchmarkBulkWrite16K(b *testing.B) {
+	eng := sim.NewEngine()
+	l, err := link.New(eng, "b", link.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := NewEndpoint(eng, 1, l.A(), 0)
+	d := NewEndpoint(eng, 2, l.B(), 0)
+	l.A().SetSink(a)
+	l.B().SetSink(d)
+	d.Handler = func(req *flit.Packet, reply func(*flit.Packet)) {
+		reply(req.Response(flit.OpIOAck, 0))
+	}
+	b.SetBytes(16384)
+	eng.Go("driver", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.BulkWrite(2, 0, 16384).MustAwait(p)
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,199 @@
+// Package txn implements the Flex Bus transaction layer (§2.1): channel
+// semantics over raw packet delivery. It gives each endpoint tag
+// allocation with a bounded outstanding window, request/response
+// matching, request dispatch, and segmentation of bulk transfers into
+// link-MTU-sized packets (the PCIe max-payload-size discipline).
+package txn
+
+import (
+	"fmt"
+
+	"fcc/internal/flit"
+	"fcc/internal/link"
+	"fcc/internal/sim"
+)
+
+// Sender is anything that can emit a packet toward the fabric — a link
+// port, or a loopback in tests.
+type Sender interface {
+	Send(pkt *flit.Packet)
+}
+
+// Handler serves incoming requests at an endpoint. reply must be called
+// exactly once with the response packet (use req.Response to build it).
+type Handler func(req *flit.Packet, reply func(resp *flit.Packet))
+
+// Endpoint is the transaction-layer state of one fabric endpoint: it
+// owns the endpoint's PBR ID, its outstanding-request window, and the
+// dispatch of inbound traffic into requests (handled) and responses
+// (matched to futures).
+type Endpoint struct {
+	eng  *sim.Engine
+	id   flit.PortID
+	out  Sender
+	tags *sim.Semaphore
+	next uint16
+	pend map[uint16]*sim.Future[*flit.Packet]
+
+	// Handler serves inbound requests. It may be nil for pure
+	// initiators (a request arriving then panics — a topology bug).
+	Handler Handler
+
+	// Metrics.
+	ReqsSent   sim.Counter
+	RespsRecv  sim.Counter
+	ReqsServed sim.Counter
+}
+
+// DefaultMaxTags is the default outstanding-transaction window.
+const DefaultMaxTags = 256
+
+// NewEndpoint creates an endpoint with PBR ID id sending via out.
+func NewEndpoint(eng *sim.Engine, id flit.PortID, out Sender, maxTags int) *Endpoint {
+	if maxTags <= 0 {
+		maxTags = DefaultMaxTags
+	}
+	return &Endpoint{
+		eng:  eng,
+		id:   id,
+		out:  out,
+		tags: sim.NewSemaphore(maxTags),
+		pend: make(map[uint16]*sim.Future[*flit.Packet]),
+	}
+}
+
+// ID reports the endpoint's fabric port ID.
+func (e *Endpoint) ID() flit.PortID { return e.id }
+
+// Outstanding reports in-flight requests initiated by this endpoint.
+func (e *Endpoint) Outstanding() int { return len(e.pend) }
+
+// Arrive implements link.Sink: endpoint buffers drain instantly (the
+// endpoint is the terminus; its internal queues are modelled above the
+// fabric), so the receive buffer is released immediately.
+func (e *Endpoint) Arrive(pkt *flit.Packet, release func()) {
+	release()
+	e.Dispatch(pkt)
+}
+
+// Dispatch routes an inbound packet: responses complete their pending
+// future; requests go to the Handler.
+func (e *Endpoint) Dispatch(pkt *flit.Packet) {
+	if pkt.Op.IsRequest() {
+		if e.Handler == nil {
+			panic(fmt.Sprintf("txn: endpoint %d received request %v with no handler", e.id, pkt))
+		}
+		replied := false
+		e.Handler(pkt, func(resp *flit.Packet) {
+			if replied {
+				panic("txn: handler replied twice")
+			}
+			replied = true
+			e.out.Send(resp)
+			e.ReqsServed.Inc()
+		})
+		return
+	}
+	f, ok := e.pend[pkt.Tag]
+	if !ok {
+		panic(fmt.Sprintf("txn: endpoint %d got response %v with no pending request", e.id, pkt))
+	}
+	delete(e.pend, pkt.Tag)
+	e.tags.Release()
+	e.RespsRecv.Inc()
+	f.Complete(pkt)
+}
+
+// Request sends a request packet (Src and Tag are filled in) and returns
+// a future resolving to the response. If the outstanding window is full,
+// the send waits for a tag — the future covers that wait too, exactly
+// like a full MSHR stalls a real pipeline.
+func (e *Endpoint) Request(pkt *flit.Packet) *sim.Future[*flit.Packet] {
+	if !pkt.Op.IsRequest() {
+		panic("txn: Request with non-request op " + pkt.Op.String())
+	}
+	f := sim.NewFuture[*flit.Packet]()
+	e.tags.Acquire(func() {
+		tag := e.allocTag()
+		pkt.Src = e.id
+		pkt.Tag = tag
+		e.pend[tag] = f
+		e.ReqsSent.Inc()
+		e.out.Send(pkt)
+	})
+	return f
+}
+
+func (e *Endpoint) allocTag() uint16 {
+	for {
+		t := e.next
+		e.next++
+		if _, busy := e.pend[t]; !busy {
+			return t
+		}
+	}
+}
+
+// segments splits [0,size) into MaxPacketPayload chunks.
+func segments(size uint32) []uint32 {
+	var out []uint32
+	for size > 0 {
+		c := uint32(link.MaxPacketPayload)
+		if size < c {
+			c = size
+		}
+		out = append(out, c)
+		size -= c
+	}
+	return out
+}
+
+// BulkWrite issues a bulk transfer of size bytes to (dst, addr) on the
+// CXL.io channel, segmented into max-payload packets, and returns a
+// future resolving when every segment is acknowledged. This is the
+// mechanism behind the paper's "16KB writes" interference workload and
+// the elastic transaction engine's data movement.
+func (e *Endpoint) BulkWrite(dst flit.PortID, addr uint64, size uint32) *sim.Future[int] {
+	return e.bulk(dst, addr, size, flit.OpIOWr)
+}
+
+// BulkRead issues a segmented bulk read; the future resolves when all
+// response data has arrived.
+func (e *Endpoint) BulkRead(dst flit.PortID, addr uint64, size uint32) *sim.Future[int] {
+	return e.bulk(dst, addr, size, flit.OpIORd)
+}
+
+func (e *Endpoint) bulk(dst flit.PortID, addr uint64, size uint32, op flit.Op) *sim.Future[int] {
+	done := sim.NewFuture[int]()
+	segs := segments(size)
+	if len(segs) == 0 {
+		done.Complete(0)
+		return done
+	}
+	remaining := len(segs)
+	var firstErr error
+	off := uint64(0)
+	for _, sz := range segs {
+		pkt := &flit.Packet{Chan: flit.ChIO, Op: op, Dst: dst, Addr: addr + off}
+		if op == flit.OpIOWr {
+			pkt.Size = sz // the write carries its payload out
+		} else {
+			pkt.ReqLen = sz // the read asks for sz bytes back
+		}
+		e.Request(pkt).OnComplete(func(_ *flit.Packet, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 {
+				if firstErr != nil {
+					done.Fail(firstErr)
+				} else {
+					done.Complete(int(size))
+				}
+			}
+		})
+		off += uint64(sz)
+	}
+	return done
+}

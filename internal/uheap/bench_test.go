@@ -1,0 +1,25 @@
+package uheap
+
+import (
+	"testing"
+
+	"fcc/internal/host"
+	"fcc/internal/sim"
+)
+
+// BenchmarkAllocFree measures allocator cost (no simulated accesses).
+func BenchmarkAllocFree(b *testing.B) {
+	eng := sim.NewEngine()
+	h := host.New(eng, "bench", host.DefaultConfig(), nil)
+	hp, err := New(h, Config{}, PoolSpec{Name: "dimm", Base: 1 << 20, Size: 64 << 20, Class: ClassLocal})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		o, err := hp.Alloc(uint64(64 + i%4000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		hp.Free(o)
+	}
+}
