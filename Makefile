@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+# ci is the tier-1 gate: build, vet, and the full suite under the race
+# detector. Run it before every push.
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .

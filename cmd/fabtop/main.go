@@ -1,5 +1,8 @@
 // fabtop builds a composable-infrastructure topology and renders it —
-// the Figure 1b regeneration as a standalone tool.
+// the Figure 1b regeneration as a standalone tool. With -trace, it also
+// runs one remote read through the fabric with the flit tracer attached
+// and prints the packet's hop-by-hop path (port, event, VC, seq, credit
+// state, timestamps).
 package main
 
 import (
@@ -7,6 +10,8 @@ import (
 	"fmt"
 
 	"fcc"
+	"fcc/internal/sim"
+	"fcc/internal/telemetry"
 )
 
 func main() {
@@ -16,12 +21,17 @@ func main() {
 	switches := flag.Int("switches", 2, "fabric switches (line topology)")
 	agents := flag.Bool("agents", true, "migration agent per FAM")
 	arb := flag.Bool("arbiter", true, "central fabric arbiter")
+	trace := flag.Bool("trace", false, "run one remote read and print its hop-by-hop flit trace")
 	flag.Parse()
 
-	c, err := fcc.New(fcc.Config{
+	cfg := fcc.Config{
 		Hosts: *hosts, FAMs: *fams, FAAs: *faas, FAMCapacity: 1 << 30,
 		Switches: *switches, Agents: *agents, Arbiter: *arb,
-	})
+	}
+	if *trace {
+		cfg.TraceFlits = 4096
+	}
+	c, err := fcc.New(cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -30,4 +40,22 @@ func main() {
 	fmt.Println("  transaction layer: CXL.io / CXL.mem / CXL.cache (+ ctrl lane)")
 	fmt.Println("  link layer:        credit-based flow control, reliability/replay")
 	fmt.Println("  physical layer:    (de)serialization, framing, x4/x8/x16 @ up to 64 GT/s")
+
+	if !*trace {
+		return
+	}
+	// One remote read from host0 to the last FAM (the longest path in
+	// the line topology), traced at every port it crosses.
+	h := c.Hosts[0]
+	target := c.FAMBase(*fams - 1)
+	c.Go("trace-read", func(p *sim.Proc) { h.Load64P(p, target) })
+	c.Run()
+
+	src, tag, ok := c.Tracer.FirstPacket()
+	if !ok {
+		fmt.Println("\nno packets traced")
+		return
+	}
+	fmt.Printf("\nflit trace (%d events recorded fabric-wide):\n", c.Tracer.Total())
+	fmt.Print(telemetry.RenderPath(c.Tracer.PacketPath(src, tag)))
 }

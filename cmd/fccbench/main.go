@@ -1,125 +1,160 @@
 // fccbench regenerates every table, figure, claim, and ablation of the
 // Fabric-Centric Computing reproduction. Run with -exp all (default) or
-// a specific experiment id from DESIGN.md's experiment index.
+// a specific experiment id from DESIGN.md's experiment index. With
+// -json <path>, every executed experiment's result struct plus the
+// fabric-wide stats tree of a representative run are written as a
+// machine-readable document (see EXPERIMENTS.md, "JSON export").
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"fcc/internal/exp"
+	"fcc/internal/sim"
 )
 
+// experiment is one reproducible unit: run returns the machine-readable
+// result (exported under the experiment id in -json mode) and the
+// human-readable rendering printed to stdout.
 type experiment struct {
 	id   string
 	desc string
-	run  func()
+	run  func() (result any, text string)
+}
+
+// jsonOutput is the -json document: schema-versioned experiment results
+// plus the full stats tree from a representative workload.
+type jsonOutput struct {
+	Schema      int                `json:"schema"`
+	Experiments map[string]any     `json:"experiments"`
+	Stats       *sim.StatsSnapshot `json:"stats"`
 }
 
 func main() {
 	which := flag.String("exp", "all", "experiment id (see -list)")
 	list := flag.Bool("list", false, "list experiments")
+	jsonPath := flag.String("json", "", "write results + stats tree as JSON to this path")
 	flag.Parse()
 
 	exps := []experiment{
-		{"table1", "Table 1: commodity memory fabrics", func() {
-			fmt.Print(exp.Table1())
+		{"table1", "Table 1: commodity memory fabrics", func() (any, string) {
+			t := exp.Table1()
+			return t, t
 		}},
-		{"table2", "Table 2: memory hierarchy latency/throughput", func() {
-			fmt.Print(exp.RenderTable2(exp.Table2()))
+		{"table2", "Table 2: memory hierarchy latency/throughput", func() (any, string) {
+			rows := exp.Table2()
+			return rows, exp.RenderTable2(rows)
 		}},
-		{"figure1", "Figure 1b: composable infrastructure topology", func() {
-			fmt.Print(exp.Figure1())
+		{"figure1", "Figure 1b: composable infrastructure topology", func() (any, string) {
+			f := exp.Figure1()
+			return f, f
 		}},
-		{"claim-mlp", "C1: remote throughput is MLP-bound", func() {
-			fmt.Print(exp.RenderMLP(exp.ClaimMLP()))
+		{"claim-mlp", "C1: remote throughput is MLP-bound", func() (any, string) {
+			rows := exp.ClaimMLP()
+			return rows, exp.RenderMLP(rows)
 		}},
-		{"claim-contention", "C2: concurrent 64B writes add one-way latency", func() {
+		{"claim-contention", "C2: concurrent 64B writes add one-way latency", func() (any, string) {
 			r := exp.ClaimContention()
-			fmt.Printf("64B write one-way: solo %.0fns, under 3-host contention %.0fns (+%.0fns)\n",
+			return r, fmt.Sprintf("64B write one-way: solo %.0fns, under 3-host contention %.0fns (+%.0fns)\n"+
+				"(paper: concurrent 64B PCIe writes can add 600ns one-way)\n",
 				r.SoloNs, r.ContendedNs, r.AddedNs)
-			fmt.Println("(paper: concurrent 64B PCIe writes can add 600ns one-way)")
 		}},
-		{"claim-interleave", "C3: 64B latency under 16KB bulk interference", func() {
+		{"claim-interleave", "C3: 64B latency under 16KB bulk interference", func() (any, string) {
 			r := exp.ClaimInterleave()
-			fmt.Printf("64B request mean latency:\n")
-			fmt.Printf("  idle fabric:                  %8.0fns\n", r.AloneNs)
-			fmt.Printf("  with 16KB bulk, shared pool:  %8.0fns (%.1fx)\n",
-				r.WithBulkNs, r.WithBulkNs/r.AloneNs)
-			fmt.Printf("  with 16KB bulk, dedicated VC: %8.0fns (%.1fx)\n",
+			return r, fmt.Sprintf("64B request mean latency:\n"+
+				"  idle fabric:                  %8.0fns\n"+
+				"  with 16KB bulk, shared pool:  %8.0fns (%.1fx)\n"+
+				"  with 16KB bulk, dedicated VC: %8.0fns (%.1fx)\n"+
+				"(paper: interleaved with 16KB writes, 64B latency degrades drastically)\n",
+				r.AloneNs, r.WithBulkNs, r.WithBulkNs/r.AloneNs,
 				r.WithBulkVCSepNs, r.WithBulkVCSepNs/r.AloneNs)
-			fmt.Println("(paper: interleaved with 16KB writes, 64B latency degrades drastically)")
 		}},
-		{"claim-switch", "C4: switch transit <100ns/port at high bandwidth", func() {
+		{"claim-switch", "C4: switch transit <100ns/port at high bandwidth", func() (any, string) {
 			r := exp.ClaimSwitch()
-			fmt.Printf("switch transit: %.0fns mean; sustained %.1f GB/s through one port\n",
+			return r, fmt.Sprintf("switch transit: %.0fns mean; sustained %.1f GB/s through one port\n"+
+				"(paper/FabreX: <100ns non-blocking per port, up to 512 Gbit/s)\n",
 				r.TransitNs, r.GBps)
-			fmt.Println("(paper/FabreX: <100ns non-blocking per port, up to 512 Gbit/s)")
 		}},
-		{"claim-rtt", "C5: unloaded link-layer RTT of a small flit", func() {
+		{"claim-rtt", "C5: unloaded link-layer RTT of a small flit", func() (any, string) {
 			r := exp.ClaimRTT()
-			fmt.Printf("64B-class flit RTT on a direct link: %.0fns\n", r.RTTNs)
-			fmt.Println("(paper: end-to-end RTT of a 64B flit can be up to 200ns unloaded)")
+			return r, fmt.Sprintf("64B-class flit RTT on a direct link: %.0fns\n"+
+				"(paper: end-to-end RTT of a 64B flit can be up to 200ns unloaded)\n", r.RTTNs)
 		}},
-		{"etrans", "E1: data movement as a managed service", func() {
+		{"etrans", "E1: data movement as a managed service", func() (any, string) {
 			r := exp.ETransAblation()
-			fmt.Printf("move 16 x 64KB FAM->FAM:\n")
-			fmt.Printf("  host-driven synchronous copies: %8.1fus\n", r.SyncUs)
-			fmt.Printf("  managed (delegated to agents):  %8.1fus (%.1fx faster)\n",
-				r.ManagedUs, r.SyncUs/r.ManagedUs)
-			fmt.Printf("  host-visible cost, OwnExecutor: %8.1fus\n", r.HostFreeUs)
+			return r, fmt.Sprintf("move 16 x 64KB FAM->FAM:\n"+
+				"  host-driven synchronous copies: %8.1fus\n"+
+				"  managed (delegated to agents):  %8.1fus (%.1fx faster)\n"+
+				"  host-visible cost, OwnExecutor: %8.1fus\n",
+				r.SyncUs, r.ManagedUs, r.SyncUs/r.ManagedUs, r.HostFreeUs)
 		}},
-		{"uheap", "E2: active unified heap vs static placement", func() {
+		{"uheap", "E2: active unified heap vs static placement", func() (any, string) {
 			r := exp.UHeapAblation()
-			fmt.Printf("Zipf object access, working set 2x local pool:\n")
-			fmt.Printf("  static placement: mean %7.1fns\n", r.StaticMeanNs)
-			fmt.Printf("  active heap:      mean %7.1fns (%.2fx, %d promotions)\n",
-				r.MigratedMeanNs, r.StaticMeanNs/r.MigratedMeanNs, r.Promotions)
+			return r, fmt.Sprintf("Zipf object access, working set 2x local pool:\n"+
+				"  static placement: mean %7.1fns\n"+
+				"  active heap:      mean %7.1fns (%.2fx, %d promotions)\n",
+				r.StaticMeanNs, r.MigratedMeanNs, r.StaticMeanNs/r.MigratedMeanNs, r.Promotions)
 		}},
-		{"idem", "E3: idempotent tasks under failure injection", func() {
-			fmt.Printf("%8s | %13s | %11s | %s\n", "failProb", "mean attempts", "all correct", "time overhead")
-			for _, r := range exp.IdemAblation() {
-				fmt.Printf("%8.1f | %13.2f | %11v | %+.0f%%\n",
+		{"idem", "E3: idempotent tasks under failure injection", func() (any, string) {
+			rows := exp.IdemAblation()
+			var b strings.Builder
+			fmt.Fprintf(&b, "%8s | %13s | %11s | %s\n", "failProb", "mean attempts", "all correct", "time overhead")
+			for _, r := range rows {
+				fmt.Fprintf(&b, "%8.1f | %13.2f | %11v | %+.0f%%\n",
 					r.FailProb, r.MeanAttempts, r.AllCorrect, r.OverheadPct)
 			}
+			return rows, b.String()
 		}},
-		{"arbiter", "E4: central arbiter protects small-request latency", func() {
+		{"arbiter", "E4: central arbiter protects small-request latency", func() (any, string) {
 			r := exp.ArbiterAblation()
-			fmt.Printf("reader p99 under 3-writer incast:\n")
-			fmt.Printf("  laissez-faire: %8.0fns\n", r.LaissezFaireP99Ns)
-			fmt.Printf("  with arbiter:  %8.0fns (%.1fx better; bulk goodput %+.0f%%)\n",
-				r.ArbiterP99Ns, r.LaissezFaireP99Ns/r.ArbiterP99Ns, r.BulkChangePct)
+			return r, fmt.Sprintf("reader p99 under 3-writer incast:\n"+
+				"  laissez-faire: %8.0fns\n"+
+				"  with arbiter:  %8.0fns (%.1fx better; bulk goodput %+.0f%%)\n",
+				r.LaissezFaireP99Ns, r.ArbiterP99Ns,
+				r.LaissezFaireP99Ns/r.ArbiterP99Ns, r.BulkChangePct)
 		}},
-		{"cfc", "E5: credit allocation schemes", func() {
-			fmt.Printf("%-18s | %9s | %9s | %s\n", "scheme", "heavy ops", "light ops", "Jain fairness")
-			for _, r := range exp.CFCAblation() {
-				fmt.Printf("%-18s | %9.0f | %9.0f | %.3f\n",
+		{"cfc", "E5: credit allocation schemes", func() (any, string) {
+			rows := exp.CFCAblation()
+			var b strings.Builder
+			fmt.Fprintf(&b, "%-18s | %9s | %9s | %s\n", "scheme", "heavy ops", "light ops", "Jain fairness")
+			for _, r := range rows {
+				fmt.Fprintf(&b, "%-18s | %9.0f | %9.0f | %.3f\n",
 					r.Scheme, r.HeavyOps, r.LightOps, r.JainFairness)
 			}
+			return rows, b.String()
 		}},
-		{"nodes", "E6: memory node types under sharing patterns", func() {
-			fmt.Printf("%-14s | %14s | %13s | %s\n", "node type",
+		{"nodes", "E6: memory node types under sharing patterns", func() (any, string) {
+			rows := exp.NodeTypes()
+			var b strings.Builder
+			fmt.Fprintf(&b, "%-14s | %14s | %13s | %s\n", "node type",
 				"read-shared ns", "ping-pong ns", "big-set ns")
-			for _, r := range exp.NodeTypes() {
-				fmt.Printf("%-14s | %14.0f | %13.0f | %10.0f\n",
+			for _, r := range rows {
+				fmt.Fprintf(&b, "%-14s | %14.0f | %13.0f | %10.0f\n",
 					r.Kind, r.ReadShared, r.PingPong, r.BigSet)
 			}
+			return rows, b.String()
 		}},
-		{"prefetch", "E8: prefetching accelerates fabric memory", func() {
-			fmt.Printf("%5s | %10s | %s\n", "depth", "stream us", "speedup")
-			for _, r := range exp.PrefetchSweep() {
-				fmt.Printf("%5d | %10.1f | %.2fx\n", r.Depth, r.StreamUs, r.Speedup)
+		{"prefetch", "E8: prefetching accelerates fabric memory", func() (any, string) {
+			rows := exp.PrefetchSweep()
+			var b strings.Builder
+			fmt.Fprintf(&b, "%5s | %10s | %s\n", "depth", "stream us", "speedup")
+			for _, r := range rows {
+				fmt.Fprintf(&b, "%5d | %10.1f | %.2fx\n", r.Depth, r.StreamUs, r.Speedup)
 			}
+			return rows, b.String()
 		}},
-		{"mimo", "E7: MIMO baseband case study", func() {
-			r := exp.MIMOPipeline(8, false)
-			fmt.Printf("clean run:   %d frames, BER %.4f, mean frame latency %.1fus\n",
-				r.Frames, r.BER, r.MeanFrameUs)
-			r = exp.MIMOPipeline(8, true)
-			fmt.Printf("w/ failures: %d frames, BER %.4f, mean frame latency %.1fus (%d failovers)\n",
-				r.Frames, r.BER, r.MeanFrameUs, r.FAAFailovers)
+		{"mimo", "E7: MIMO baseband case study", func() (any, string) {
+			clean := exp.MIMOPipeline(8, false)
+			failed := exp.MIMOPipeline(8, true)
+			text := fmt.Sprintf("clean run:   %d frames, BER %.4f, mean frame latency %.1fus\n",
+				clean.Frames, clean.BER, clean.MeanFrameUs) +
+				fmt.Sprintf("w/ failures: %d frames, BER %.4f, mean frame latency %.1fus (%d failovers)\n",
+					failed.Frames, failed.BER, failed.MeanFrameUs, failed.FAAFailovers)
+			return map[string]any{"clean": clean, "failures": failed}, text
 		}},
 	}
 
@@ -129,12 +164,15 @@ func main() {
 		}
 		return
 	}
+	results := make(map[string]any)
 	ran := 0
 	for _, e := range exps {
 		if *which == "all" || *which == e.id {
 			fmt.Printf("=== %s — %s ===\n", e.id, e.desc)
-			e.run()
+			result, text := e.run()
+			fmt.Print(text)
 			fmt.Println()
+			results[e.id] = result
 			ran++
 		}
 	}
@@ -142,6 +180,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: all, %s\n",
 			*which, strings.Join(ids(exps), ", "))
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		out := jsonOutput{
+			Schema:      sim.SnapshotSchemaVersion,
+			Experiments: results,
+			Stats:       exp.StatsWorkload(),
+		}
+		raw, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote results + stats tree to %s\n", *jsonPath)
 	}
 }
 

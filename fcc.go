@@ -27,6 +27,7 @@ import (
 	"fcc/internal/mem"
 	"fcc/internal/sim"
 	"fcc/internal/task"
+	"fcc/internal/telemetry"
 	"fcc/internal/uheap"
 )
 
@@ -54,6 +55,11 @@ type Config struct {
 	// (hosts attach to the first, devices spread round-robin). 0 = 1.
 	Switches int
 
+	// TraceFlits, when positive, attaches a fabric-wide flit tracer
+	// retaining the last TraceFlits hop records across every port
+	// (endpoint and switch sides). See Cluster.Tracer.
+	TraceFlits int
+
 	// Hooks to override component defaults (nil = defaults).
 	HostConfig    func(i int) host.Config
 	LinkConfig    func() link.Config
@@ -78,6 +84,11 @@ type Cluster struct {
 	Agents  []*etrans.Agent
 	Arbiter *arbiter.Arbiter
 	Dirs    []*coherence.Directory
+
+	// Tracer is the fabric-wide flit tracer (nil unless Config.TraceFlits
+	// was set). Every port in the cluster records into this one ring, so
+	// a packet's whole path is reconstructable from a single buffer.
+	Tracer *telemetry.Tracer
 
 	cfg Config
 }
@@ -178,6 +189,17 @@ func New(cfg Config) (*Cluster, error) {
 	if err := b.Discover(); err != nil {
 		return nil, err
 	}
+	if cfg.TraceFlits > 0 {
+		c.Tracer = telemetry.NewTracer(cfg.TraceFlits)
+		for _, att := range b.Attachments() {
+			att.Port.SetTracer(c.Tracer)
+		}
+		for _, sw := range b.Switches() {
+			for i := 0; i < sw.Ports(); i++ {
+				sw.Port(i).SetTracer(c.Tracer)
+			}
+		}
+	}
 	// Map every FAM into every host's physical address space.
 	for _, h := range c.Hosts {
 		for i, f := range c.FAMs {
@@ -246,6 +268,36 @@ func (c *Cluster) NewCoherenceClient(h *host.Host, fam int, ccfg coherence.Clien
 // ArbiterClient returns an arbiter client for host h.
 func (c *Cluster) ArbiterClient(h *host.Host) *arbiter.Client {
 	return arbiter.NewClient(h.Endpoint(), c.Arbiter.ID())
+}
+
+// Stats assembles the fabric-wide metrics tree: every switch (with all
+// its link ports), host, FAM, FAA, migration agent, coherence directory,
+// and the arbiter, each under its stable component name. The tree reads
+// live metrics — call Snapshot() on the result after (or during) a run.
+func (c *Cluster) Stats() *sim.Stats {
+	root := sim.NewStats("cluster")
+	for _, sw := range c.Builder.Switches() {
+		sw.RegisterStats(root.Child(sw.Name()))
+	}
+	for _, h := range c.Hosts {
+		h.RegisterStats(root.Child(h.Name()))
+	}
+	for _, f := range c.FAMs {
+		f.RegisterStats(root.Child(f.Name()))
+	}
+	for i, d := range c.FAAs {
+		d.RegisterStats(root.Child(fmt.Sprintf("faa%d", i)))
+	}
+	for i, a := range c.Agents {
+		a.RegisterStats(root.Child(fmt.Sprintf("agent%d", i)))
+	}
+	for i, d := range c.Dirs {
+		d.RegisterStats(root.Child(fmt.Sprintf("dir%d", i)))
+	}
+	if c.Arbiter != nil {
+		c.Arbiter.RegisterStats(root.Child("arbiter"))
+	}
+	return root
 }
 
 // Render draws the topology (the Figure 1b regeneration).

@@ -282,3 +282,75 @@ func TestTrafficMatrix(t *testing.T) {
 		t.Fatalf("render missing labels:\n%s", out)
 	}
 }
+
+func TestClusterStatsTree(t *testing.T) {
+	c, err := New(Config{
+		Hosts: 2, FAMs: 1, FAAs: 1, FAMCapacity: 1 << 26,
+		Agents: true, Arbiter: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Go("driver", func(p *sim.Proc) {
+		c.Hosts[0].Store64P(p, c.FAMBase(0), 1)
+		c.Hosts[0].Load64P(p, c.FAMBase(0)+4096)
+	})
+	c.Run()
+	snap := c.Stats().Snapshot()
+	if snap.Schema != sim.SnapshotSchemaVersion {
+		t.Fatalf("schema = %d", snap.Schema)
+	}
+	byName := map[string]*sim.StatsSnapshot{}
+	for _, ch := range snap.Children {
+		byName[ch.Name] = ch
+	}
+	for _, want := range []string{"fs0", "host0", "host1", "fam0", "faa0", "agent0", "arbiter"} {
+		if byName[want] == nil {
+			t.Fatalf("stats tree missing component %q (have %v)", want, snap.Children)
+		}
+	}
+	if byName["host0"].Counters["remote_reads"] == 0 {
+		t.Fatal("host0 remote_reads = 0; component counters not wired")
+	}
+	// Switch-side link ports are addressable by their link names.
+	var portTraffic int64
+	for _, p := range byName["fs0"].Children {
+		if strings.Contains(p.Name, "<->") {
+			portTraffic += p.Counters["flits_rx"]
+		}
+	}
+	if portTraffic == 0 {
+		t.Fatal("no flits recorded on any switch port")
+	}
+}
+
+func TestClusterFlitTracer(t *testing.T) {
+	c, err := New(Config{
+		Hosts: 1, FAMs: 1, FAMCapacity: 1 << 26, TraceFlits: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Go("driver", func(p *sim.Proc) { c.Hosts[0].Load64P(p, c.FAMBase(0)) })
+	c.Run()
+	if c.Tracer == nil || c.Tracer.Total() == 0 {
+		t.Fatal("tracer attached but recorded nothing")
+	}
+	src, tag, ok := c.Tracer.FirstPacket()
+	if !ok {
+		t.Fatal("no packet identity in trace")
+	}
+	path := c.Tracer.PacketPath(src, tag)
+	// A remote read request crosses host->switch and switch->FAM: at
+	// minimum a send and a deliver on each of the two links.
+	if len(path) < 4 {
+		t.Fatalf("path has %d records, want >= 4:\n%v", len(path), path)
+	}
+	seenPorts := map[string]bool{}
+	for _, r := range path {
+		seenPorts[r.Port] = true
+	}
+	if len(seenPorts) < 3 {
+		t.Fatalf("path crossed only ports %v; expected multiple hops", seenPorts)
+	}
+}

@@ -314,3 +314,13 @@ func (c *Client) WithReservationP(p *sim.Proc, dst flit.PortID, bytes uint64, fn
 	fn()
 	c.ReclaimP(p, dst, bytes)
 }
+
+// RegisterStats attaches the arbiter's decision counters to a registry.
+func (a *Arbiter) RegisterStats(s *sim.Stats) {
+	s.Register("reserves", &a.Reserves)
+	s.Register("granted", &a.Granted)
+	s.Register("queued", &a.Queued)
+	s.Register("reclaims", &a.Reclaims)
+	s.Register("queries", &a.Queries)
+	s.Gauge("congested_dsts", func() int64 { return int64(len(a.congested)) })
+}

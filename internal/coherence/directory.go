@@ -301,3 +301,13 @@ func (d *Directory) StateOf(addr uint64) string {
 		return "uncached"
 	}
 }
+
+// RegisterStats attaches the directory's protocol counters to a registry.
+func (d *Directory) RegisterStats(s *sim.Stats) {
+	s.Register("read_misses", &d.ReadMisses)
+	s.Register("write_misses", &d.WriteMisses)
+	s.Register("snoops", &d.Snoops)
+	s.Register("writebacks", &d.Writebacks)
+	s.Register("forwards", &d.Forwards)
+	s.Gauge("tracked_lines", func() int64 { return int64(len(d.lines)) })
+}

@@ -346,3 +346,16 @@ func copySegments(p *sim.Proc, ep *txn.Endpoint, arb *arbiter.Client, r *Request
 // Endpoint exposes the agent's fabric endpoint (e.g. to attach an
 // arbiter client).
 func (a *Agent) Endpoint() *txn.Endpoint { return a.ep }
+
+// RegisterStats attaches the engine's placement counters to a registry.
+func (e *Engine) RegisterStats(s *sim.Stats) {
+	s.Register("inline", &e.Inline)
+	s.Register("delegated", &e.Delegated)
+}
+
+// RegisterStats attaches the agent's execution counters and endpoint.
+func (a *Agent) RegisterStats(s *sim.Stats) {
+	s.Register("executed", &a.Executed)
+	s.Register("bytes_moved", &a.BytesMoved)
+	a.ep.RegisterStats(s.Child("ep"))
+}

@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"fcc"
+	"fcc/internal/sim"
+)
+
+// StatsWorkload runs a representative mixed workload on a small default
+// cluster (2 hosts, 1 FAM, 1 FAA, arbiter) and returns the fabric-wide
+// stats snapshot. fccbench -json appends this tree to the experiment
+// results so every export carries full component-level telemetry.
+func StatsWorkload() *sim.StatsSnapshot {
+	c, err := fcc.New(fcc.Config{
+		Hosts: 2, FAMs: 1, FAAs: 1, FAMCapacity: 1 << 28,
+		Agents: true, Arbiter: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	base := c.FAMBase(0)
+	for hi, h := range c.Hosts {
+		h, hi := h, hi
+		c.Go(h.Name(), func(p *sim.Proc) {
+			for i := 0; i < 200; i++ {
+				addr := base + uint64(hi)<<20 + uint64(i)*64
+				if i%4 == 3 {
+					h.Store64P(p, addr, uint64(i))
+				} else {
+					h.Load64P(p, addr)
+				}
+				// A slice of local traffic keeps the DIMM counters live.
+				h.Load64P(p, uint64(i)*64)
+			}
+		})
+	}
+	c.Run()
+	return c.Stats().Snapshot()
+}

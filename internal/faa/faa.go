@@ -317,3 +317,11 @@ func (e *Engine) Execute(t *task.Task, ctx *task.Ctx) *sim.Future[struct{}] {
 	})
 	return f
 }
+
+// RegisterStats attaches the chassis counters and endpoint to a registry.
+func (d *Device) RegisterStats(s *sim.Stats) {
+	s.Register("invokes", &d.Invokes)
+	s.Register("rejected", &d.Rejected)
+	s.Gauge("cores_in_use", func() int64 { return int64(d.cores.InUse()) })
+	d.ep.RegisterStats(s.Child("ep"))
+}

@@ -187,3 +187,18 @@ func (s *Switch) QueuedAt(port int) int { return len(s.ports[port].waiting) }
 // Port exposes the link port behind switch port i (credit-allocation
 // policies resize its receive buffers; tests inspect its counters).
 func (s *Switch) Port(i int) *link.Port { return s.ports[i].port }
+
+// RegisterStats attaches the switch's counters, transit histogram, and
+// every switch-side link port (named after its link, so "host0<->fs0.B"
+// is addressable fabric-wide) to a stats registry.
+func (s *Switch) RegisterStats(st *sim.Stats) {
+	st.Register("pkts_routed", &s.PktsRouted)
+	st.Register("hol_stalls", &s.HolStalls)
+	st.RegisterHistogram("transit_ns", s.Transit)
+	for _, sp := range s.ports {
+		sp := sp
+		c := st.Child(sp.port.Name())
+		sp.port.RegisterStats(c)
+		c.Gauge("held_pkts", func() int64 { return int64(len(sp.waiting)) })
+	}
+}

@@ -100,6 +100,32 @@ type Host struct {
 	Writebacks   sim.Counter
 	PrefIssued   sim.Counter
 	PrefUseful   sim.Counter
+	MSHRMerges   sim.Counter // misses merged into an in-flight fill
+}
+
+// RegisterStats attaches the host's core/cache/MSHR metrics (and its
+// FHA endpoint, when fabric-attached) to a stats registry.
+func (h *Host) RegisterStats(s *sim.Stats) {
+	s.Register("loads", &h.Loads)
+	s.Register("stores", &h.Stores)
+	s.Register("remote_reads", &h.RemoteReads)
+	s.Register("remote_writes", &h.RemoteWrites)
+	s.Register("writebacks", &h.Writebacks)
+	s.Register("pref_issued", &h.PrefIssued)
+	s.Register("pref_useful", &h.PrefUseful)
+	s.Register("mshr_merges", &h.MSHRMerges)
+	s.Gauge("mshrs_in_use", func() int64 { return int64(h.mshrSem.InUse()) })
+	s.Gauge("victim_buf_in_use", func() int64 { return int64(h.vb.sem.InUse()) })
+	l1 := s.Child("l1")
+	l1.Register("hits", &h.l1.hits)
+	l1.Register("misses", &h.l1.misses)
+	l2 := s.Child("l2")
+	l2.Register("hits", &h.l2.hits)
+	l2.Register("misses", &h.l2.misses)
+	h.dram.RegisterStats(s.Child("dram"))
+	if h.ep != nil {
+		h.ep.RegisterStats(s.Child("fha"))
+	}
 }
 
 // New builds a host. att may be nil for a fabric-less host (local memory
@@ -251,6 +277,7 @@ func (h *Host) access(addr uint64, write bool, done func(l *line, missed bool)) 
 func (h *Host) missToMemory(lineAddr uint64, write bool, done func(l *line, missed bool)) {
 	if m, ok := h.mshrs[lineAddr]; ok {
 		// Merge with the outstanding fill.
+		h.MSHRMerges.Inc()
 		m.waiters = append(m.waiters, func(l *line) {
 			if write {
 				l.dirty = true

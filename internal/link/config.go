@@ -44,8 +44,10 @@ type Config struct {
 	// PacketArbitration, when true, locks the transmitter to one VC for
 	// the duration of a packet instead of interleaving flits of
 	// different VCs. Real CXL interleaves; older PCIe-style designs do
-	// not. Forced on when SharedCreditPool is set (interleaving partial
-	// packets from several VCs into one shared pool can deadlock).
+	// not. Validate normalizes this to true when SharedCreditPool is
+	// set (interleaving partial packets from several VCs into one
+	// shared pool can deadlock), so after validation the stored config
+	// always reflects the mode the link actually runs in.
 	PacketArbitration bool
 	// CreditReturnDelay is the receiver-side processing delay before a
 	// freed buffer slot is reflected in a credit update to the sender
@@ -77,10 +79,18 @@ func DefaultConfig() Config {
 }
 
 // Validate checks the configuration, including the no-deadlock condition
-// that every VC buffer can hold a full max-size packet.
-func (c Config) Validate() error {
+// that every VC buffer can hold a full max-size packet, and normalizes
+// coupled settings (SharedCreditPool forces PacketArbitration) so the
+// validated value is exactly what the link will run with.
+func (c *Config) Validate() error {
 	if err := c.Phys.Validate(); err != nil {
 		return err
+	}
+	if c.Phys.BER > 0 && !c.RetryEnabled {
+		return fmt.Errorf("link: BER %v requires RetryEnabled", c.Phys.BER)
+	}
+	if c.SharedCreditPool {
+		c.PacketArbitration = true
 	}
 	maxFlits := c.Mode.FlitsFor(MaxPacketPayload)
 	if c.SharedCreditPool {

@@ -5,6 +5,7 @@ import (
 
 	"fcc/internal/flit"
 	"fcc/internal/sim"
+	"fcc/internal/telemetry"
 )
 
 // Link is one bidirectional physical link with a Port at each end.
@@ -17,12 +18,6 @@ type Link struct {
 func New(eng *sim.Engine, name string, cfg Config) (*Link, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
-	}
-	if cfg.Phys.BER > 0 && !cfg.RetryEnabled {
-		return nil, fmt.Errorf("link: BER %v requires RetryEnabled", cfg.Phys.BER)
-	}
-	if cfg.SharedCreditPool {
-		cfg.PacketArbitration = true
 	}
 	l := &Link{
 		a: newPort(eng, name+".A", cfg),
@@ -79,6 +74,10 @@ type Port struct {
 	// transmitter — switches use it to refill bounded output queues.
 	DrainHook func()
 
+	// Tracer, when set via SetTracer, receives a HopRecord for every
+	// link-layer event at this port.
+	tracer *telemetry.Tracer
+
 	// Metrics.
 	FlitsTx     sim.Counter
 	FlitsRx     sim.Counter
@@ -87,6 +86,7 @@ type Port struct {
 	CRCErrors   sim.Counter
 	Retransmits sim.Counter
 	StallPicks  sim.Counter // kicks that found traffic but no credits
+	DupFlits    sim.Counter // stale duplicate retransmissions dropped
 	QueueLat    *sim.Histogram
 }
 
@@ -131,6 +131,56 @@ func (p *Port) Config() Config { return p.cfg }
 // SetSink attaches the packet consumer. Must be set before traffic flows.
 func (p *Port) SetSink(s Sink) { p.sink = s }
 
+// SetTracer attaches an opt-in flit tracer. Nil disables tracing.
+func (p *Port) SetTracer(t *telemetry.Tracer) { p.tracer = t }
+
+// trace records a flit-level event (no packet identity).
+func (p *Port) trace(ev telemetry.Event, vc flit.Channel, seq uint32) {
+	if p.tracer == nil {
+		return
+	}
+	p.tracer.Record(telemetry.HopRecord{
+		At: p.eng.Now(), Port: p.name, Event: ev, VC: vc, Seq: seq,
+		Credits: p.Credits(vc),
+	})
+}
+
+// tracePkt records an event that can name its packet.
+func (p *Port) tracePkt(ev telemetry.Event, vc flit.Channel, seq uint32, pkt *flit.Packet) {
+	if p.tracer == nil {
+		return
+	}
+	p.tracer.Record(telemetry.HopRecord{
+		At: p.eng.Now(), Port: p.name, Event: ev, VC: vc, Seq: seq,
+		Credits: p.Credits(vc),
+		HasPkt:  true, Src: pkt.Src, Dst: pkt.Dst, Tag: pkt.Tag,
+		Op: pkt.Op, Hops: pkt.Hops,
+	})
+}
+
+// RegisterStats attaches the port's counters, queue-latency histogram,
+// and per-VC occupancy gauges to a stats registry, giving the port a
+// stable address in the fabric-wide metrics tree.
+func (p *Port) RegisterStats(s *sim.Stats) {
+	s.Register("flits_tx", &p.FlitsTx)
+	s.Register("flits_rx", &p.FlitsRx)
+	s.Register("pkts_tx", &p.PktsTx)
+	s.Register("pkts_rx", &p.PktsRx)
+	s.Register("crc_errors", &p.CRCErrors)
+	s.Register("retransmits", &p.Retransmits)
+	s.Register("stall_picks", &p.StallPicks)
+	s.Register("dup_flits", &p.DupFlits)
+	s.RegisterHistogram("queue_lat_ns", p.QueueLat)
+	for i := 0; i < flit.NumChannels; i++ {
+		vc := flit.Channel(i)
+		c := s.Child(vc.String())
+		c.Gauge("credits", func() int64 { return int64(p.Credits(vc)) })
+		c.Gauge("tx_queue_flits", func() int64 { return int64(p.TxQueueFlits(vc)) })
+		c.Gauge("rx_buf_used", func() int64 { return int64(p.RxBufUsed(vc)) })
+		c.Gauge("replay_len", func() int64 { return int64(p.ReplayBufferLen(vc)) })
+	}
+}
+
 // Send enqueues a packet for transmission to the peer. The queue is
 // unbounded; callers that need backpressure bound it via TxQueueFlits.
 func (p *Port) Send(pkt *flit.Packet) {
@@ -145,6 +195,7 @@ func (p *Port) Send(pkt *flit.Packet) {
 	}
 	p.vcSeq[vc] += uint32(len(fl))
 	p.txq[vc] = append(p.txq[vc], &txPacket{pkt: pkt, flits: fl, enq: p.eng.Now()})
+	p.tracePkt(telemetry.EvPktSend, vc, fl[0].Seq, pkt)
 	p.kick()
 }
 
@@ -203,7 +254,11 @@ func (p *Port) pickVC() int {
 		if p.eligible(vc) {
 			return p.lockedVC
 		}
-		return -1 // locked but stalled: packet-level head-of-line blocking
+		// Locked but stalled: packet-level head-of-line blocking. This
+		// is precisely the stall StallPicks exists to expose — count it
+		// the same as a scheduler pick that found traffic but no credit.
+		p.StallPicks.Inc()
+		return -1
 	}
 	views := make([]VCView, flit.NumChannels)
 	any := false
@@ -253,10 +308,12 @@ func (p *Port) kick() {
 		f = p.retryq[vc][0]
 		p.retryq[vc] = p.retryq[vc][1:]
 		p.Retransmits.Inc()
+		p.trace(telemetry.EvRetransmit, vc, f.Seq)
 	} else {
 		tp := p.txq[vc][0]
 		f = tp.flits[tp.next]
 		p.consumeCredit(vc)
+		p.tracePkt(telemetry.EvFlitTx, vc, f.Seq, tp.pkt)
 		tp.next++
 		if tp.next == len(tp.flits) {
 			p.txq[vc] = p.txq[vc][1:]
@@ -291,15 +348,26 @@ func (p *Port) kick() {
 // repeat reordering, reassembly, and delivery.
 func (p *Port) receiveFlit(vc flit.Channel, f *flit.Flit) {
 	p.FlitsRx.Inc()
+	p.trace(telemetry.EvFlitRx, vc, f.Seq)
 	if p.cfg.RetryEnabled {
 		corrupted := p.cfg.Phys.BER > 0 && p.rng.Float64() < p.cfg.Phys.BER
 		if corrupted {
 			p.CRCErrors.Inc()
+			p.trace(telemetry.EvCRCError, vc, f.Seq)
 			p.eng.After(p.cfg.Phys.Propagation, func() { p.peer.handleNak(vc, f.Seq) })
 			return
 		}
 		p.eng.After(p.cfg.Phys.Propagation, func() { p.peer.handleAck(vc, f.Seq) })
 		if f.Seq != p.rxExpect[vc] {
+			if f.Seq-p.rxExpect[vc] >= 1<<31 {
+				// Stale retransmission of a flit already delivered (its
+				// ack was lost or raced a NAK). Re-acking above is all
+				// it needs; stashing it would leak the slot and deliver
+				// the flit a second time when the sequence space wraps.
+				p.DupFlits.Inc()
+				p.trace(telemetry.EvDupDrop, vc, f.Seq)
+				return
+			}
 			p.rxStash[vc][f.Seq] = f
 			return
 		}
@@ -332,6 +400,7 @@ func (p *Port) acceptFlit(vc flit.Channel, f *flit.Flit) {
 		panic(fmt.Sprintf("link %s: reassembly on %v: %v", p.name, vc, err))
 	}
 	p.PktsRx.Inc()
+	p.tracePkt(telemetry.EvPktDeliver, vc, flits[0].Seq, pkt)
 	n := len(flits)
 	released := false
 	release := func() {
@@ -376,6 +445,9 @@ func (p *Port) handleAck(vc flit.Channel, seq uint32) {
 
 // ReplayBufferLen reports unacknowledged flits on a VC (retry mode only).
 func (p *Port) ReplayBufferLen(vc flit.Channel) int { return len(p.replay[vc]) }
+
+// RxStashLen reports out-of-order flits held for reordering on a VC.
+func (p *Port) RxStashLen(vc flit.Channel) int { return len(p.rxStash[vc]) }
 
 // RxBufUsed reports occupied receive-buffer flits on a VC.
 func (p *Port) RxBufUsed(vc flit.Channel) int { return p.rxUsed[vc] }

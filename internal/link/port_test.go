@@ -606,3 +606,69 @@ func TestOldestFirstBoundsCrossVCWaiting(t *testing.T) {
 		t.Fatalf("oldest-first served %v first, want the earlier-queued IO packet", order[0])
 	}
 }
+
+func TestLinkDropsStaleDuplicateRetransmission(t *testing.T) {
+	// Regression: a retransmission of a flit the receiver already
+	// delivered (its ack raced a NAK) used to be stashed in rxStash
+	// forever — a leak that would be mis-delivered on seq wrap. It must
+	// be dropped and counted instead.
+	eng, l, _, sb := testLink(t, func(c *Config) { c.RetryEnabled = true })
+	eng.After(0, func() { l.A().Send(memPacket(1, 0)) })
+	// The single flit (seq 0) is delivered at ~12ns; its ack reaches the
+	// sender at ~22ns. Injecting a spurious NAK in between models the
+	// ack/NAK race: the sender still holds seq 0 in its replay buffer
+	// and retransmits a flit the receiver has already accepted.
+	eng.At(15*sim.Nanosecond, func() { l.A().handleNak(flit.ChMem, 0) })
+	eng.At(40*sim.Nanosecond, func() { l.A().Send(memPacket(2, 0)) })
+	eng.Run()
+
+	if got := l.B().DupFlits.Value(); got != 1 {
+		t.Fatalf("DupFlits = %d, want 1", got)
+	}
+	if n := l.B().RxStashLen(flit.ChMem); n != 0 {
+		t.Fatalf("rxStash holds %d flits; stale duplicate was stashed", n)
+	}
+	if len(sb.got) != 2 || sb.got[0].Tag != 1 || sb.got[1].Tag != 2 {
+		t.Fatalf("delivered %d packets (%v); want exactly tags 1,2 once each",
+			len(sb.got), sb.got)
+	}
+	if n := l.A().ReplayBufferLen(flit.ChMem); n != 0 {
+		t.Fatalf("replay buffer holds %d flits after re-ack, want 0", n)
+	}
+}
+
+func TestLinkPacketArbitrationStallCountsInStallPicks(t *testing.T) {
+	// Regression: when packet arbitration locks the transmitter to a VC
+	// and that VC runs out of credits mid-packet, the stall used to
+	// bypass StallPicks entirely — the head-of-line metric read zero
+	// during the exact pathology it exists to expose.
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.PacketArbitration = true
+	for i := range cfg.RxBufFlits {
+		cfg.RxBufFlits[i] = 12 // one 9-flit max packet + 3 slack flits
+	}
+	l, err := New(eng, "t", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered int
+	l.B().SetSink(SinkFunc(func(pkt *flit.Packet, release func()) {
+		delivered++ // hold the release: no credits ever return
+	}))
+	l.A().SetSink(&autoRelease{})
+	eng.After(0, func() {
+		l.A().Send(memPacket(1, MaxPacketPayload))
+		l.A().Send(memPacket(2, MaxPacketPayload))
+	})
+	eng.Run()
+
+	// Packet 1 (9 flits) delivers and is held; packet 2 locks the VC,
+	// sends the 3 remaining credits' worth, then stalls mid-packet.
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (second packet must stall)", delivered)
+	}
+	if got := l.A().StallPicks.Value(); got == 0 {
+		t.Fatal("StallPicks = 0; locked-VC credit stall went uncounted")
+	}
+}

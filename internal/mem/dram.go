@@ -123,3 +123,9 @@ func (d *DRAM) Atomic(addr uint64, delta uint64, done func(prev uint64)) {
 	d.store.Write64(addr, prev+delta)
 	d.eng.At(finish, func() { done(prev) })
 }
+
+// RegisterStats attaches the module's access counters to a registry.
+func (d *DRAM) RegisterStats(s *sim.Stats) {
+	s.Register("reads", &d.Reads)
+	s.Register("writes", &d.Writes)
+}

@@ -273,3 +273,11 @@ func (f *FAM) FEALat() sim.Time { return f.cfg.FEALat }
 // SetHandler replaces the device's endpoint handler (used by the
 // coherence directory to intercept CXL.cache traffic).
 func (f *FAM) SetHandler(h txn.Handler) { f.ep.Handler = h }
+
+// RegisterStats attaches the FAM's FEA counters, its DRAM module, and
+// its transaction endpoint to a stats registry.
+func (f *FAM) RegisterStats(s *sim.Stats) {
+	s.Register("violations", &f.Violations)
+	f.dram.RegisterStats(s.Child("dram"))
+	f.ep.RegisterStats(s.Child("fea"))
+}

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -14,6 +17,14 @@ func TestCounter(t *testing.T) {
 	c.Add(41)
 	if c.Value() != 42 {
 		t.Fatalf("Value = %d, want 42", c.Value())
+	}
+}
+
+// near asserts approximate equality within the histogram's bucket error.
+func near(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > math.Abs(want)*0.05 {
+		t.Fatalf("%s = %v, want %v ±5%%", name, got, want)
 	}
 }
 
@@ -31,11 +42,9 @@ func TestHistogramBasics(t *testing.T) {
 	if h.Min() != 1 || h.Max() != 5 {
 		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
 	}
-	if h.Quantile(0.5) != 3 {
-		t.Fatalf("p50 = %v", h.Quantile(0.5))
-	}
+	near(t, "p50", h.Quantile(0.5), 3)
 	if h.Quantile(1.0) != 5 {
-		t.Fatalf("p100 = %v", h.Quantile(1.0))
+		t.Fatalf("p100 = %v, want exact max", h.Quantile(1.0))
 	}
 }
 
@@ -47,14 +56,79 @@ func TestHistogramEmpty(t *testing.T) {
 }
 
 func TestHistogramObserveAfterQuantile(t *testing.T) {
-	// Regression: sorting for a quantile must not corrupt later inserts.
+	// Regression: answering a quantile must not corrupt later inserts.
 	h := NewHistogram()
 	h.Observe(10)
 	h.Observe(1)
 	_ = h.Quantile(0.5)
 	h.Observe(5)
-	if h.Quantile(0.5) != 5 {
-		t.Fatalf("p50 after re-observe = %v, want 5", h.Quantile(0.5))
+	near(t, "p50 after re-observe", h.Quantile(0.5), 5)
+}
+
+func TestHistogramBoundedMemory(t *testing.T) {
+	// The histogram must not retain samples: a million observations over
+	// six decades occupy only the log-scale buckets that exist in that
+	// range, not a million slots.
+	h := NewHistogram()
+	r := NewRNG(1)
+	for i := 0; i < 1_000_000; i++ {
+		h.Observe(math.Exp(r.Float64()*14) * (1 + r.Float64()))
+	}
+	if h.Count() != 1_000_000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if b := h.Buckets(); b > 1000 {
+		t.Fatalf("occupied buckets = %d; memory not bounded", b)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Against the exact nearest-rank quantile of the same samples, the
+	// bucketed answer must stay within 5% relative error — the bound the
+	// Table 2 calibration workload relies on.
+	r := NewRNG(42)
+	h := NewHistogram()
+	var vals []float64
+	for i := 0; i < 20000; i++ {
+		// Latency-shaped distribution: a fast mode plus a heavy tail.
+		v := 100 + 50*r.Float64()
+		if r.Intn(10) == 0 {
+			v = 1000 + 9000*r.Float64()
+		}
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(math.Ceil(q*float64(len(vals))))-1]
+		got := h.Quantile(q)
+		if math.Abs(got-exact) > exact*0.05 {
+			t.Fatalf("q=%v: bucketed %v vs exact %v (>5%% off)", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramNegativeAndZeroSamples(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{-100, -1, 0, 1, 100} {
+		h.Observe(v)
+	}
+	if h.Min() != -100 || h.Max() != 100 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("p50 = %v, want 0", got)
+	}
+	near(t, "p0-ish", h.Quantile(0.01), -100)
+}
+
+func TestHistogramIgnoresNonFinite(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(3)
+	if h.Count() != 1 || h.Mean() != 3 {
+		t.Fatalf("Count/Mean = %d/%v, want 1/3", h.Count(), h.Mean())
 	}
 }
 
@@ -109,6 +183,106 @@ func TestStatsSameNameReturnsSameMetric(t *testing.T) {
 	}
 	if s.Histogram("h") != s.Histogram("h") {
 		t.Fatal("Histogram not memoized")
+	}
+}
+
+func TestStatsRegisterAttachesExternalMetrics(t *testing.T) {
+	s := NewStats("port")
+	var c Counter
+	h := NewHistogram()
+	s.Register("flits", &c)
+	s.RegisterHistogram("lat", h)
+	s.Gauge("credits", func() int64 { return 32 })
+	c.Add(3)
+	h.Observe(7)
+	out := s.Dump()
+	for _, want := range []string{"flits = 3", "credits = 32", "lat: n=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if s.Counter("flits") != &c {
+		t.Fatal("registered counter not returned by Counter()")
+	}
+}
+
+func TestStatsDuplicateRegistrationPanics(t *testing.T) {
+	s := NewStats("x")
+	var a, b Counter
+	s.Register("n", &a)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration accepted")
+		}
+	}()
+	s.Register("n", &b)
+}
+
+// buildSnapshotFixture is the deterministic tree behind the golden test.
+func buildSnapshotFixture() *Stats {
+	root := NewStats("cluster")
+	root.Counter("pkts_routed").Add(12)
+	root.Gauge("endpoints", func() int64 { return 3 })
+	port := root.Child("port0")
+	port.Counter("flits_tx").Add(40)
+	port.Counter("flits_rx").Add(40)
+	lat := port.Histogram("queue_lat_ns")
+	for i := 1; i <= 100; i++ {
+		lat.Observe(float64(i * 10))
+	}
+	sw := root.Child("fs0")
+	sw.Counter("hol_stalls") // registered but zero
+	sw.Histogram("transit_ns").Observe(80)
+	return root
+}
+
+func TestSnapshotGoldenJSON(t *testing.T) {
+	// The JSON export is an interface: BENCH_*.json trajectories and any
+	// external tooling parse it. Byte-compare against the checked-in
+	// schema-v1 golden so accidental schema drift fails loudly.
+	got, err := buildSnapshotFixture().Snapshot().MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot_v1.golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with TestSnapshotGoldenJSON after "+
+			"bumping SnapshotSchemaVersion): %v", err)
+	}
+	if strings.TrimSpace(string(got)) != strings.TrimSpace(string(want)) {
+		t.Fatalf("snapshot JSON drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+func TestSnapshotRoundTrips(t *testing.T) {
+	raw, err := buildSnapshotFixture().Snapshot().MarshalJSONIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StatsSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SnapshotSchemaVersion {
+		t.Fatalf("schema = %d, want %d", back.Schema, SnapshotSchemaVersion)
+	}
+	if back.Counters["pkts_routed"] != 12 || back.Gauges["endpoints"] != 3 {
+		t.Fatalf("root metrics lost: %+v", back)
+	}
+	if len(back.Children) != 2 || back.Children[0].Name != "port0" {
+		t.Fatalf("children lost: %+v", back.Children)
+	}
+	h := back.Children[0].Histograms["queue_lat_ns"]
+	if h.Count != 100 || h.Min != 10 || h.Max != 1000 {
+		t.Fatalf("histogram summary wrong: %+v", h)
+	}
+	if _, ok := back.Children[1].Histograms["transit_ns"]; !ok {
+		t.Fatal("switch histogram missing")
+	}
+	if _, ok := back.Children[1].Counters["hol_stalls"]; !ok {
+		t.Fatal("zero counters must still be exported")
 	}
 }
 

@@ -305,3 +305,11 @@ func GetU64(in []byte, off int) uint64 { return binary.LittleEndian.Uint64(in[of
 // uses to honour ctx.Compute. Engines outside this package (e.g. FAA
 // adapters) call it before running the body.
 func BindCompute(c *Ctx, fn func(d sim.Time)) { c.compute = fn }
+
+// RegisterStats attaches the runner's retry/commit counters to a registry.
+func (r *Runner) RegisterStats(s *sim.Stats) {
+	s.Register("submitted", &r.Submitted)
+	s.Register("attempts", &r.Attempts)
+	s.Register("failures", &r.Failures)
+	s.Register("committed", &r.Committed)
+}

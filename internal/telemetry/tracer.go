@@ -1,0 +1,163 @@
+// Package telemetry provides the fabric-wide observability primitives
+// the paper's Principle #4 calls for: a flit tracer that records per-hop
+// events into a bounded ring buffer, from which a packet's hop-by-hop
+// path through the fabric can be reconstructed after the fact. The
+// metrics side of observability lives in sim.Stats (registries, JSON
+// snapshots); this package covers the event side.
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"fcc/internal/flit"
+	"fcc/internal/sim"
+)
+
+// Event classifies one traced link-layer occurrence.
+type Event uint8
+
+const (
+	// EvPktSend: a packet was enqueued for transmission at a port.
+	EvPktSend Event = iota
+	// EvFlitTx: a flit of a fresh packet went onto the wire.
+	EvFlitTx
+	// EvRetransmit: a NAKed flit was re-sent from the replay buffer.
+	EvRetransmit
+	// EvFlitRx: a flit arrived at the receiving port.
+	EvFlitRx
+	// EvCRCError: an arriving flit failed its CRC check (error injection).
+	EvCRCError
+	// EvDupDrop: a stale duplicate retransmission was discarded.
+	EvDupDrop
+	// EvPktDeliver: a reassembled packet was handed to the port's sink.
+	EvPktDeliver
+)
+
+var eventNames = [...]string{
+	EvPktSend:    "pkt-send",
+	EvFlitTx:     "flit-tx",
+	EvRetransmit: "retransmit",
+	EvFlitRx:     "flit-rx",
+	EvCRCError:   "crc-error",
+	EvDupDrop:    "dup-drop",
+	EvPktDeliver: "pkt-deliver",
+}
+
+// String returns the event mnemonic.
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("Event(%d)", uint8(e))
+}
+
+// HopRecord is one traced event at one port. Packet identity fields are
+// valid only when HasPkt is set — flit-level events on the wire cannot
+// name their packet (real flits carry no transaction identity either).
+type HopRecord struct {
+	At      sim.Time
+	Port    string
+	Event   Event
+	VC      flit.Channel
+	Seq     uint32
+	Credits int // transmit credits remaining on the VC after the event
+
+	HasPkt bool
+	Src    flit.PortID
+	Dst    flit.PortID
+	Tag    uint16
+	Op     flit.Op
+	Hops   uint8
+}
+
+// String renders one record as a single trace line.
+func (r HopRecord) String() string {
+	s := fmt.Sprintf("%10s  %-28s %-10s vc=%-9s seq=%-6d cr=%d",
+		r.At, r.Port, r.Event, r.VC, r.Seq, r.Credits)
+	if r.HasPkt {
+		s += fmt.Sprintf("  [%s %d->%d tag=%d hops=%d]", r.Op, r.Src, r.Dst, r.Tag, r.Hops)
+	}
+	return s
+}
+
+// Tracer is a fixed-capacity ring buffer of HopRecords. Recording is
+// O(1) and allocation-free after construction; once full, the oldest
+// records are overwritten, so an always-on tracer costs bounded memory
+// no matter how long the simulation runs.
+type Tracer struct {
+	buf   []HopRecord
+	next  int
+	total uint64
+}
+
+// NewTracer returns a tracer retaining the last capacity records.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("telemetry: tracer capacity must be positive")
+	}
+	return &Tracer{buf: make([]HopRecord, 0, capacity)}
+}
+
+// Record appends one event, evicting the oldest if the ring is full.
+func (t *Tracer) Record(r HopRecord) {
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, r)
+	} else {
+		t.buf[t.next] = r
+		t.next = (t.next + 1) % cap(t.buf)
+	}
+	t.total++
+}
+
+// Total reports how many events were ever recorded (including evicted).
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Records returns the retained events in chronological order.
+func (t *Tracer) Records() []HopRecord {
+	out := make([]HopRecord, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// PacketPath extracts the retained events that carry the identity
+// (src, tag) — the packet's send/deliver trail across every port it
+// crossed, in time order. With a fabric in between, one logical
+// transfer appears as a send/deliver pair per hop.
+func (t *Tracer) PacketPath(src flit.PortID, tag uint16) []HopRecord {
+	var path []HopRecord
+	for _, r := range t.Records() {
+		if r.HasPkt && r.Src == src && r.Tag == tag {
+			path = append(path, r)
+		}
+	}
+	return path
+}
+
+// FirstPacket returns the (src, tag) of the earliest retained packet
+// event, or ok=false when nothing with packet identity was traced.
+func (t *Tracer) FirstPacket() (src flit.PortID, tag uint16, ok bool) {
+	for _, r := range t.Records() {
+		if r.HasPkt {
+			return r.Src, r.Tag, true
+		}
+	}
+	return 0, 0, false
+}
+
+// RenderPath formats a packet's hop records as a human-readable trail.
+func RenderPath(path []HopRecord) string {
+	if len(path) == 0 {
+		return "(no trace records for this packet)\n"
+	}
+	var b strings.Builder
+	first := path[0]
+	fmt.Fprintf(&b, "packet %s %d->%d tag=%d:\n", first.Op, first.Src, first.Dst, first.Tag)
+	for _, r := range path {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	fmt.Fprintf(&b, "  total path latency: %s over %d recorded events\n",
+		path[len(path)-1].At-first.At, len(path))
+	return b.String()
+}

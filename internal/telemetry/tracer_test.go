@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"fcc/internal/flit"
+	"fcc/internal/sim"
+)
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(HopRecord{At: sim.Time(i), Seq: uint32(i)})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint32(6+i) {
+			t.Fatalf("records = %v; want seqs 6..9 in order", recs)
+		}
+	}
+}
+
+func TestTracerPacketPath(t *testing.T) {
+	tr := NewTracer(64)
+	// A packet (src=1, tag=7) crossing two links, interleaved with noise.
+	tr.Record(HopRecord{At: 0 * sim.Nanosecond, Port: "host0<->fs0.A", Event: EvPktSend,
+		HasPkt: true, Src: 1, Dst: 5, Tag: 7, Op: flit.OpMemRd})
+	tr.Record(HopRecord{At: 2 * sim.Nanosecond, Port: "host1<->fs0.A", Event: EvPktSend,
+		HasPkt: true, Src: 2, Dst: 5, Tag: 7, Op: flit.OpMemRd}) // same tag, other src
+	tr.Record(HopRecord{At: 12 * sim.Nanosecond, Port: "host0<->fs0.B", Event: EvPktDeliver,
+		HasPkt: true, Src: 1, Dst: 5, Tag: 7, Op: flit.OpMemRd, Hops: 0})
+	tr.Record(HopRecord{At: 13 * sim.Nanosecond, Port: "fam0<->fs0.B", Event: EvPktSend,
+		HasPkt: true, Src: 1, Dst: 5, Tag: 7, Op: flit.OpMemRd, Hops: 1})
+	tr.Record(HopRecord{At: 25 * sim.Nanosecond, Port: "fam0<->fs0.A", Event: EvPktDeliver,
+		HasPkt: true, Src: 1, Dst: 5, Tag: 7, Op: flit.OpMemRd, Hops: 1})
+
+	path := tr.PacketPath(1, 7)
+	if len(path) != 4 {
+		t.Fatalf("path has %d records, want 4: %v", len(path), path)
+	}
+	wantPorts := []string{"host0<->fs0.A", "host0<->fs0.B", "fam0<->fs0.B", "fam0<->fs0.A"}
+	for i, r := range path {
+		if r.Port != wantPorts[i] {
+			t.Fatalf("hop %d at %q, want %q", i, r.Port, wantPorts[i])
+		}
+	}
+	out := RenderPath(path)
+	for _, want := range []string{"MemRd 1->5 tag=7", "pkt-send", "pkt-deliver", "25ns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered path missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerFirstPacket(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(HopRecord{Event: EvFlitTx}) // no identity
+	if _, _, ok := tr.FirstPacket(); ok {
+		t.Fatal("FirstPacket found identity in identity-free records")
+	}
+	tr.Record(HopRecord{Event: EvPktSend, HasPkt: true, Src: 3, Tag: 9})
+	src, tag, ok := tr.FirstPacket()
+	if !ok || src != 3 || tag != 9 {
+		t.Fatalf("FirstPacket = %v/%v/%v, want 3/9/true", src, tag, ok)
+	}
+}

@@ -197,3 +197,13 @@ func (e *Endpoint) bulk(dst flit.PortID, addr uint64, size uint32, op flit.Op) *
 	}
 	return done
 }
+
+// RegisterStats attaches the endpoint's transaction counters and its
+// outstanding-request occupancy to a stats registry.
+func (e *Endpoint) RegisterStats(s *sim.Stats) {
+	s.Register("reqs_sent", &e.ReqsSent)
+	s.Register("resps_recv", &e.RespsRecv)
+	s.Register("reqs_served", &e.ReqsServed)
+	s.Gauge("outstanding", func() int64 { return int64(len(e.pend)) })
+	s.Gauge("tags_in_use", func() int64 { return int64(e.tags.InUse()) })
+}

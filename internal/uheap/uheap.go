@@ -481,3 +481,12 @@ func (hp *Heap) Stats() string {
 
 // Objects reports the live object count.
 func (hp *Heap) Objects() int { return len(hp.objs) }
+
+// RegisterStats attaches the heap's allocation/tiering counters.
+func (h *Heap) RegisterStats(s *sim.Stats) {
+	s.Register("allocs", &h.Allocs)
+	s.Register("frees", &h.Frees)
+	s.Register("promotions", &h.Promotions)
+	s.Register("demotions", &h.Demotions)
+	s.Gauge("live_objs", func() int64 { return int64(len(h.objs)) })
+}
