@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race bench examples-smoke
 
-# ci is the tier-1 gate: build, vet, and the full suite under the race
-# detector. Run it before every push.
-ci: build vet race
+# ci is the tier-1 gate: build, vet, the full suite under the race
+# detector, and a smoke run of every example binary. Run it before
+# every push.
+ci: build vet race examples-smoke
 
 build:
 	$(GO) build ./...
@@ -20,3 +21,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# examples-smoke builds and runs every example end to end; each is a
+# short deterministic simulation, so a non-zero exit is a real break.
+examples-smoke:
+	@for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d > /dev/null || exit 1; \
+	done

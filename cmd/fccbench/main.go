@@ -38,6 +38,7 @@ func main() {
 	which := flag.String("exp", "all", "experiment id (see -list)")
 	list := flag.Bool("list", false, "list experiments")
 	jsonPath := flag.String("json", "", "write results + stats tree as JSON to this path")
+	seed := flag.Uint64("seed", 1, "RNG seed for seeded experiments (blast-radius)")
 	flag.Parse()
 
 	exps := []experiment{
@@ -146,6 +147,10 @@ func main() {
 				fmt.Fprintf(&b, "%5d | %10.1f | %.2fx\n", r.Depth, r.StreamUs, r.Speedup)
 			}
 			return rows, b.String()
+		}},
+		{"blast-radius", "E9: fault injection, route-around, blast radius", func() (any, string) {
+			r := exp.BlastRadius(*seed)
+			return r, exp.RenderBlastRadius(r)
 		}},
 		{"mimo", "E7: MIMO baseband case study", func() (any, string) {
 			clean := exp.MIMOPipeline(8, false)

@@ -1,7 +1,7 @@
 // Resilience: idempotent tasks riding out passive failure domains
 // (Design Principle #3 / Difference #5). A batch of computations runs
-// on two accelerator chassis while a fault injector repeatedly kills
-// and revives them. Every task still commits exactly its correct
+// on two accelerator chassis while a declarative fault plan repeatedly
+// kills and revives them. Every task still commits exactly its correct
 // output — re-execution from the input snapshot is the whole recovery
 // mechanism; no checkpoints, no task-side fault tolerance.
 package main
@@ -11,6 +11,7 @@ import (
 
 	"fcc"
 	"fcc/internal/faa"
+	"fcc/internal/fault"
 	"fcc/internal/sim"
 	"fcc/internal/task"
 )
@@ -40,21 +41,17 @@ func main() {
 		}
 	}
 
-	// Fault injector: kill alternating chassis every 40us, revive 20us
+	// Fault plan: kill alternating chassis every 40us, each reviving 20us
 	// later. Tasks take ~10-30us, so many attempts die mid-flight.
-	rng := sim.NewRNG(13)
-	var inject func(round int)
-	inject = func(round int) {
-		if round > 40 {
-			return
-		}
-		victim := cluster.FAAs[round%2]
-		victim.Fail()
-		cluster.Eng.After(20*sim.Microsecond, func() { victim.Recover() })
-		cluster.Eng.After(40*sim.Microsecond, func() { inject(round + 1) })
+	inj := cluster.NewInjector(13)
+	plan := fault.NewPlan("alternating-chassis-kill")
+	for round := 0; round <= 40; round++ {
+		plan.KillChassis(15*sim.Microsecond+sim.Time(round)*40*sim.Microsecond,
+			cluster.FAAs[round%2].Name(), 20*sim.Microsecond)
 	}
-	cluster.Eng.After(15*sim.Microsecond, func() { inject(0) })
-	_ = rng
+	if err := inj.Schedule(plan); err != nil {
+		panic(err)
+	}
 
 	attempts := sim.NewHistogram()
 	done := 0
@@ -96,6 +93,8 @@ func main() {
 	fmt.Printf("attempts per task: mean %.2f  max %.0f\n", attempts.Mean(), attempts.Max())
 	fmt.Printf("runner attempts:   %d (failures retried: %d)\n",
 		runner.Attempts.Value(), runner.Failures.Value())
+	fmt.Printf("faults injected:   %d (healed: %d)\n",
+		inj.Injected.Value(), inj.Healed.Value())
 	if bad == 0 && runner.Failures.Value() > 0 {
 		fmt.Println("\nevery task survived chassis failures via snapshot re-execution")
 	}

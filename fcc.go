@@ -21,6 +21,7 @@ import (
 	"fcc/internal/etrans"
 	"fcc/internal/faa"
 	"fcc/internal/fabric"
+	"fcc/internal/fault"
 	"fcc/internal/flit"
 	"fcc/internal/host"
 	"fcc/internal/link"
@@ -54,6 +55,21 @@ type Config struct {
 	// Switches is the number of fabric switches in a line topology
 	// (hosts attach to the first, devices spread round-robin). 0 = 1.
 	Switches int
+	// Ring closes the switch line into a ring (needs ≥ 3 switches),
+	// giving every flow two equal-cost directions — the redundancy the
+	// fabric manager routes around failures with.
+	Ring bool
+	// SpreadHosts attaches hosts round-robin across switches like
+	// devices, instead of all on the first switch. With Ring this makes
+	// blast-radius experiments meaningful: each switch is one failure
+	// domain holding a known slice of hosts and devices.
+	SpreadHosts bool
+	// Manager attaches the active fabric manager: heartbeat failure
+	// detection plus automatic PBR route-around (see fabric.Manager).
+	// Its health sweep is perpetual — call Cluster.Manager.Stop() when
+	// the workload completes, or use RunFor, since Run() alone would
+	// never drain the event queue.
+	Manager bool
 
 	// TraceFlits, when positive, attaches a fabric-wide flit tracer
 	// retaining the last TraceFlits hop records across every port
@@ -67,6 +83,7 @@ type Config struct {
 	FAMConfig     func(i int, capacity uint64) mem.FAMConfig
 	FAAConfig     func(i int) faa.Config
 	ArbiterConfig func() arbiter.Config
+	ManagerConfig func() fabric.ManagerConfig
 }
 
 // DefaultConfig is one host, one FAM, calibrated defaults.
@@ -84,6 +101,12 @@ type Cluster struct {
 	Agents  []*etrans.Agent
 	Arbiter *arbiter.Arbiter
 	Dirs    []*coherence.Directory
+
+	// Manager is the active fabric manager (nil unless Config.Manager).
+	Manager *fabric.Manager
+
+	// Faults is the fault injector (nil until NewInjector is called).
+	Faults *fault.Injector
 
 	// Tracer is the fabric-wide flit tracer (nil unless Config.TraceFlits
 	// was set). Every port in the cluster records into this one ring, so
@@ -127,10 +150,21 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	if cfg.Ring && cfg.Switches >= 3 {
+		if err := b.ConnectSwitches(switches[cfg.Switches-1], switches[0], lcfg()); err != nil {
+			return nil, err
+		}
+	}
 	devSwitch := func(i int) *fabric.Switch { return switches[i%len(switches)] }
+	hostSwitch := func(i int) *fabric.Switch {
+		if cfg.SpreadHosts {
+			return devSwitch(i)
+		}
+		return switches[0]
+	}
 
 	for i := 0; i < cfg.Hosts; i++ {
-		att, err := b.AttachEndpoint(switches[0], fmt.Sprintf("host%d", i), fabric.RoleHost, lcfg())
+		att, err := b.AttachEndpoint(hostSwitch(i), fmt.Sprintf("host%d", i), fabric.RoleHost, lcfg())
 		if err != nil {
 			return nil, err
 		}
@@ -188,6 +222,13 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if err := b.Discover(); err != nil {
 		return nil, err
+	}
+	if cfg.Manager {
+		mc := fabric.DefaultManagerConfig()
+		if cfg.ManagerConfig != nil {
+			mc = cfg.ManagerConfig()
+		}
+		c.Manager = fabric.NewManager(eng, b, mc)
 	}
 	if cfg.TraceFlits > 0 {
 		c.Tracer = telemetry.NewTracer(cfg.TraceFlits)
@@ -297,7 +338,39 @@ func (c *Cluster) Stats() *sim.Stats {
 	if c.Arbiter != nil {
 		c.Arbiter.RegisterStats(root.Child("arbiter"))
 	}
+	if c.Manager != nil {
+		c.Manager.RegisterStats(root.Child("manager"))
+	}
+	if c.Faults != nil {
+		c.Faults.RegisterStats(root.Child("fault"))
+	}
 	return root
+}
+
+// NewInjector builds a seeded fault injector with every failable
+// component of the cluster registered: all switches, all links
+// (inter-switch and endpoint), all FAMs, and all FAAs. The returned
+// injector is also stored as c.Faults so Stats() exports its
+// blast-radius metrics under the "fault" subtree.
+func (c *Cluster) NewInjector(seed uint64) *fault.Injector {
+	in := fault.NewInjector(c.Eng, seed)
+	for _, sw := range c.Builder.Switches() {
+		in.Register(sw)
+	}
+	for _, l := range c.Builder.ISLLinks() {
+		in.Register(l)
+	}
+	for _, att := range c.Builder.Attachments() {
+		in.Register(att.Link)
+	}
+	for _, f := range c.FAMs {
+		in.Register(f)
+	}
+	for _, d := range c.FAAs {
+		in.Register(d)
+	}
+	c.Faults = in
+	return in
 }
 
 // Render draws the topology (the Figure 1b regeneration).

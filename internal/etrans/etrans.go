@@ -141,6 +141,13 @@ func decodeDescriptor(data []byte) (*Request, error) {
 	return r, nil
 }
 
+// ErrExecutorFailed reports a transaction whose executor (inline path or
+// delegated agent) could not move the data — a source or destination
+// device rejected or stopped answering mid-copy. Match with errors.Is;
+// the wrapped cause carries the failing segment and underlying error
+// (often txn.ErrTimeout or txn.ErrDeviceDown).
+var ErrExecutorFailed = errors.New("etrans: executor failed")
+
 // Result reports a completed transaction.
 type Result struct {
 	Bytes    uint64
@@ -204,7 +211,10 @@ func (e *Engine) Submit(req *Request) *sim.Future[*Result] {
 	if req.Immediate && req.TotalBytes() <= e.InlineLimit {
 		e.Inline.Inc()
 		e.eng.Go("etrans-inline", func(p *sim.Proc) {
-			copySegments(p, e.ep, e.arb, req)
+			if err := copySegments(p, e.ep, e.arb, req); err != nil {
+				f.Fail(fmt.Errorf("%w: %v", ErrExecutorFailed, err))
+				return
+			}
 			f.Complete(&Result{Bytes: req.TotalBytes(), Executor: e.ep.ID()})
 		})
 		return f
@@ -225,7 +235,7 @@ func (e *Engine) Submit(req *Request) *sim.Future[*Result] {
 			return
 		}
 		if resp.Op != flit.OpETransDone {
-			f.Fail(fmt.Errorf("etrans: agent replied %v", resp.Op))
+			f.Fail(fmt.Errorf("%w: agent %d replied %v", ErrExecutorFailed, agent, resp.Op))
 			return
 		}
 		f.Complete(&Result{Bytes: req.TotalBytes(), Executor: agent})
@@ -260,6 +270,7 @@ type Agent struct {
 
 	Executed   sim.Counter
 	BytesMoved sim.Counter
+	Failed     sim.Counter
 }
 
 // NewAgent attaches a migration agent at att.
@@ -285,28 +296,42 @@ func (a *Agent) handle(req *flit.Packet, reply func(*flit.Packet)) {
 	if err != nil {
 		panic("etrans: bad descriptor: " + err.Error())
 	}
-	run := func(done func()) {
+	run := func(done func(err error)) {
 		a.eng.Go("etrans-agent", func(p *sim.Proc) {
-			copySegments(p, a.ep, a.arb, r)
+			if err := copySegments(p, a.ep, a.arb, r); err != nil {
+				a.Failed.Inc()
+				done(err)
+				return
+			}
 			a.Executed.Inc()
 			a.BytesMoved.Add(int64(r.TotalBytes()))
-			done()
+			done(nil)
 		})
 	}
 	switch r.Ownership {
 	case OwnExecutor:
-		// Accept now; the initiator is released immediately.
+		// Accept now; the initiator is released immediately. The executor
+		// owns completion, so a copy failure is the agent's to count —
+		// the initiator asked not to hear about it.
 		reply(req.Response(flit.OpETransDone, 0))
-		run(func() {})
+		run(func(error) {})
 	default:
-		run(func() { reply(req.Response(flit.OpETransDone, 0)) })
+		run(func(err error) {
+			if err != nil {
+				reply(req.Response(flit.OpMemErr, 0))
+				return
+			}
+			reply(req.Response(flit.OpETransDone, 0))
+		})
 	}
 }
 
 // copySegments streams src segments into dst segments in max-payload
 // chunks through ep, carrying real bytes. When arb is set, each chunk's
-// destination bandwidth is reserved first.
-func copySegments(p *sim.Proc, ep *txn.Endpoint, arb *arbiter.Client, r *Request) {
+// destination bandwidth is reserved first. A chunk that times out (dead
+// path) or is rejected (OpMemErr from a fenced or partitioned device)
+// aborts the copy with an error naming the failing segment.
+func copySegments(p *sim.Proc, ep *txn.Endpoint, arb *arbiter.Client, r *Request) error {
 	si, di := 0, 0
 	var sOff, dOff uint64
 	for si < len(r.Src) {
@@ -319,16 +344,28 @@ func copySegments(p *sim.Proc, ep *txn.Endpoint, arb *arbiter.Client, r *Request
 			chunk = rem
 		}
 		// Read the chunk from the source node.
-		rdResp := ep.Request(&flit.Packet{Chan: flit.ChIO, Op: flit.OpIORd,
-			Dst: s.Port, Addr: s.Addr + sOff, ReqLen: uint32(chunk)}).MustAwait(p)
+		rdResp, err := ep.Request(&flit.Packet{Chan: flit.ChIO, Op: flit.OpIORd,
+			Dst: s.Port, Addr: s.Addr + sOff, ReqLen: uint32(chunk)}).Await(p)
+		if err != nil {
+			return fmt.Errorf("read %d@%#x: %w", s.Port, s.Addr+sOff, err)
+		}
+		if rdResp.Op != flit.OpIOData {
+			return fmt.Errorf("read %d@%#x: device replied %v", s.Port, s.Addr+sOff, rdResp.Op)
+		}
 		if arb != nil {
 			arb.ReserveP(p, d.Port, chunk)
 		}
-		ep.Request(&flit.Packet{Chan: flit.ChIO, Op: flit.OpIOWr,
+		wrResp, err := ep.Request(&flit.Packet{Chan: flit.ChIO, Op: flit.OpIOWr,
 			Dst: d.Port, Addr: d.Addr + dOff, Size: uint32(chunk),
-			Data: rdResp.Data}).MustAwait(p)
+			Data: rdResp.Data}).Await(p)
 		if arb != nil {
 			arb.ReclaimP(p, d.Port, chunk)
+		}
+		if err != nil {
+			return fmt.Errorf("write %d@%#x: %w", d.Port, d.Addr+dOff, err)
+		}
+		if wrResp.Op != flit.OpIOAck {
+			return fmt.Errorf("write %d@%#x: device replied %v", d.Port, d.Addr+dOff, wrResp.Op)
 		}
 		sOff += chunk
 		dOff += chunk
@@ -341,6 +378,7 @@ func copySegments(p *sim.Proc, ep *txn.Endpoint, arb *arbiter.Client, r *Request
 			dOff = 0
 		}
 	}
+	return nil
 }
 
 // Endpoint exposes the agent's fabric endpoint (e.g. to attach an
@@ -357,5 +395,6 @@ func (e *Engine) RegisterStats(s *sim.Stats) {
 func (a *Agent) RegisterStats(s *sim.Stats) {
 	s.Register("executed", &a.Executed)
 	s.Register("bytes_moved", &a.BytesMoved)
+	s.Register("failed", &a.Failed)
 	a.ep.RegisterStats(s.Child("ep"))
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"fcc/internal/fabric"
+	"fcc/internal/fault"
 	"fcc/internal/flit"
 	"fcc/internal/sim"
 	"fcc/internal/task"
@@ -176,6 +177,30 @@ func (d *Device) Recover() {
 	for _, f := range d.funcs {
 		f.state = make(map[string][]byte)
 	}
+}
+
+// FaultID implements fault.Injectable: the chassis name.
+func (d *Device) FaultID() string { return d.name }
+
+// Supports reports that an FAA chassis can be killed.
+func (d *Device) Supports(k fault.Kind) bool { return k == fault.ChassisKill }
+
+// InjectFault implements fault.Injectable.
+func (d *Device) InjectFault(f fault.Fault) error {
+	if f.Kind != fault.ChassisKill {
+		return fmt.Errorf("faa: %s does not support %v", d.name, f.Kind)
+	}
+	d.Fail()
+	return nil
+}
+
+// HealFault implements fault.Injectable.
+func (d *Device) HealFault(k fault.Kind) error {
+	if k != fault.ChassisKill {
+		return fmt.Errorf("faa: %s does not support %v", d.name, k)
+	}
+	d.Recover()
+	return nil
 }
 
 // encodeTarget packs function id and message type into a packet Addr.

@@ -1,0 +1,219 @@
+package fabric
+
+import (
+	"fcc/internal/link"
+	"fcc/internal/sim"
+)
+
+// ManagerConfig controls the fabric manager's failure detector.
+type ManagerConfig struct {
+	// HeartbeatEvery is the health-sweep period. Each sweep polls every
+	// switch and link; a component must look dead for MissThreshold
+	// consecutive sweeps before the manager declares it failed, so a
+	// sub-period flap never triggers a reroute.
+	HeartbeatEvery sim.Time
+	// MissThreshold is the consecutive missed heartbeats before a
+	// component is declared dead (and the single clean sweep before a
+	// declared-dead component is considered recovered).
+	MissThreshold int
+}
+
+// DefaultManagerConfig detects a failure within ~10us — two 5us sweeps —
+// which is aggressive but in line with an in-fabric manager that owns
+// the switches (MIND-style in-network management).
+func DefaultManagerConfig() ManagerConfig {
+	return ManagerConfig{HeartbeatEvery: 5 * sim.Microsecond, MissThreshold: 2}
+}
+
+// Manager is the active fabric manager (§2.1): where Builder.Discover
+// plays the FM once at boot, Manager keeps playing it at runtime. A
+// periodic heartbeat sweep polls the health of every switch and every
+// link (inter-switch and endpoint); components dead for MissThreshold
+// sweeps are marked failed and the PBR tables of all surviving switches
+// are re-filled over the reduced topology, routing traffic around the
+// loss. Recoveries are detected by the same sweep and re-admit the
+// component on the next re-fill.
+//
+// The sweep is a perpetual event: call Stop when the workload completes
+// or the engine's Run will never drain its queue.
+type Manager struct {
+	eng     *sim.Engine
+	b       *Builder
+	cfg     ManagerConfig
+	stopped bool
+
+	swMissed []int
+	swDead   []bool
+	watched  []*link.Link // ISLs then endpoint links, topology order
+	lnMissed []int
+	lnDead   []bool
+
+	unreachable int
+
+	// Metrics (the recovery half of the blast-radius accounting).
+	Heartbeats     sim.Counter
+	Reroutes       sim.Counter
+	SwitchesFailed sim.Counter
+	LinksFailed    sim.Counter
+	Recoveries     sim.Counter
+	// TimeToReroute measures fault onset (the component's FailedAt) to
+	// routes re-filled — detection latency plus the re-fill itself.
+	TimeToReroute *sim.Histogram
+}
+
+// NewManager starts a manager over b's topology. Every switch is put in
+// drop-unroutable mode: once a manager owns the fabric, a destination
+// with no route is a managed condition (dead endpoint), not a topology
+// bug worth a panic. The first health sweep fires one period after now.
+func NewManager(eng *sim.Engine, b *Builder, cfg ManagerConfig) *Manager {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultManagerConfig().HeartbeatEvery
+	}
+	if cfg.MissThreshold <= 0 {
+		cfg.MissThreshold = DefaultManagerConfig().MissThreshold
+	}
+	m := &Manager{
+		eng:           eng,
+		b:             b,
+		cfg:           cfg,
+		swMissed:      make([]int, len(b.switches)),
+		swDead:        make([]bool, len(b.switches)),
+		TimeToReroute: sim.NewHistogram(),
+	}
+	for _, l := range b.links {
+		m.watched = append(m.watched, l.link)
+	}
+	for _, att := range b.attached {
+		m.watched = append(m.watched, att.Link)
+	}
+	m.lnMissed = make([]int, len(m.watched))
+	m.lnDead = make([]bool, len(m.watched))
+	for _, sw := range b.switches {
+		sw.SetDropUnroutable(true)
+	}
+	eng.After(cfg.HeartbeatEvery, m.sweep)
+	return m
+}
+
+// Stop halts the heartbeat after the current period, letting the event
+// queue drain.
+func (m *Manager) Stop() { m.stopped = true }
+
+// sweep is one heartbeat: poll health, declare deaths and recoveries,
+// reroute when the live topology changed.
+func (m *Manager) sweep() {
+	if m.stopped {
+		return
+	}
+	m.Heartbeats.Inc()
+	changed := false
+	var onsets []sim.Time // FailedAt of components newly declared dead
+	for i, sw := range m.b.switches {
+		if sw.Down() {
+			m.swMissed[i]++
+			if !m.swDead[i] && m.swMissed[i] >= m.cfg.MissThreshold {
+				m.swDead[i] = true
+				m.SwitchesFailed.Inc()
+				onsets = append(onsets, sw.FailedAt())
+				changed = true
+			}
+		} else {
+			m.swMissed[i] = 0
+			if m.swDead[i] {
+				m.swDead[i] = false
+				m.Recoveries.Inc()
+				changed = true
+			}
+		}
+	}
+	for i, l := range m.watched {
+		if l.Down() {
+			m.lnMissed[i]++
+			if !m.lnDead[i] && m.lnMissed[i] >= m.cfg.MissThreshold {
+				m.lnDead[i] = true
+				m.LinksFailed.Inc()
+				onsets = append(onsets, l.FailedAt())
+				changed = true
+			}
+		} else {
+			m.lnMissed[i] = 0
+			if m.lnDead[i] {
+				m.lnDead[i] = false
+				m.Recoveries.Inc()
+				changed = true
+			}
+		}
+	}
+	if changed {
+		m.reroute(onsets)
+	}
+	m.eng.After(m.cfg.HeartbeatEvery, m.sweep)
+}
+
+// reroute re-fills every surviving switch's PBR table over the live
+// topology.
+func (m *Manager) reroute(onsets []sim.Time) {
+	ex := routeExclusions{
+		deadSwitch: make(map[*Switch]bool),
+		deadLink:   make(map[*link.Link]bool),
+	}
+	for i, dead := range m.swDead {
+		if dead {
+			ex.deadSwitch[m.b.switches[i]] = true
+		}
+	}
+	for i, dead := range m.lnDead {
+		if dead {
+			ex.deadLink[m.watched[i]] = true
+		}
+	}
+	m.unreachable = len(m.b.installRoutes(ex))
+	m.Reroutes.Inc()
+	now := m.eng.Now()
+	for _, at := range onsets {
+		m.TimeToReroute.ObserveTime(now - at)
+	}
+}
+
+// DeadSwitches lists the names of switches currently declared dead.
+func (m *Manager) DeadSwitches() []string {
+	var out []string
+	for i, dead := range m.swDead {
+		if dead {
+			out = append(out, m.b.switches[i].name)
+		}
+	}
+	return out
+}
+
+// Unreachable reports the endpoints severed by the last reroute.
+func (m *Manager) Unreachable() int { return m.unreachable }
+
+// RegisterStats attaches the manager's failure-handling metrics.
+func (m *Manager) RegisterStats(s *sim.Stats) {
+	s.Register("heartbeats", &m.Heartbeats)
+	s.Register("reroutes", &m.Reroutes)
+	s.Register("switches_failed", &m.SwitchesFailed)
+	s.Register("links_failed", &m.LinksFailed)
+	s.Register("recoveries", &m.Recoveries)
+	s.Gauge("dead_switches", func() int64 {
+		n := int64(0)
+		for _, d := range m.swDead {
+			if d {
+				n++
+			}
+		}
+		return n
+	})
+	s.Gauge("dead_links", func() int64 {
+		n := int64(0)
+		for _, d := range m.lnDead {
+			if d {
+				n++
+			}
+		}
+		return n
+	})
+	s.Gauge("unreachable_endpoints", func() int64 { return int64(m.unreachable) })
+	s.RegisterHistogram("time_to_reroute_ns", m.TimeToReroute)
+}

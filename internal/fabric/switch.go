@@ -9,6 +9,7 @@ package fabric
 import (
 	"fmt"
 
+	"fcc/internal/fault"
 	"fcc/internal/flit"
 	"fcc/internal/link"
 	"fcc/internal/sim"
@@ -52,10 +53,25 @@ type Switch struct {
 	// rr rotates tie-breaking among equal-cost adaptive candidates.
 	rr int
 
+	// down marks a crashed switch: arriving and held packets are dropped
+	// (with their input buffers released, so upstream ports don't wedge
+	// past the crash) until Recover. downAt feeds time-to-recover
+	// accounting in the fabric manager.
+	down   bool
+	downAt sim.Time
+
+	// dropUnroutable switches no-route handling from panic (a topology
+	// bug in a static fabric) to drop-and-count (normal life in a fabric
+	// whose manager removes routes to dead endpoints). The manager turns
+	// this on for every switch it supervises.
+	dropUnroutable bool
+
 	// Metrics.
-	PktsRouted sim.Counter
-	HolStalls  sim.Counter // packets that had to wait for output space
-	Transit    *sim.Histogram
+	PktsRouted  sim.Counter
+	HolStalls   sim.Counter // packets that had to wait for output space
+	PktsDropped sim.Counter // packets dropped because this switch was down
+	NoRoute     sim.Counter // packets dropped for lack of a route (lossy mode)
+	Transit     *sim.Histogram
 }
 
 // swPort is one switch port: the switch side of a link.
@@ -118,14 +134,31 @@ func (s *Switch) Routes() int { return len(s.routes) }
 // Arrive implements link.Sink for a switch port.
 func (sp *swPort) Arrive(pkt *flit.Packet, release func()) {
 	s := sp.sw
-	outs, ok := s.routes[pkt.Dst]
-	if !ok || len(outs) == 0 {
-		panic(fmt.Sprintf("fabric: switch %s has no route to %d (packet %v)", s.name, pkt.Dst, pkt))
+	if s.down {
+		s.PktsDropped.Inc()
+		release()
+		return
 	}
 	pkt.Hops++
 	arrived := s.eng.Now()
 	// Crossbar traversal, then output enqueue (or hold under backpressure).
+	// The route lookup happens after traversal so a table the manager
+	// re-filled mid-flight steers even packets already inside the switch.
 	s.eng.After(s.cfg.Latency, func() {
+		if s.down {
+			s.PktsDropped.Inc()
+			release()
+			return
+		}
+		outs, ok := s.routes[pkt.Dst]
+		if !ok || len(outs) == 0 {
+			if s.dropUnroutable {
+				s.NoRoute.Inc()
+				release()
+				return
+			}
+			panic(fmt.Sprintf("fabric: switch %s has no route to %d (packet %v)", s.name, pkt.Dst, pkt))
+		}
 		out := s.pickOutput(outs, pkt)
 		op := s.ports[out]
 		if s.spaceFor(op, pkt) {
@@ -168,9 +201,74 @@ func (s *Switch) forward(op *swPort, pkt *flit.Packet, release func(), arrived s
 	s.Transit.ObserveTime(s.eng.Now() - arrived)
 }
 
+// Fail crashes the switch: every packet held under backpressure is
+// dropped (releasing its input buffer, so upstream senders see their
+// credits again rather than wedging forever), and packets arriving or
+// mid-crossbar are dropped until Recover. Routes are retained — a
+// recovered switch forwards again immediately, and the manager's next
+// reroute refreshes any table that went stale during the outage.
+func (s *Switch) Fail() {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.downAt = s.eng.Now()
+	for _, sp := range s.ports {
+		for _, h := range sp.waiting {
+			s.PktsDropped.Inc()
+			h.release()
+		}
+		sp.waiting = nil
+	}
+}
+
+// Recover restores a crashed switch.
+func (s *Switch) Recover() { s.down = false }
+
+// Down reports whether the switch is crashed — the fabric manager's
+// heartbeat sweep polls this.
+func (s *Switch) Down() bool { return s.down }
+
+// FailedAt reports when the switch last crashed.
+func (s *Switch) FailedAt() sim.Time { return s.downAt }
+
+// SetDropUnroutable selects drop-and-count (true) or panic (false) for
+// packets with no installed route.
+func (s *Switch) SetDropUnroutable(v bool) { s.dropUnroutable = v }
+
+// FaultID implements fault.Injectable: the switch name.
+func (s *Switch) FaultID() string { return s.name }
+
+// Supports reports that a switch can crash.
+func (s *Switch) Supports(k fault.Kind) bool { return k == fault.SwitchCrash }
+
+// InjectFault implements fault.Injectable.
+func (s *Switch) InjectFault(f fault.Fault) error {
+	if f.Kind != fault.SwitchCrash {
+		return fmt.Errorf("fabric: switch %s does not support %v", s.name, f.Kind)
+	}
+	s.Fail()
+	return nil
+}
+
+// HealFault implements fault.Injectable.
+func (s *Switch) HealFault(k fault.Kind) error {
+	if k != fault.SwitchCrash {
+		return fmt.Errorf("fabric: switch %s does not support %v", s.name, k)
+	}
+	s.Recover()
+	return nil
+}
+
+// ClearRoutes empties the PBR table ahead of a manager re-fill.
+func (s *Switch) ClearRoutes() { s.routes = make(map[flit.PortID][]int) }
+
 // tryDrain moves held packets into the output queue as space frees.
 func (sp *swPort) tryDrain() {
 	s := sp.sw
+	if s.down {
+		return
+	}
 	for len(sp.waiting) > 0 {
 		h := sp.waiting[0]
 		if !s.spaceFor(sp, h.pkt) {
@@ -194,6 +292,14 @@ func (s *Switch) Port(i int) *link.Port { return s.ports[i].port }
 func (s *Switch) RegisterStats(st *sim.Stats) {
 	st.Register("pkts_routed", &s.PktsRouted)
 	st.Register("hol_stalls", &s.HolStalls)
+	st.Register("pkts_dropped", &s.PktsDropped)
+	st.Register("no_route", &s.NoRoute)
+	st.Gauge("down", func() int64 {
+		if s.down {
+			return 1
+		}
+		return 0
+	})
 	st.RegisterHistogram("transit_ns", s.Transit)
 	for _, sp := range s.ports {
 		sp := sp

@@ -44,6 +44,9 @@ type Attachment struct {
 	Role Role
 	ID   flit.PortID
 	Port *link.Port
+	// Link is the full endpoint link (both directions) — the handle the
+	// fault injector and the manager's health sweep address it by.
+	Link *link.Link
 	// Switch and SwitchPort identify where the endpoint attaches.
 	Switch     *Switch
 	SwitchPort int
@@ -67,6 +70,7 @@ type Builder struct {
 type isl struct {
 	a, b         *Switch
 	aPort, bPort int
+	link         *link.Link
 }
 
 // NewBuilder returns an empty topology bound to eng.
@@ -90,7 +94,7 @@ func (b *Builder) ConnectSwitches(x, y *Switch, cfg link.Config) error {
 	}
 	xp := x.attach(l.A())
 	yp := y.attach(l.B())
-	b.links = append(b.links, &isl{a: x, b: y, aPort: xp, bPort: yp})
+	b.links = append(b.links, &isl{a: x, b: y, aPort: xp, bPort: yp, link: l})
 	return nil
 }
 
@@ -111,6 +115,7 @@ func (b *Builder) AttachEndpoint(sw *Switch, name string, role Role, cfg link.Co
 		Role:       role,
 		ID:         b.nextID,
 		Port:       l.A(),
+		Link:       l,
 		Switch:     sw,
 		SwitchPort: swPortIdx,
 	}
@@ -127,6 +132,26 @@ func (b *Builder) Discover() error {
 	if len(b.attached) == 0 {
 		return fmt.Errorf("fabric: no endpoints attached")
 	}
+	b.installRoutes(routeExclusions{})
+	b.discovered = true
+	return nil
+}
+
+// routeExclusions restricts route computation to the live topology: the
+// manager passes the switches and links it has declared dead so the
+// re-fill routes around them.
+type routeExclusions struct {
+	deadSwitch map[*Switch]bool
+	deadLink   map[*link.Link]bool
+}
+
+// installRoutes clears and re-fills the PBR table of every live switch
+// with equal-cost shortest-path routes over the non-excluded topology.
+// It returns the attachments that are unreachable — endpoints whose home
+// switch or endpoint link is dead. Routes to those are simply absent, so
+// live switches drop (lossy mode) or panic (static mode) instead of
+// forwarding into a black hole.
+func (b *Builder) installRoutes(ex routeExclusions) (unreachable []*Attachment) {
 	// adjacency: switch index -> list of (neighbor switch index, out port)
 	idx := make(map[*Switch]int, len(b.switches))
 	for i, s := range b.switches {
@@ -135,14 +160,26 @@ func (b *Builder) Discover() error {
 	type edge struct{ to, port int }
 	adj := make([][]edge, len(b.switches))
 	for _, l := range b.links {
+		if ex.deadLink[l.link] || ex.deadSwitch[l.a] || ex.deadSwitch[l.b] {
+			continue
+		}
 		ai, bi := idx[l.a], idx[l.b]
 		adj[ai] = append(adj[ai], edge{to: bi, port: l.aPort})
 		adj[bi] = append(adj[bi], edge{to: ai, port: l.bPort})
 	}
-	// For each endpoint, BFS over the switch graph from its home switch;
-	// each switch routes toward the endpoint via every neighbor that is
-	// one hop closer (equal-cost multipath).
+	for _, sw := range b.switches {
+		if !ex.deadSwitch[sw] {
+			sw.ClearRoutes()
+		}
+	}
+	// For each endpoint, BFS over the live switch graph from its home
+	// switch; each switch routes toward the endpoint via every neighbor
+	// that is one hop closer (equal-cost multipath).
 	for _, att := range b.attached {
+		if ex.deadSwitch[att.Switch] || ex.deadLink[att.Link] {
+			unreachable = append(unreachable, att)
+			continue
+		}
 		home := idx[att.Switch]
 		dist := make([]int, len(b.switches))
 		for i := range dist {
@@ -161,12 +198,15 @@ func (b *Builder) Discover() error {
 			}
 		}
 		for si, sw := range b.switches {
+			if ex.deadSwitch[sw] {
+				continue
+			}
 			if si == home {
 				sw.InstallRoute(att.ID, []int{att.SwitchPort})
 				continue
 			}
 			if dist[si] == -1 {
-				continue // partitioned topology: unreachable from here
+				continue // partitioned: unreachable from this switch
 			}
 			var outs []int
 			for _, e := range adj[si] {
@@ -175,14 +215,19 @@ func (b *Builder) Discover() error {
 				}
 			}
 			sort.Ints(outs)
-			if len(outs) == 0 {
-				return fmt.Errorf("fabric: BFS inconsistency routing to %s from %s", att.Name, sw.name)
-			}
 			sw.InstallRoute(att.ID, outs)
 		}
 	}
-	b.discovered = true
-	return nil
+	return unreachable
+}
+
+// ISLLinks lists the inter-switch links in creation order.
+func (b *Builder) ISLLinks() []*link.Link {
+	out := make([]*link.Link, len(b.links))
+	for i, l := range b.links {
+		out[i] = l.link
+	}
+	return out
 }
 
 // Attachments lists all endpoint attachments in ID order.

@@ -1,0 +1,194 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"fcc/internal/sim"
+)
+
+// fakeTarget is a minimal Injectable for driving the injector.
+type fakeTarget struct {
+	id     string
+	kinds  map[Kind]bool
+	active map[Kind]bool
+}
+
+func newFake(id string, kinds ...Kind) *fakeTarget {
+	f := &fakeTarget{id: id, kinds: make(map[Kind]bool), active: make(map[Kind]bool)}
+	for _, k := range kinds {
+		f.kinds[k] = true
+	}
+	return f
+}
+
+func (f *fakeTarget) FaultID() string      { return f.id }
+func (f *fakeTarget) Supports(k Kind) bool { return f.kinds[k] }
+
+func (f *fakeTarget) InjectFault(ft Fault) error {
+	if !f.kinds[ft.Kind] {
+		return errTest("unsupported " + ft.Kind.String())
+	}
+	f.active[ft.Kind] = true
+	return nil
+}
+
+func (f *fakeTarget) HealFault(k Kind) error {
+	if !f.kinds[k] {
+		return errTest("unsupported " + k.String())
+	}
+	delete(f.active, k)
+	return nil
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+func TestScheduleAppliesAndAutoHeals(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng, 1)
+	tgt := newFake("sw0", SwitchCrash)
+	in.Register(tgt)
+
+	plan := NewPlan("one-crash").KillSwitch(100*sim.Nanosecond, "sw0", 50*sim.Nanosecond)
+	if err := in.Schedule(plan); err != nil {
+		t.Fatal(err)
+	}
+	eng.At(120*sim.Nanosecond, func() {
+		if !tgt.active[SwitchCrash] {
+			t.Error("fault not active mid-window")
+		}
+		if in.Active() != 1 {
+			t.Errorf("Active() = %d mid-window, want 1", in.Active())
+		}
+	})
+	eng.Run()
+	if tgt.active[SwitchCrash] {
+		t.Fatal("fault still active after auto-heal")
+	}
+	if in.Injected.Value() != 1 || in.Healed.Value() != 1 || in.InjectErrors.Value() != 0 {
+		t.Fatalf("injected/healed/errors = %d/%d/%d, want 1/1/0",
+			in.Injected.Value(), in.Healed.Value(), in.InjectErrors.Value())
+	}
+	if in.ActiveNs.Count() != 1 || in.ActiveNs.Mean() != 50 {
+		t.Fatalf("fault lifetime histogram: count %d mean %.0fns, want 1/50ns",
+			in.ActiveNs.Count(), in.ActiveNs.Mean())
+	}
+}
+
+func TestZeroDurationFaultPersists(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng, 1)
+	tgt := newFake("fam0", DeviceFail)
+	in.Register(tgt)
+	if err := in.Schedule(NewPlan("p").FailDevice(10*sim.Nanosecond, "fam0", 0)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !tgt.active[DeviceFail] {
+		t.Fatal("zero-duration fault healed itself")
+	}
+	if err := in.Heal("fam0", DeviceFail); err != nil {
+		t.Fatal(err)
+	}
+	if tgt.active[DeviceFail] {
+		t.Fatal("explicit heal did not clear the fault")
+	}
+}
+
+func TestScheduleValidatesUpFront(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng, 1)
+	in.Register(newFake("sw0", SwitchCrash))
+
+	if err := in.Schedule(NewPlan("p").KillSwitch(0, "nope", 0)); err == nil ||
+		!strings.Contains(err.Error(), "unknown target") {
+		t.Fatalf("unknown target: err = %v", err)
+	}
+	if err := in.Schedule(NewPlan("p").FlapLink(0, "sw0", 0)); err == nil ||
+		!strings.Contains(err.Error(), "does not support") {
+		t.Fatalf("unsupported kind: err = %v", err)
+	}
+	eng.At(100*sim.Nanosecond, func() {
+		if err := in.Schedule(NewPlan("p").KillSwitch(50*sim.Nanosecond, "sw0", 0)); err == nil ||
+			!strings.Contains(err.Error(), "in the past") {
+			t.Errorf("past event: err = %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	in := NewInjector(sim.NewEngine(), 1)
+	in.Register(newFake("sw0", SwitchCrash))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate FaultID registration did not panic")
+		}
+	}()
+	in.Register(newFake("sw0", SwitchCrash))
+}
+
+func TestInjectErrorsAreCounted(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng, 1)
+	tgt := newFake("l0", LinkDown)
+	in.Register(tgt)
+	// Direct Inject bypasses Schedule's validation, so a bad kind reaches
+	// the target and the error is counted, not silently dropped.
+	if err := in.Inject("l0", Fault{Kind: SwitchCrash}); err == nil {
+		t.Fatal("unsupported inject succeeded")
+	}
+	if in.InjectErrors.Value() != 1 || in.Injected.Value() != 0 {
+		t.Fatalf("errors/injected = %d/%d, want 1/0", in.InjectErrors.Value(), in.Injected.Value())
+	}
+}
+
+func TestRandomPlanIsSeedDeterministic(t *testing.T) {
+	build := func(seed uint64) string {
+		in := NewInjector(sim.NewEngine(), seed)
+		in.Register(
+			newFake("sw0", SwitchCrash),
+			newFake("sw1", SwitchCrash),
+			newFake("l0", LinkDown, LaneDegrade, CreditLeak),
+			newFake("fam0", DeviceFail),
+			newFake("faa0", ChassisKill),
+		)
+		return in.RandomPlan("chaos", 24, 500*sim.Microsecond).String()
+	}
+	a, b := build(42), build(42)
+	if a != b {
+		t.Fatalf("same seed produced different plans:\n%s\nvs\n%s", a, b)
+	}
+	if c := build(43); c == a {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestRandomPlanIsSchedulable(t *testing.T) {
+	eng := sim.NewEngine()
+	in := NewInjector(eng, 7)
+	tgts := []*fakeTarget{
+		newFake("sw0", SwitchCrash),
+		newFake("l0", LinkDown, LaneDegrade, CreditLeak),
+		newFake("fam0", DeviceFail),
+	}
+	for _, tg := range tgts {
+		in.Register(tg)
+	}
+	p := in.RandomPlan("chaos", 16, 200*sim.Microsecond)
+	if len(p.Events) != 16 {
+		t.Fatalf("plan has %d events, want 16", len(p.Events))
+	}
+	if err := in.Schedule(p); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if in.Injected.Value() != 16 || in.Healed.Value() != 16 {
+		t.Fatalf("injected/healed = %d/%d, want 16/16", in.Injected.Value(), in.Healed.Value())
+	}
+	if in.Active() != 0 {
+		t.Fatalf("Active() = %d after all heals", in.Active())
+	}
+}

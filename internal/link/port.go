@@ -10,6 +10,7 @@ import (
 
 // Link is one bidirectional physical link with a Port at each end.
 type Link struct {
+	name string
 	a, b *Port
 }
 
@@ -20,12 +21,16 @@ func New(eng *sim.Engine, name string, cfg Config) (*Link, error) {
 		return nil, err
 	}
 	l := &Link{
-		a: newPort(eng, name+".A", cfg),
-		b: newPort(eng, name+".B", cfg),
+		name: name,
+		a:    newPort(eng, name+".A", cfg),
+		b:    newPort(eng, name+".B", cfg),
 	}
 	l.a.peer, l.b.peer = l.b, l.a
 	return l, nil
 }
+
+// Name reports the link's constructor-given name.
+func (l *Link) Name() string { return l.name }
 
 // A returns the first endpoint.
 func (l *Link) A() *Port { return l.a }
@@ -62,6 +67,18 @@ type Port struct {
 	vcSeq    [flit.NumChannels]uint32
 	replay   [flit.NumChannels]map[uint32]*flit.Flit
 
+	// Fault state (see the fault.Injectable implementation on Link).
+	// down pauses the transmitter; flits already serialized onto the
+	// wire still land at the peer, so a flap stalls but never loses
+	// data. laneDiv > 1 multiplies serialization time, modelling a link
+	// renegotiated to fewer lanes. leaked tracks credits removed by an
+	// injected CreditLeak so healing restores exactly that amount.
+	down         bool
+	downAt       sim.Time
+	laneDiv      int
+	leaked       [flit.NumChannels]int
+	leakedShared int
+
 	// Receive state.
 	rxAsm    [flit.NumChannels][]*flit.Flit
 	rxUsed   [flit.NumChannels]int
@@ -96,6 +113,7 @@ func newPort(eng *sim.Engine, name string, cfg Config) *Port {
 		name:     name,
 		cfg:      cfg,
 		lockedVC: -1,
+		laneDiv:  1,
 		rng:      sim.NewRNG(cfg.Seed ^ 0xfabc),
 		QueueLat: sim.NewHistogram(),
 	}
@@ -171,6 +189,13 @@ func (p *Port) RegisterStats(s *sim.Stats) {
 	s.Register("stall_picks", &p.StallPicks)
 	s.Register("dup_flits", &p.DupFlits)
 	s.RegisterHistogram("queue_lat_ns", p.QueueLat)
+	s.Gauge("down", func() int64 {
+		if p.down {
+			return 1
+		}
+		return 0
+	})
+	s.Gauge("lane_div", func() int64 { return int64(p.laneDiv) })
 	for i := 0; i < flit.NumChannels; i++ {
 		vc := flit.Channel(i)
 		c := s.Child(vc.String())
@@ -295,7 +320,7 @@ func (p *Port) eligible(vc flit.Channel) bool {
 
 // kick advances the transmitter if the wire is idle and a flit is ready.
 func (p *Port) kick() {
-	if p.sending {
+	if p.sending || p.down {
 		return
 	}
 	idx := p.pickVC()
@@ -331,7 +356,7 @@ func (p *Port) kick() {
 	}
 	p.sending = true
 	p.FlitsTx.Inc()
-	ser := p.cfg.Phys.SerTime(p.cfg.Mode.WireBytes())
+	ser := p.cfg.Phys.SerTime(p.cfg.Mode.WireBytes()) * sim.Time(p.laneDiv)
 	p.eng.After(ser, func() {
 		p.sending = false
 		p.eng.After(p.cfg.Phys.Propagation, func() {

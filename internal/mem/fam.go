@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fcc/internal/fabric"
+	"fcc/internal/fault"
 	"fcc/internal/flit"
 	"fcc/internal/sim"
 	"fcc/internal/txn"
@@ -84,7 +85,17 @@ type FAM struct {
 	// matrices and migration profiling).
 	OnAccess func(pkt *flit.Packet)
 
+	// down power-fences the device: requests (and replies from work
+	// already inside the FEA/DRAM pipeline — guarded by epoch) are
+	// silently dropped, so initiators see only their own timeout, just
+	// as on a real fabric. DRAM contents survive a fail/recover cycle:
+	// the device is fenced, not wiped.
+	down   bool
+	epoch  int
+	downAt sim.Time
+
 	Violations sim.Counter
+	Dropped    sim.Counter // requests and replies lost to a down device
 }
 
 // NewFAM builds a FAM and registers it as the handler on att's port.
@@ -149,10 +160,69 @@ func (f *FAM) allowed(src flit.PortID, addr uint64, n uint32) bool {
 }
 
 func (f *FAM) handle(req *flit.Packet, reply func(*flit.Packet)) {
+	if f.down {
+		f.Dropped.Inc()
+		return
+	}
+	// Guard the reply against the device dying (or dying and recovering —
+	// the epoch check) while the request was in flight through the FEA and
+	// DRAM pipeline: a power-fenced device answers nothing.
+	epoch := f.epoch
+	guarded := func(resp *flit.Packet) {
+		if f.down || f.epoch != epoch {
+			f.Dropped.Inc()
+			return
+		}
+		reply(resp)
+	}
 	// Every request first passes the serialized FEA ingest station;
 	// service time scales with inbound payload.
 	occ := f.cfg.FEAOccBase + sim.Time((req.Size+63)/64)*f.cfg.FEAOccPerLine
-	f.fea.Enter(occ, func() { f.serve(req, reply) })
+	f.fea.Enter(occ, func() { f.serve(req, guarded) })
+}
+
+// Fail power-fences the device: every request from now until Recover —
+// including replies for work already in the pipeline — is dropped.
+func (f *FAM) Fail() {
+	if f.down {
+		return
+	}
+	f.down = true
+	f.downAt = f.eng.Now()
+	f.epoch++
+}
+
+// Recover lifts the fence. DRAM contents are retained.
+func (f *FAM) Recover() { f.down = false }
+
+// Down reports whether the device is fenced.
+func (f *FAM) Down() bool { return f.down }
+
+// FailedAt reports when the device last failed.
+func (f *FAM) FailedAt() sim.Time { return f.downAt }
+
+// FaultID implements fault.Injectable: the chassis name.
+func (f *FAM) FaultID() string { return f.name }
+
+// Supports reports that a FAM can fail as a device.
+func (f *FAM) Supports(k fault.Kind) bool { return k == fault.DeviceFail }
+
+// InjectFault implements fault.Injectable.
+func (f *FAM) InjectFault(ft fault.Fault) error {
+	if ft.Kind != fault.DeviceFail {
+		return fmt.Errorf("mem: FAM %s does not support %v", f.name, ft.Kind)
+	}
+	f.Fail()
+	return nil
+}
+
+// HealFault implements fault.Injectable.
+func (f *FAM) HealFault(k fault.Kind) error {
+	if k != fault.DeviceFail {
+		return fmt.Errorf("mem: FAM %s does not support %v", f.name, k)
+	}
+	f.Recover()
+	return nil
 }
 
 func (f *FAM) serve(req *flit.Packet, reply func(*flit.Packet)) {
@@ -278,6 +348,7 @@ func (f *FAM) SetHandler(h txn.Handler) { f.ep.Handler = h }
 // its transaction endpoint to a stats registry.
 func (f *FAM) RegisterStats(s *sim.Stats) {
 	s.Register("violations", &f.Violations)
+	s.Register("dropped", &f.Dropped)
 	f.dram.RegisterStats(s.Child("dram"))
 	f.ep.RegisterStats(s.Child("fea"))
 }

@@ -6,7 +6,10 @@ import "encoding/json"
 // Bump it whenever a field is renamed, removed, or changes meaning, so
 // downstream consumers (BENCH_*.json trajectories, dashboards) can
 // detect incompatible exports instead of misreading them.
-const SnapshotSchemaVersion = 1
+//
+// v2: cluster exports grew the "fault" (injector blast-radius counters)
+// and "manager" (failure detection / route-around) subtrees.
+const SnapshotSchemaVersion = 2
 
 // StatsSnapshot is the machine-readable form of a Stats tree at one
 // instant. Maps marshal with sorted keys, and children preserve

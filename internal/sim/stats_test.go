@@ -2,6 +2,7 @@ package sim
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -233,22 +234,43 @@ func buildSnapshotFixture() *Stats {
 	sw := root.Child("fs0")
 	sw.Counter("hol_stalls") // registered but zero
 	sw.Histogram("transit_ns").Observe(80)
+	mgr := root.Child("manager")
+	mgr.Counter("reroutes").Add(2)
+	mgr.Counter("switches_failed").Add(1)
+	mgr.Gauge("dead_switches", func() int64 { return 0 })
+	mgr.Histogram("time_to_reroute_ns").Observe(5200)
+	ft := root.Child("fault")
+	ft.Counter("injected").Add(3)
+	ft.Counter("healed").Add(3)
+	ft.Counter("inject_errors")
+	ft.Gauge("active", func() int64 { return 0 })
+	fh := ft.Histogram("fault_active_ns")
+	fh.Observe(20000)
+	fh.Observe(50000)
+	fh.Observe(80000)
 	return root
 }
 
 func TestSnapshotGoldenJSON(t *testing.T) {
 	// The JSON export is an interface: BENCH_*.json trajectories and any
 	// external tooling parse it. Byte-compare against the checked-in
-	// schema-v1 golden so accidental schema drift fails loudly.
+	// schema-v2 golden so accidental schema drift fails loudly.
 	got, err := buildSnapshotFixture().Snapshot().MarshalJSONIndent()
 	if err != nil {
 		t.Fatal(err)
 	}
-	golden := filepath.Join("testdata", "snapshot_v1.golden.json")
+	golden := filepath.Join("testdata", fmt.Sprintf("snapshot_v%d.golden.json", SnapshotSchemaVersion))
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, append(got, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", golden)
+		return
+	}
 	want, err := os.ReadFile(golden)
 	if err != nil {
-		t.Fatalf("read golden (regenerate with TestSnapshotGoldenJSON after "+
-			"bumping SnapshotSchemaVersion): %v", err)
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1 go test -run "+
+			"TestSnapshotGoldenJSON after bumping SnapshotSchemaVersion): %v", err)
 	}
 	if strings.TrimSpace(string(got)) != strings.TrimSpace(string(want)) {
 		t.Fatalf("snapshot JSON drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
@@ -271,8 +293,15 @@ func TestSnapshotRoundTrips(t *testing.T) {
 	if back.Counters["pkts_routed"] != 12 || back.Gauges["endpoints"] != 3 {
 		t.Fatalf("root metrics lost: %+v", back)
 	}
-	if len(back.Children) != 2 || back.Children[0].Name != "port0" {
+	if len(back.Children) != 4 || back.Children[0].Name != "port0" {
 		t.Fatalf("children lost: %+v", back.Children)
+	}
+	ft := back.Children[3]
+	if ft.Name != "fault" || ft.Counters["injected"] != 3 || ft.Histograms["fault_active_ns"].Count != 3 {
+		t.Fatalf("fault subtree lost: %+v", ft)
+	}
+	if back.Children[2].Name != "manager" || back.Children[2].Counters["reroutes"] != 2 {
+		t.Fatalf("manager subtree lost: %+v", back.Children[2])
 	}
 	h := back.Children[0].Histograms["queue_lat_ns"]
 	if h.Count != 100 || h.Min != 10 || h.Max != 1000 {

@@ -6,12 +6,22 @@
 package txn
 
 import (
+	"errors"
 	"fmt"
 
 	"fcc/internal/flit"
 	"fcc/internal/link"
 	"fcc/internal/sim"
 )
+
+// ErrTimeout reports a request whose response did not arrive within the
+// endpoint's Timeout — the transaction-layer symptom of a dead device,
+// severed path, or crashed switch. Callers match it with errors.Is.
+var ErrTimeout = errors.New("txn: request timed out")
+
+// ErrDeviceDown reports a request abandoned after RequestRetry exhausted
+// its attempts: the destination stayed unreachable across every backoff.
+var ErrDeviceDown = errors.New("txn: device unreachable")
 
 // Sender is anything that can emit a packet toward the fabric — a link
 // port, or a loopback in tests.
@@ -35,6 +45,18 @@ type Endpoint struct {
 	next uint16
 	pend map[uint16]*sim.Future[*flit.Packet]
 
+	// tomb records tags whose request timed out but whose response may
+	// still arrive (a slow path, a healed flap). A tombstoned tag is not
+	// reallocated — a late response must never complete a different
+	// request — and the late response, when it lands, is dropped and
+	// counted instead of panicking as an unmatched response.
+	tomb map[uint16]bool
+
+	// Timeout, when > 0, bounds each request's wait for its response;
+	// expiry fails the future with ErrTimeout. Zero (the default) waits
+	// forever — the right semantics for a fabric that cannot fail.
+	Timeout sim.Time
+
 	// Handler serves inbound requests. It may be nil for pure
 	// initiators (a request arriving then panics — a topology bug).
 	Handler Handler
@@ -43,6 +65,9 @@ type Endpoint struct {
 	ReqsSent   sim.Counter
 	RespsRecv  sim.Counter
 	ReqsServed sim.Counter
+	Timeouts   sim.Counter
+	Retries    sim.Counter
+	LateResps  sim.Counter
 }
 
 // DefaultMaxTags is the default outstanding-transaction window.
@@ -59,6 +84,7 @@ func NewEndpoint(eng *sim.Engine, id flit.PortID, out Sender, maxTags int) *Endp
 		out:  out,
 		tags: sim.NewSemaphore(maxTags),
 		pend: make(map[uint16]*sim.Future[*flit.Packet]),
+		tomb: make(map[uint16]bool),
 	}
 }
 
@@ -96,6 +122,11 @@ func (e *Endpoint) Dispatch(pkt *flit.Packet) {
 	}
 	f, ok := e.pend[pkt.Tag]
 	if !ok {
+		if e.tomb[pkt.Tag] {
+			delete(e.tomb, pkt.Tag)
+			e.LateResps.Inc()
+			return
+		}
 		panic(fmt.Sprintf("txn: endpoint %d got response %v with no pending request", e.id, pkt))
 	}
 	delete(e.pend, pkt.Tag)
@@ -120,7 +151,56 @@ func (e *Endpoint) Request(pkt *flit.Packet) *sim.Future[*flit.Packet] {
 		e.pend[tag] = f
 		e.ReqsSent.Inc()
 		e.out.Send(pkt)
+		if e.Timeout > 0 {
+			e.eng.After(e.Timeout, func() {
+				// Pointer compare: only time out if THIS request is still
+				// the one pending on the tag (the tag cannot have been
+				// reused for another while tombstoned).
+				if e.pend[tag] != f {
+					return
+				}
+				delete(e.pend, tag)
+				e.tomb[tag] = true
+				e.tags.Release()
+				e.Timeouts.Inc()
+				f.Fail(fmt.Errorf("%w: %v to %d after %v", ErrTimeout, pkt.Op, pkt.Dst, e.Timeout))
+			})
+		}
 	})
+	return f
+}
+
+// RequestRetry sends a request with bounded retry: on ErrTimeout it
+// re-sends (a fresh clone — Request fills Src/Tag in place) after an
+// exponentially growing backoff, up to attempts total tries. Once
+// exhausted, the future fails with ErrDeviceDown wrapping the final
+// timeout. Non-timeout failures (e.g. an OpMemErr mapped by a caller,
+// or a future failed by shutdown) pass through unchanged on the first
+// occurrence — retrying can only help when the path, not the request,
+// was the problem. The backoff doubling is deterministic: no jitter, so
+// seeded runs reproduce exactly.
+func (e *Endpoint) RequestRetry(pkt *flit.Packet, attempts int, backoff sim.Time) *sim.Future[*flit.Packet] {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	f := sim.NewFuture[*flit.Packet]()
+	var try func(n int, wait sim.Time)
+	try = func(n int, wait sim.Time) {
+		e.Request(pkt.Clone()).OnComplete(func(resp *flit.Packet, err error) {
+			switch {
+			case err == nil:
+				f.Complete(resp)
+			case !errors.Is(err, ErrTimeout):
+				f.Fail(err)
+			case n >= attempts:
+				f.Fail(fmt.Errorf("%w: %d attempts: %w", ErrDeviceDown, n, err))
+			default:
+				e.Retries.Inc()
+				e.eng.After(wait, func() { try(n+1, wait*2) })
+			}
+		})
+	}
+	try(1, backoff)
 	return f
 }
 
@@ -128,7 +208,7 @@ func (e *Endpoint) allocTag() uint16 {
 	for {
 		t := e.next
 		e.next++
-		if _, busy := e.pend[t]; !busy {
+		if _, busy := e.pend[t]; !busy && !e.tomb[t] {
 			return t
 		}
 	}
@@ -204,6 +284,9 @@ func (e *Endpoint) RegisterStats(s *sim.Stats) {
 	s.Register("reqs_sent", &e.ReqsSent)
 	s.Register("resps_recv", &e.RespsRecv)
 	s.Register("reqs_served", &e.ReqsServed)
+	s.Register("timeouts", &e.Timeouts)
+	s.Register("retries", &e.Retries)
+	s.Register("late_resps", &e.LateResps)
 	s.Gauge("outstanding", func() int64 { return int64(len(e.pend)) })
 	s.Gauge("tags_in_use", func() int64 { return int64(e.tags.InUse()) })
 }
