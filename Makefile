@@ -1,17 +1,29 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench examples-smoke
+.PHONY: ci build vet fmtcheck lint test race bench examples-smoke
 
-# ci is the tier-1 gate: build, vet, the full suite under the race
-# detector, and a smoke run of every example binary. Run it before
-# every push.
-ci: build vet race examples-smoke
+# ci is the tier-1 gate: build, vet, the invariant lint pass, the full
+# suite under the race detector, and a smoke run of every example
+# binary. Run it before every push.
+ci: build vet lint race examples-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# fmtcheck fails if any file drifts from gofmt, listing the offenders.
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt drift in:"; echo "$$out"; exit 1; fi
+
+# lint is the determinism/engine-invariant gate: gofmt drift, go vet,
+# and fcclint's four analyzers (detban, maporder, procblock, errcmp —
+# see DESIGN.md "Simulator invariants"). fcclint also runs standalone:
+#   go run ./cmd/fcclint ./...
+lint: fmtcheck vet
+	$(GO) run ./cmd/fcclint ./...
 
 test:
 	$(GO) test ./...

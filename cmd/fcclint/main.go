@@ -1,0 +1,71 @@
+// Command fcclint runs the repo's determinism and engine-invariant
+// static-analysis pass (see internal/lint and the "Simulator
+// invariants" section of DESIGN.md) over the given package patterns.
+//
+// Usage:
+//
+//	go run ./cmd/fcclint ./...          # what `make lint` runs
+//	go run ./cmd/fcclint -list          # describe the analyzers
+//	go run ./cmd/fcclint -allow my.allow ./internal/...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/usage error.
+// Suppression is explicit: an inline `//fcclint:allow <analyzer>
+// <reason>` directive on (or directly above) the offending line, or a
+// path-prefix rule in .fcclint.allow at the module root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fcc/internal/lint"
+)
+
+func main() {
+	allowPath := flag.String("allow", "", "allowlist file (default: .fcclint.allow at the module root)")
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fcclint:", err)
+		os.Exit(2)
+	}
+	path := *allowPath
+	if path == "" && len(pkgs) > 0 && pkgs[0].ModuleDir != "" {
+		path = filepath.Join(pkgs[0].ModuleDir, ".fcclint.allow")
+	}
+	allow, err := lint.ParseAllowlist(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fcclint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, lint.Analyzers(), allow)
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if wd, err := os.Getwd(); err == nil {
+			if r, err := filepath.Rel(wd, rel); err == nil {
+				rel = r
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fcclint: %d violation(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -28,9 +28,9 @@ import (
 )
 
 const (
-	nSub     = 64                  // OFDM subcarriers
-	infoBits = 62                  // so coded bits = 2*(62+2) = 128 = 64 QPSK symbols
-	frameB   = nSub * 16           // one frame of complex128 as bytes
+	nSub     = 64        // OFDM subcarriers
+	infoBits = 62        // so coded bits = 2*(62+2) = 128 = 64 QPSK symbols
+	frameB   = nSub * 16 // one frame of complex128 as bytes
 	nFrames  = 8
 	snrDB    = 18.0
 )
@@ -93,11 +93,11 @@ func main() {
 			for i := range info {
 				info[i] = byte(rng.Intn(2))
 			}
-			coded := dsp.ConvEncode(info)            // 128 bits
-			txSyms := dsp.Modulate(dsp.QPSK, coded)  // 64 symbols
-			h := rayleigh(rng)                       // per-subcarrier channel
+			coded := dsp.ConvEncode(info)           // 128 bits
+			txSyms := dsp.Modulate(dsp.QPSK, coded) // 64 symbols
+			h := rayleigh(rng)                      // per-subcarrier channel
 
-			rxTime := transmit(txSyms, h, rng)       // IFFT + channel + noise
+			rxTime := transmit(txSyms, h, rng) // IFFT + channel + noise
 			pilotTime := transmit(pilot(), h, rng)
 
 			// Frame objects land in fabric-attached memory.
@@ -209,8 +209,8 @@ func eqDemodTask(fam flit.PortID, base uint64) *task.Task {
 // decodeTask: Viterbi-decode the hard bits back to info bits.
 func decodeTask(fam flit.PortID, base uint64) *task.Task {
 	return &task.Task{
-		Name:   "viterbi",
-		Inputs: []task.Region{{Port: fam, Addr: base + 0x4000, Size: 128}},
+		Name:    "viterbi",
+		Inputs:  []task.Region{{Port: fam, Addr: base + 0x4000, Size: 128}},
 		Outputs: []task.Region{{Port: fam, Addr: base + 0x5000, Size: infoBits}},
 		Body: func(c *task.Ctx) error {
 			decoded := dsp.ViterbiDecode(c.Input(0))

@@ -5,9 +5,9 @@ import (
 	"testing"
 
 	"fcc/internal/coherence"
+	"fcc/internal/etrans"
 	"fcc/internal/flit"
 	"fcc/internal/link"
-	"fcc/internal/etrans"
 	"fcc/internal/sim"
 	"fcc/internal/task"
 	"fcc/internal/uheap"

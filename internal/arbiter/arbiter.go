@@ -15,6 +15,7 @@ package arbiter
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"fcc/internal/fabric"
 	"fcc/internal/flit"
@@ -72,11 +73,11 @@ type Arbiter struct {
 	congested map[flit.PortID]bool
 
 	// Metrics.
-	Reserves  sim.Counter
-	Granted   sim.Counter
-	Queued    sim.Counter
-	Reclaims  sim.Counter
-	Queries   sim.Counter
+	Reserves sim.Counter
+	Granted  sim.Counter
+	Queued   sim.Counter
+	Reclaims sim.Counter
+	Queries  sim.Counter
 }
 
 // New attaches an arbiter at att (typically a fabric.RoleManager
@@ -123,7 +124,17 @@ func New(eng *sim.Engine, att *fabric.Attachment, cfg Config) *Arbiter {
 
 // aimdEpoch adjusts per-destination windows from last epoch's pressure.
 func (a *Arbiter) aimdEpoch() {
-	for dst, congested := range a.congested {
+	// Sweep destinations in sorted order, not map order: drain issues
+	// grants (scheduling engine events), so iterating a.congested
+	// directly would order same-instant events by Go's randomized map
+	// iteration and break same-seed determinism (fcclint: maporder).
+	dsts := make([]flit.PortID, 0, len(a.congested))
+	for dst := range a.congested {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, dst := range dsts {
+		congested := a.congested[dst]
 		w := a.window(dst)
 		// A standing grant queue is congestion even with no new
 		// arrivals this epoch.

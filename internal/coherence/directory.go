@@ -18,6 +18,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"fcc/internal/flit"
 	"fcc/internal/mem"
@@ -168,6 +169,11 @@ func (d *Directory) serve(e *dirEntry, addr uint64, req *flit.Packet, reply func
 					targets = append(targets, s)
 				}
 			}
+			// Snoop in sorted port order: e.sharers is a map, and
+			// invalidateAll schedules packets in targets order, so map
+			// iteration would make same-seed runs diverge (fcclint:
+			// maporder).
+			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 			d.invalidateAll(targets, addr, func() {
 				e.sharers = make(map[flit.PortID]bool)
 				d.grantOwnership(e, addr, req, reply, nil)

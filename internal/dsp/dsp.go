@@ -186,7 +186,7 @@ func ConvEncode(bits []byte) []byte {
 		g0 := b ^ (s & 1) ^ (s >> 1) // 111
 		g1 := b ^ (s >> 1)           // 101
 		out = append(out, g0, g1)
-		s = (s << 1 | b) & 3
+		s = (s<<1 | b) & 3
 	}
 	for _, b := range bits {
 		emit(b & 1)

@@ -30,8 +30,8 @@ type MsgType uint8
 
 // HandlerCtx is what a message handler executes with.
 type HandlerCtx struct {
-	dev  *Device
-	p    *sim.Proc
+	dev *Device
+	p   *sim.Proc
 	// State is the function's private actor state.
 	State map[string][]byte
 }

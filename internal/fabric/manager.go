@@ -42,6 +42,9 @@ type Manager struct {
 	cfg     ManagerConfig
 	stopped bool
 
+	// Health state is kept in topology-order slices, not maps: the
+	// heartbeat sweep declares deaths and schedules reroutes in
+	// iteration order, which must be deterministic (fcclint: maporder).
 	swMissed []int
 	swDead   []bool
 	watched  []*link.Link // ISLs then endpoint links, topology order

@@ -15,8 +15,11 @@ type Injector struct {
 	eng     *sim.Engine
 	rng     *sim.RNG
 	targets map[string]Injectable
-	names   []string // registration order: the deterministic iteration order
-	active  int
+	// names carries registration order: every sweep over the target set
+	// (RandomPlan's kind/target scans) iterates names, never the targets
+	// map, so plans are seed-deterministic (fcclint: maporder).
+	names  []string
+	active int
 
 	Injected     sim.Counter // faults successfully applied
 	Healed       sim.Counter // faults successfully cleared
@@ -29,9 +32,9 @@ type Injector struct {
 // random plans.
 func NewInjector(eng *sim.Engine, seed uint64) *Injector {
 	return &Injector{
-		eng:     eng,
-		rng:     sim.NewRNG(seed).Fork(0xfa017),
-		targets: make(map[string]Injectable),
+		eng:      eng,
+		rng:      sim.NewRNG(seed).Fork(0xfa017),
+		targets:  make(map[string]Injectable),
 		ActiveNs: sim.NewHistogram(),
 	}
 }

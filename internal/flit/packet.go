@@ -110,7 +110,7 @@ var opNames = map[Op]string{
 	OpCtrlCreditQuery: "CreditQuery", OpCtrlCreditReserve: "CreditReserve",
 	OpCtrlCreditReclaim: "CreditReclaim", OpCtrlGrant: "Grant",
 	OpCtrlTelemetry: "Telemetry",
-	OpETrans: "ETrans", OpETransDone: "ETransDone",
+	OpETrans:        "ETrans", OpETransDone: "ETransDone",
 	OpTaskRun: "TaskRun", OpTaskDone: "TaskDone",
 	OpFAAInvoke: "FAAInvoke", OpFAAReply: "FAAReply",
 }

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Allowlist is the parsed form of a .fcclint.allow file: path-prefix
+// exemptions per analyzer. The file format is line-oriented:
+//
+//	# comment
+//	<analyzer|*> <path-prefix> [trailing note]
+//
+// Paths are slash-separated and matched as prefixes against the file's
+// path relative to the module root, so `detban cmd/` exempts every
+// command binary from the wall-clock ban (flag defaults and log
+// timestamps are legitimate there) while leaving the simulation
+// packages governed.
+type Allowlist struct {
+	rules []allowRule
+}
+
+type allowRule struct {
+	analyzer string // "*" matches every analyzer
+	prefix   string
+}
+
+// ParseAllowlist reads path (missing file = empty list, not an error).
+func ParseAllowlist(path string) (*Allowlist, error) {
+	al := &Allowlist{}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return al, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%s:%d: want `<analyzer> <path-prefix> [note]`, got %q", path, line, text)
+		}
+		al.rules = append(al.rules, allowRule{analyzer: fields[0], prefix: fields[1]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return al, nil
+}
+
+// Allows reports whether a diagnostic from analyzer at relPath (slash
+// separated, module-root relative) is exempted.
+func (al *Allowlist) Allows(analyzer, relPath string) bool {
+	if al == nil {
+		return false
+	}
+	for _, r := range al.rules {
+		if (r.analyzer == "*" || r.analyzer == analyzer) && strings.HasPrefix(relPath, r.prefix) {
+			return true
+		}
+	}
+	return false
+}

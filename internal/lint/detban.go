@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+)
+
+// detbanFuncs maps package path -> banned function name -> the fix.
+var detbanFuncs = map[string]map[string]string{
+	"time": {
+		"Now":       "use Engine.Now / Proc.Now for virtual time",
+		"Since":     "subtract sim.Time values from Engine.Now instead",
+		"Until":     "subtract sim.Time values from Engine.Now instead",
+		"Sleep":     "use Proc.Sleep / Engine.After for virtual delay",
+		"Tick":      "use a recurring Engine.After event",
+		"After":     "use Engine.After",
+		"AfterFunc": "use Engine.After",
+		"NewTimer":  "use Engine.After",
+		"NewTicker": "use a recurring Engine.After event",
+	},
+	"os": {
+		"Getenv":    "simulation behaviour must not depend on the environment; plumb configuration explicitly",
+		"LookupEnv": "simulation behaviour must not depend on the environment; plumb configuration explicitly",
+		"Environ":   "simulation behaviour must not depend on the environment; plumb configuration explicitly",
+	},
+}
+
+// detbanImports are packages banned outright in simulation code.
+var detbanImports = map[string]string{
+	"math/rand":    "use the component's seeded *sim.RNG (per-component streams stay decorrelated)",
+	"math/rand/v2": "use the component's seeded *sim.RNG (per-component streams stay decorrelated)",
+	"crypto/rand":  "use the component's seeded *sim.RNG; cryptographic entropy is never reproducible",
+}
+
+// Detban bans wall-clock time, global randomness, and environment reads
+// from simulation code. Byte-identical same-seed runs are the repo's
+// headline invariant (EXPERIMENTS.md E9); any of these sources silently
+// breaks it. Virtual time comes from sim.Engine, randomness from a
+// seeded *sim.RNG. cmd/ binaries are exempted via .fcclint.allow.
+func Detban() *Analyzer {
+	return &Analyzer{
+		Name: "detban",
+		Doc:  "ban wall-clock time, global randomness, and env reads in simulation code",
+		Run:  runDetban,
+	}
+}
+
+func runDetban(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := detbanImports[path]; ok {
+				diags = append(diags, Diagnostic{
+					Analyzer: "detban",
+					Pos:      p.Fset.Position(imp.Pos()),
+					Message:  fmt.Sprintf("import of %s is banned in simulation code: %s", path, why),
+				})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			byName, ok := detbanFuncs[pkgPathOf(obj)]
+			if !ok {
+				return true
+			}
+			if why, ok := byName[obj.Name()]; ok {
+				diags = append(diags, Diagnostic{
+					Analyzer: "detban",
+					Pos:      p.Fset.Position(sel.Pos()),
+					Message: fmt.Sprintf("%s.%s is banned in simulation code: %s",
+						pkgPathOf(obj), obj.Name(), why),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

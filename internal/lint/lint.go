@@ -1,0 +1,217 @@
+// Package lint implements fcclint, the repo's determinism and
+// engine-invariant static-analysis pass. The simulator's value rests on
+// byte-identical same-seed runs (see the blast-radius experiment in
+// internal/exp), and on model code honouring the cooperative-scheduling
+// contract of internal/sim. Those invariants used to live in comments;
+// the four analyzers here make them machine-checked:
+//
+//   - detban:    no wall-clock, global-randomness, or environment reads
+//     in simulation code — virtual time comes from sim.Engine,
+//     randomness from a seeded *sim.RNG.
+//   - maporder:  no order-sensitive work (event scheduling, output,
+//     unsorted collection) driven directly off Go's randomized
+//     map iteration order.
+//   - procblock: no real blocking operations (channel ops, select,
+//     sync.Mutex/WaitGroup waits, time.Sleep) inside functions
+//     that run as *sim.Proc bodies — the engine resumes exactly
+//     one process at a time, so real blocking deadlocks the DES.
+//   - errcmp:    compare the module's typed sentinel errors
+//     (txn.ErrTimeout, txn.ErrDeviceDown, etrans.ErrExecutorFailed, …)
+//     with errors.Is, never ==, because every production path
+//     wraps them.
+//
+// The pass is stdlib-only (go/parser + go/ast + go/types; export data
+// located by shelling out to `go list`). Suppression is explicit: either
+// an inline `//fcclint:allow <analyzer> <reason>` directive on (or
+// immediately above) the offending line, or a path-prefix entry in the
+// repository's .fcclint.allow file.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one rule: a name, a one-line doc string, and a run
+// function producing diagnostics for a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full rule set in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Detban(), Maporder(), Procblock(), Errcmp()}
+}
+
+// Package is one typechecked target package, ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// ModuleDir is the module root, used to relativize paths for the
+	// allowlist.
+	ModuleDir string
+}
+
+// simPkgPath is the engine package whose contract the analyzers protect.
+const simPkgPath = "fcc/internal/sim"
+
+// Run applies every analyzer to every package, drops suppressed
+// findings (inline directives and the allowlist), and returns the
+// remainder sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, allow *Allowlist) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		dir := directivesFor(p)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if dir.allows(a.Name, d.Pos) {
+					continue
+				}
+				if allow.Allows(a.Name, relPath(p.ModuleDir, d.Pos.Filename)) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+func relPath(root, path string) string {
+	if root == "" {
+		return filepath.ToSlash(path)
+	}
+	if r, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(path)
+}
+
+// directives indexes //fcclint:allow comments by file:line.
+type directives struct {
+	// allowed[line key] = set of analyzer names (or "*")
+	allowed map[string]map[string]bool
+	fset    *token.FileSet
+}
+
+// directivesFor scans every comment in the package for
+// `//fcclint:allow name[,name...] [reason]` markers. A marker suppresses
+// matching diagnostics on its own line and on the following line, so it
+// can sit either trailing the offending statement or on its own line
+// directly above it.
+func directivesFor(p *Package) *directives {
+	d := &directives{allowed: map[string]map[string]bool{}, fset: p.Fset}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//fcclint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					d.add(pos.Filename, pos.Line, name)
+					d.add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) add(file string, line int, analyzer string) {
+	key := fmt.Sprintf("%s:%d", file, line)
+	if d.allowed[key] == nil {
+		d.allowed[key] = map[string]bool{}
+	}
+	d.allowed[key][analyzer] = true
+}
+
+func (d *directives) allows(analyzer string, pos token.Position) bool {
+	set := d.allowed[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+	return set != nil && (set[analyzer] || set["*"])
+}
+
+// pkgPathOf reports the import path of the package an object belongs
+// to, or "" for builtins and universe-scope objects.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// calleeObj resolves the object a call expression invokes, unwrapping
+// parens. Returns nil for builtins, function-typed variables, and
+// type conversions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// enclosingFunc returns the smallest FuncDecl or FuncLit body that
+// contains pos, or nil.
+func enclosingFunc(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= pos && pos < n.End() {
+				if best == nil || (n.Pos() >= best.Pos() && n.End() <= best.End()) {
+					best = n
+				}
+			}
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted expectations from a `// want` comment:
+// each backquoted string is a regexp one diagnostic on that line must
+// match.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// fixtureExpectations scans a loaded package's comments for
+// `// want `re“ markers.
+func fixtureExpectations(t *testing.T, p *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(c.Text[idx:], -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: want comment without a backquoted pattern", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					wants = append(wants, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   regexp.MustCompile(m[1]),
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture loads testdata/src/<name>, runs exactly one analyzer,
+// and verifies the diagnostics are precisely the `// want` markers: a
+// missing diagnostic fails (so a disabled or broken rule cannot pass),
+// and an extra diagnostic fails (so the rule cannot overreach).
+func checkFixture(t *testing.T, name string, a *Analyzer) {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	wants := fixtureExpectations(t, pkgs[0])
+	if len(wants) == 0 {
+		t.Fatal("fixture has no // want expectations — the rule would be untested")
+	}
+	diags := Run(pkgs, []*Analyzer{a}, nil)
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDetban(t *testing.T)    { checkFixture(t, "detban", Detban()) }
+func TestMaporder(t *testing.T)  { checkFixture(t, "maporder", Maporder()) }
+func TestProcblock(t *testing.T) { checkFixture(t, "procblock", Procblock()) }
+func TestErrcmp(t *testing.T)    { checkFixture(t, "errcmp", Errcmp()) }
+
+// TestAllowlistSuppresses proves the path-prefix allowlist drops every
+// diagnostic under the exempted prefix — the mechanism cmd/ relies on.
+func TestAllowlistSuppresses(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/detban")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Run(pkgs, []*Analyzer{Detban()}, nil); len(got) == 0 {
+		t.Fatal("fixture produced no diagnostics to suppress")
+	}
+	path := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(path, []byte(
+		"# test allowlist\ndetban internal/lint/testdata/ fixtures are intentionally dirty\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	allow, err := ParseAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Run(pkgs, []*Analyzer{Detban()}, allow); len(got) != 0 {
+		t.Fatalf("allowlist left %d diagnostics: %v", len(got), got)
+	}
+}
+
+// TestParseAllowlistRejectsMalformed keeps the file format honest.
+func TestParseAllowlistRejectsMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(path, []byte("detban\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseAllowlist(path); err == nil {
+		t.Fatal("malformed allowlist line parsed without error")
+	}
+}
+
+// TestMissingAllowlistIsEmpty: a repo without .fcclint.allow lints with
+// zero exemptions rather than erroring.
+func TestMissingAllowlistIsEmpty(t *testing.T) {
+	allow, err := ParseAllowlist(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allow.Allows("detban", "cmd/x/main.go") {
+		t.Fatal("empty allowlist allowed something")
+	}
+}
+
+// TestRepoIsClean runs the full rule set over the whole module with the
+// repo's own allowlist — the same gate `make lint` enforces — so a
+// violation introduced anywhere fails the test suite too, not just CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("relints the whole module; skipped in -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("only %d packages loaded — pattern expansion looks broken", len(pkgs))
+	}
+	allow, err := ParseAllowlist(filepath.Join(root, ".fcclint.allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range Run(pkgs, Analyzers(), allow) {
+		msgs = append(msgs, d.String())
+	}
+	if len(msgs) > 0 {
+		t.Fatalf("fcclint violations:\n%s", strings.Join(msgs, "\n"))
+	}
+}
+
+// TestDirectivesScopedToLine: an allow directive must not leak beyond
+// its own and the following line.
+func TestDirectivesScopedToLine(t *testing.T) {
+	d := &directives{allowed: map[string]map[string]bool{}}
+	d.add("f.go", 10, "detban")
+	for line, want := range map[int]bool{9: false, 10: true, 11: false} {
+		pos := token.Position{Filename: "f.go", Line: line}
+		if got := d.allows("detban", pos); got != want {
+			t.Errorf("line %d: allows=%v, want %v", line, got, want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Maporder flags `for range` over a map whose loop body has
+// order-sensitive effects. Go randomizes map iteration order per run,
+// so anything the body does that the rest of the simulation can
+// observe in sequence — scheduling engine events, emitting output,
+// appending to a slice that is never sorted, calling into model code
+// that does any of those — makes same-seed runs diverge.
+//
+// Order-insensitive bodies (per-key state updates, set membership
+// writes, min/max selection over unique keys) pass. The canonical
+// sorted-sweep pattern also passes: appending keys to a slice that a
+// later `sort.*`/`slices.*` call in the same function orders before
+// use is exactly how a map is iterated deterministically.
+func Maporder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "flag order-sensitive work driven off randomized map iteration order",
+		Run:  runMaporder,
+	}
+}
+
+func runMaporder(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		f := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reasons := mapRangeReasons(p, f, rs); len(reasons) > 0 {
+				diags = append(diags, Diagnostic{
+					Analyzer: "maporder",
+					Pos:      p.Fset.Position(rs.Pos()),
+					Message: fmt.Sprintf("map iteration order is randomized, but the loop body is order-sensitive (%s); iterate a sorted key slice instead",
+						strings.Join(reasons, "; ")),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// mapRangeReasons collects the distinct order-sensitive effects in the
+// body of a map range statement.
+func mapRangeReasons(p *Package, file *ast.File, rs *ast.RangeStmt) []string {
+	seen := map[string]bool{}
+	add := func(r string) {
+		seen[r] = true
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			add("channel send")
+		case *ast.CallExpr:
+			if b, ok := builtinCallee(p, n); ok && b == "append" {
+				// Builtin append: fine iff the destination is sorted
+				// later in the same function, before anyone reads it.
+				if len(n.Args) > 0 && !sortedLater(p, file, rs, n.Args[0]) {
+					add(fmt.Sprintf("append to %s in map order with no later sort", types.ExprString(n.Args[0])))
+				}
+				return true
+			}
+			obj := calleeObj(p.Info, n)
+			path := pkgPathOf(obj)
+			switch {
+			case path == "fmt" || strings.HasPrefix(path, "encoding/"):
+				add(fmt.Sprintf("%s.%s output in map order", path, obj.Name()))
+			case path == "fcc" || strings.HasPrefix(path, "fcc/"):
+				add(fmt.Sprintf("call to %s.%s, which may schedule events or mutate shared state in map order", path, obj.Name()))
+			}
+		}
+		return true
+	})
+	reasons := make([]string, 0, len(seen))
+	for r := range seen {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	return reasons
+}
+
+// builtinCallee reports the name of the builtin a call invokes, if any.
+func builtinCallee(p *Package, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// sortedLater reports whether dest (the first argument of an append
+// inside rs's body) is passed to a sort.* / slices.* call after the
+// range statement, inside the same enclosing function.
+func sortedLater(p *Package, file *ast.File, rs *ast.RangeStmt, dest ast.Expr) bool {
+	fn := enclosingFunc(file, rs.Pos())
+	if fn == nil {
+		return false
+	}
+	destStr := types.ExprString(dest)
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		path := pkgPathOf(calleeObj(p.Info, call))
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if strings.Contains(types.ExprString(arg), destStr) {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,37 @@
+// Package fixture seeds detban violations for the analyzer's golden
+// test. Every `// want` comment is an expected diagnostic; a line
+// without one must stay clean.
+package fixture
+
+import (
+	"crypto/rand"     // want `import of crypto/rand is banned`
+	mrand "math/rand" // want `import of math/rand is banned`
+	"os"
+	"time"
+)
+
+// Durations and time.Time values are fine — only wall-clock and
+// environment *sources* are banned.
+func okTypes(d time.Duration) time.Duration { return 2 * d }
+
+func bad() (int, error) {
+	t := time.Now()             // want `time\.Now is banned`
+	time.Sleep(time.Second)     // want `time\.Sleep is banned`
+	elapsed := time.Since(t)    // want `time\.Since is banned`
+	n := mrand.Intn(10)         // import already flagged; uses are not re-flagged
+	_ = os.Getenv("FCC_SEED")   // want `os\.Getenv is banned`
+	_, ok := os.LookupEnv("HO") // want `os\.LookupEnv is banned`
+	_ = ok
+	buf := make([]byte, 8)
+	_, err := rand.Read(buf)
+	return n + int(elapsed), err
+}
+
+func allowed() time.Time {
+	return time.Now() //fcclint:allow detban log-file timestamp, not simulation state
+}
+
+func allowedAbove() {
+	//fcclint:allow detban seeding the operator-facing demo only
+	time.Sleep(time.Millisecond)
+}

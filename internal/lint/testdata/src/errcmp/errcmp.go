@@ -1,0 +1,46 @@
+// Package fixture seeds errcmp violations for the analyzer's golden
+// test.
+package fixture
+
+import (
+	"errors"
+	"io"
+
+	"fcc/internal/etrans"
+	"fcc/internal/txn"
+)
+
+// ErrBoom is a module-local sentinel: same rules as the txn/etrans ones.
+var ErrBoom = errors.New("fixture: boom")
+
+func compare(err error) int {
+	if err == ErrBoom { // want `sentinel .*ErrBoom with ==/switch.*use errors\.Is`
+		return 1
+	}
+	if err == txn.ErrTimeout { // want `sentinel fcc/internal/txn\.ErrTimeout`
+		return 2
+	}
+	if txn.ErrDeviceDown != err { // want `sentinel fcc/internal/txn\.ErrDeviceDown`
+		return 3
+	}
+	switch err {
+	case etrans.ErrExecutorFailed: // want `sentinel fcc/internal/etrans\.ErrExecutorFailed`
+		return 4
+	case nil:
+		return 5
+	}
+	if errors.Is(err, txn.ErrTimeout) { // the required form
+		return 6
+	}
+	if err == io.EOF { // stdlib sentinel: conventional comparison stays legal
+		return 7
+	}
+	if err != nil { // nil comparisons stay idiomatic
+		return 8
+	}
+	return 0
+}
+
+func directive(err error) bool {
+	return err == ErrBoom //fcclint:allow errcmp identity check on an unwrapped local
+}

@@ -1,0 +1,63 @@
+// Package fixture seeds maporder violations for the analyzer's golden
+// test.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+
+	"fcc/internal/sim"
+)
+
+type thing struct{ heat float64 }
+
+func printUnsorted(m map[string]int) {
+	for k, v := range m { // want `order-sensitive \(fmt\.Println output in map order\)`
+		fmt.Println(k, v)
+	}
+}
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `append to keys in map order with no later sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func scheduleUnsorted(eng *sim.Engine, m map[string]sim.Time) {
+	for _, at := range m { // want `call to fcc/internal/sim\.After`
+		eng.After(at, func() {})
+	}
+}
+
+// appendSorted is the canonical deterministic sweep: collect keys, sort,
+// iterate the slice. The collection loop must pass.
+func appendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// pureUpdate touches each value independently; order cannot be observed.
+func pureUpdate(m map[string]*thing) {
+	for _, t := range m {
+		t.heat *= 0.5
+	}
+}
+
+// setCollect writes map membership — commutative, so clean.
+func setCollect(m map[string]int, set map[string]bool) {
+	for k := range m {
+		set[k] = true
+	}
+}
+
+func directive(m map[string]int) {
+	for k := range m { //fcclint:allow maporder output feeds a commutative checksum
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,44 @@
+// Package fixture seeds procblock violations for the analyzer's golden
+// test.
+package fixture
+
+import (
+	"sync"
+	"time"
+
+	"fcc/internal/sim"
+)
+
+func blocky(p *sim.Proc, ch chan int, mu *sync.Mutex, wg *sync.WaitGroup) {
+	ch <- 1  // want `channel send in a \*sim\.Proc body`
+	<-ch     // want `channel receive in a \*sim\.Proc body`
+	select { // want `select statement in a \*sim\.Proc body`
+	case v := <-ch:
+		_ = v
+	default:
+		mu.Lock() // want `sync\.Lock in a \*sim\.Proc body`
+	}
+	wg.Wait()                   // want `sync\.Wait in a \*sim\.Proc body`
+	time.Sleep(time.Nanosecond) // want `time\.Sleep \(real time\) in a \*sim\.Proc body`
+	for v := range ch {         // want `range over channel in a \*sim\.Proc body`
+		_ = v
+	}
+	p.Sleep(10 * sim.Nanosecond) // virtual time: fine
+}
+
+// noProc takes no *sim.Proc, so the engine contract does not apply.
+func noProc(ch chan int) { ch <- 1 }
+
+// nestedLit: the literal does not take a *sim.Proc, so its body is the
+// callback's problem, not this proc's — and the literal is not run here.
+func nestedLit(p *sim.Proc, ch chan int) func() {
+	p.Yield()
+	return func() { ch <- 1 }
+}
+
+// nestedProcLit is flagged because the literal itself takes a *sim.Proc.
+func nestedProcLit(eng *sim.Engine, ch chan int) {
+	eng.Go("child", func(p *sim.Proc) {
+		<-ch // want `channel receive in a \*sim\.Proc body`
+	})
+}

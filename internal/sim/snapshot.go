@@ -17,12 +17,12 @@ const SnapshotSchemaVersion = 2
 // snapshots are diffable and golden-testable.
 type StatsSnapshot struct {
 	// Schema is set to SnapshotSchemaVersion on the root node only.
-	Schema     int                      `json:"schema,omitempty"`
-	Name       string                   `json:"name"`
-	Counters   map[string]int64         `json:"counters,omitempty"`
-	Gauges     map[string]int64         `json:"gauges,omitempty"`
-	Histograms map[string]HistSnapshot  `json:"histograms,omitempty"`
-	Children   []*StatsSnapshot         `json:"children,omitempty"`
+	Schema     int                     `json:"schema,omitempty"`
+	Name       string                  `json:"name"`
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	Children   []*StatsSnapshot        `json:"children,omitempty"`
 }
 
 // HistSnapshot summarizes one histogram: exact count/sum/min/max/mean/

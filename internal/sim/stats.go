@@ -159,9 +159,9 @@ type Histogram struct {
 	min   float64
 	max   float64
 
-	zeros int64           // samples exactly 0
-	pos   map[int]int64   // bucket index -> count, v > 0
-	neg   map[int]int64   // bucket index of |v| -> count, v < 0
+	zeros int64         // samples exactly 0
+	pos   map[int]int64 // bucket index -> count, v > 0
+	neg   map[int]int64 // bucket index of |v| -> count, v < 0
 
 	posKeys, negKeys []int // cached sorted bucket indexes
 	sorted           bool
