@@ -1,11 +1,14 @@
 GO ?= go
 
-.PHONY: ci build vet fmtcheck lint test race bench examples-smoke
+.PHONY: ci build vet fmtcheck lint test race bench bench-smoke examples-smoke
 
 # ci is the tier-1 gate: build, vet, the invariant lint pass, the full
 # suite under the race detector, and a smoke run of every example
-# binary. Run it before every push.
+# binary. Run it before every push. bench-smoke rides along non-gating
+# (the leading `-`): a crash in a benchmark prints loudly but does not
+# fail the gate, since timing noise must never block a merge.
 ci: build vet lint race examples-smoke
+	-@$(MAKE) --no-print-directory bench-smoke || echo "bench-smoke FAILED (non-gating)"
 
 build:
 	$(GO) build ./...
@@ -31,8 +34,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark in the tree and records the perf
+# trajectory as BENCH_<date>.json (events/sec, ns/op, allocs/op — see
+# cmd/benchjson). Compare against the committed document from the
+# previous PR before merging scheduler or flit-path changes.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%F).json
+
+# bench-smoke compiles and executes every benchmark for 100 iterations —
+# just enough to catch panics and broken invariants, cheap enough for ci.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=100x ./... > /dev/null
 
 # examples-smoke builds and runs every example end to end; each is a
 # short deterministic simulation, so a non-zero exit is a real break.

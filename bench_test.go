@@ -10,8 +10,34 @@ import (
 	"strings"
 	"testing"
 
+	"fcc"
 	"fcc/internal/exp"
+	"fcc/internal/sim"
 )
+
+// BenchmarkClusterEndToEnd measures the whole stack — host MMU through
+// transaction, fabric, link, and flit layers to a FAM and back — as
+// simulator cost per completed remote load. This is the number `make
+// bench` tracks to see how engine and flit-path optimizations compound
+// end to end; events/op says how many engine dispatches one load costs.
+func BenchmarkClusterEndToEnd(b *testing.B) {
+	cluster, err := fcc.New(fcc.Config{Hosts: 1, FAMs: 1, FAMCapacity: 1 << 24})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := cluster.Hosts[0]
+	base := cluster.FAMBase(0)
+	b.ResetTimer()
+	cluster.Go("loader", func(p *sim.Proc) {
+		// Stride one cacheline at a time through all 16MB so every load
+		// misses both host caches and crosses the fabric.
+		for i := 0; i < b.N; i++ {
+			h.Load64P(p, base+(uint64(i)*64)%(1<<24))
+		}
+	})
+	cluster.Run()
+	b.ReportMetric(float64(cluster.Eng.Events())/float64(b.N), "events/op")
+}
 
 // BenchmarkTable1Registry regenerates Table 1 (T1).
 func BenchmarkTable1Registry(b *testing.B) {

@@ -1,0 +1,139 @@
+// benchjson converts `go test -bench` text output (read on stdin) into
+// the repository's machine-readable benchmark document, BENCH_<date>.json
+// (see `make bench`). Future PRs regress-check their scheduler and flit
+// path changes against the committed trajectory of events/sec, ns/op,
+// and allocs/op.
+//
+// Input lines are echoed to stdout unchanged so the tool can sit at the
+// end of a pipe without hiding progress.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	OpsPerSec  float64 `json:"ops_per_sec,omitempty"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+	// Metrics holds b.ReportMetric extras (events/sec, flits/sec, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type doc struct {
+	Schema     int           `json:"schema"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
+
+	d := doc{
+		Schema:    1,
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+	}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "cpu: "):
+			d.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line, pkg); ok {
+				d.Benchmarks = append(d.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(d.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	raw, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(d.Benchmarks), path)
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkEngineScheduleFire-8  60688436  19.44 ns/op  51428470 events/sec  0 B/op  0 allocs/op
+//
+// Fields after the iteration count come in (value, unit) pairs.
+func parseBenchLine(line, pkg string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{
+		Name:       gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+		Package:    pkg,
+		Iterations: iters,
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+			if val > 0 {
+				r.OpsPerSec = 1e9 / val
+			}
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsOp = val
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, true
+}

@@ -7,11 +7,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"fcc/internal/exp"
 	"fcc/internal/sim"
@@ -19,18 +21,33 @@ import (
 
 // experiment is one reproducible unit: run returns the machine-readable
 // result (exported under the experiment id in -json mode) and the
-// human-readable rendering printed to stdout.
+// human-readable rendering printed to stdout. run receives the seed of
+// the enclosing seed-run; experiments whose outcome is seed-independent
+// ignore it.
 type experiment struct {
 	id   string
 	desc string
-	run  func() (result any, text string)
+	run  func(seed uint64) (result any, text string)
+}
+
+// seedRun collects one seed's results. Every seed builds its own
+// engines, links, and RNGs inside the exp functions, so seed runs share
+// no mutable state and can execute on worker goroutines; text is
+// buffered so stdout order is by seed regardless of -parallel.
+type seedRun struct {
+	Seed        uint64         `json:"seed"`
+	Experiments map[string]any `json:"experiments"`
+	text        bytes.Buffer
 }
 
 // jsonOutput is the -json document: schema-versioned experiment results
-// plus the full stats tree from a representative workload.
+// plus the full stats tree from a representative workload. Experiments
+// always holds the base seed's results; Seeds is present (and includes
+// the base seed) only for multi-seed runs.
 type jsonOutput struct {
 	Schema      int                `json:"schema"`
 	Experiments map[string]any     `json:"experiments"`
+	Seeds       []*seedRun         `json:"seeds,omitempty"`
 	Stats       *sim.StatsSnapshot `json:"stats"`
 }
 
@@ -38,33 +55,35 @@ func main() {
 	which := flag.String("exp", "all", "experiment id (see -list)")
 	list := flag.Bool("list", false, "list experiments")
 	jsonPath := flag.String("json", "", "write results + stats tree as JSON to this path")
-	seed := flag.Uint64("seed", 1, "RNG seed for seeded experiments (blast-radius)")
+	seed := flag.Uint64("seed", 1, "base RNG seed for seeded experiments (blast-radius)")
+	seeds := flag.Int("seeds", 1, "run seeds seed..seed+N-1 (merged output, ordered by seed)")
+	parallel := flag.Int("parallel", 1, "worker goroutines for multi-seed runs (each seed owns private engines)")
 	flag.Parse()
 
 	exps := []experiment{
-		{"table1", "Table 1: commodity memory fabrics", func() (any, string) {
+		{"table1", "Table 1: commodity memory fabrics", func(uint64) (any, string) {
 			t := exp.Table1()
 			return t, t
 		}},
-		{"table2", "Table 2: memory hierarchy latency/throughput", func() (any, string) {
+		{"table2", "Table 2: memory hierarchy latency/throughput", func(uint64) (any, string) {
 			rows := exp.Table2()
 			return rows, exp.RenderTable2(rows)
 		}},
-		{"figure1", "Figure 1b: composable infrastructure topology", func() (any, string) {
+		{"figure1", "Figure 1b: composable infrastructure topology", func(uint64) (any, string) {
 			f := exp.Figure1()
 			return f, f
 		}},
-		{"claim-mlp", "C1: remote throughput is MLP-bound", func() (any, string) {
+		{"claim-mlp", "C1: remote throughput is MLP-bound", func(uint64) (any, string) {
 			rows := exp.ClaimMLP()
 			return rows, exp.RenderMLP(rows)
 		}},
-		{"claim-contention", "C2: concurrent 64B writes add one-way latency", func() (any, string) {
+		{"claim-contention", "C2: concurrent 64B writes add one-way latency", func(uint64) (any, string) {
 			r := exp.ClaimContention()
 			return r, fmt.Sprintf("64B write one-way: solo %.0fns, under 3-host contention %.0fns (+%.0fns)\n"+
 				"(paper: concurrent 64B PCIe writes can add 600ns one-way)\n",
 				r.SoloNs, r.ContendedNs, r.AddedNs)
 		}},
-		{"claim-interleave", "C3: 64B latency under 16KB bulk interference", func() (any, string) {
+		{"claim-interleave", "C3: 64B latency under 16KB bulk interference", func(uint64) (any, string) {
 			r := exp.ClaimInterleave()
 			return r, fmt.Sprintf("64B request mean latency:\n"+
 				"  idle fabric:                  %8.0fns\n"+
@@ -74,18 +93,18 @@ func main() {
 				r.AloneNs, r.WithBulkNs, r.WithBulkNs/r.AloneNs,
 				r.WithBulkVCSepNs, r.WithBulkVCSepNs/r.AloneNs)
 		}},
-		{"claim-switch", "C4: switch transit <100ns/port at high bandwidth", func() (any, string) {
+		{"claim-switch", "C4: switch transit <100ns/port at high bandwidth", func(uint64) (any, string) {
 			r := exp.ClaimSwitch()
 			return r, fmt.Sprintf("switch transit: %.0fns mean; sustained %.1f GB/s through one port\n"+
 				"(paper/FabreX: <100ns non-blocking per port, up to 512 Gbit/s)\n",
 				r.TransitNs, r.GBps)
 		}},
-		{"claim-rtt", "C5: unloaded link-layer RTT of a small flit", func() (any, string) {
+		{"claim-rtt", "C5: unloaded link-layer RTT of a small flit", func(uint64) (any, string) {
 			r := exp.ClaimRTT()
 			return r, fmt.Sprintf("64B-class flit RTT on a direct link: %.0fns\n"+
 				"(paper: end-to-end RTT of a 64B flit can be up to 200ns unloaded)\n", r.RTTNs)
 		}},
-		{"etrans", "E1: data movement as a managed service", func() (any, string) {
+		{"etrans", "E1: data movement as a managed service", func(uint64) (any, string) {
 			r := exp.ETransAblation()
 			return r, fmt.Sprintf("move 16 x 64KB FAM->FAM:\n"+
 				"  host-driven synchronous copies: %8.1fus\n"+
@@ -93,14 +112,14 @@ func main() {
 				"  host-visible cost, OwnExecutor: %8.1fus\n",
 				r.SyncUs, r.ManagedUs, r.SyncUs/r.ManagedUs, r.HostFreeUs)
 		}},
-		{"uheap", "E2: active unified heap vs static placement", func() (any, string) {
+		{"uheap", "E2: active unified heap vs static placement", func(uint64) (any, string) {
 			r := exp.UHeapAblation()
 			return r, fmt.Sprintf("Zipf object access, working set 2x local pool:\n"+
 				"  static placement: mean %7.1fns\n"+
 				"  active heap:      mean %7.1fns (%.2fx, %d promotions)\n",
 				r.StaticMeanNs, r.MigratedMeanNs, r.StaticMeanNs/r.MigratedMeanNs, r.Promotions)
 		}},
-		{"idem", "E3: idempotent tasks under failure injection", func() (any, string) {
+		{"idem", "E3: idempotent tasks under failure injection", func(uint64) (any, string) {
 			rows := exp.IdemAblation()
 			var b strings.Builder
 			fmt.Fprintf(&b, "%8s | %13s | %11s | %s\n", "failProb", "mean attempts", "all correct", "time overhead")
@@ -110,7 +129,7 @@ func main() {
 			}
 			return rows, b.String()
 		}},
-		{"arbiter", "E4: central arbiter protects small-request latency", func() (any, string) {
+		{"arbiter", "E4: central arbiter protects small-request latency", func(uint64) (any, string) {
 			r := exp.ArbiterAblation()
 			return r, fmt.Sprintf("reader p99 under 3-writer incast:\n"+
 				"  laissez-faire: %8.0fns\n"+
@@ -118,7 +137,7 @@ func main() {
 				r.LaissezFaireP99Ns, r.ArbiterP99Ns,
 				r.LaissezFaireP99Ns/r.ArbiterP99Ns, r.BulkChangePct)
 		}},
-		{"cfc", "E5: credit allocation schemes", func() (any, string) {
+		{"cfc", "E5: credit allocation schemes", func(uint64) (any, string) {
 			rows := exp.CFCAblation()
 			var b strings.Builder
 			fmt.Fprintf(&b, "%-18s | %9s | %9s | %s\n", "scheme", "heavy ops", "light ops", "Jain fairness")
@@ -128,7 +147,7 @@ func main() {
 			}
 			return rows, b.String()
 		}},
-		{"nodes", "E6: memory node types under sharing patterns", func() (any, string) {
+		{"nodes", "E6: memory node types under sharing patterns", func(uint64) (any, string) {
 			rows := exp.NodeTypes()
 			var b strings.Builder
 			fmt.Fprintf(&b, "%-14s | %14s | %13s | %s\n", "node type",
@@ -139,7 +158,7 @@ func main() {
 			}
 			return rows, b.String()
 		}},
-		{"prefetch", "E8: prefetching accelerates fabric memory", func() (any, string) {
+		{"prefetch", "E8: prefetching accelerates fabric memory", func(uint64) (any, string) {
 			rows := exp.PrefetchSweep()
 			var b strings.Builder
 			fmt.Fprintf(&b, "%5s | %10s | %s\n", "depth", "stream us", "speedup")
@@ -148,11 +167,11 @@ func main() {
 			}
 			return rows, b.String()
 		}},
-		{"blast-radius", "E9: fault injection, route-around, blast radius", func() (any, string) {
-			r := exp.BlastRadius(*seed)
+		{"blast-radius", "E9: fault injection, route-around, blast radius", func(seed uint64) (any, string) {
+			r := exp.BlastRadius(seed)
 			return r, exp.RenderBlastRadius(r)
 		}},
-		{"mimo", "E7: MIMO baseband case study", func() (any, string) {
+		{"mimo", "E7: MIMO baseband case study", func(uint64) (any, string) {
 			clean := exp.MIMOPipeline(8, false)
 			failed := exp.MIMOPipeline(8, true)
 			text := fmt.Sprintf("clean run:   %d frames, BER %.4f, mean frame latency %.1fus\n",
@@ -169,28 +188,65 @@ func main() {
 		}
 		return
 	}
-	results := make(map[string]any)
-	ran := 0
+	selected := exps[:0:0]
 	for _, e := range exps {
 		if *which == "all" || *which == e.id {
-			fmt.Printf("=== %s — %s ===\n", e.id, e.desc)
-			result, text := e.run()
-			fmt.Print(text)
-			fmt.Println()
-			results[e.id] = result
-			ran++
+			selected = append(selected, e)
 		}
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: all, %s\n",
 			*which, strings.Join(ids(exps), ", "))
 		os.Exit(2)
 	}
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "-seeds must be >= 1")
+		os.Exit(2)
+	}
+
+	// Each seed runs on its own worker with wholly private simulation
+	// state; text and results are buffered per seed and emitted in seed
+	// order, so the output is byte-identical for any -parallel value.
+	runs := make([]*seedRun, *seeds)
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range runs {
+		r := &seedRun{Seed: *seed + uint64(i), Experiments: make(map[string]any)}
+		runs[i] = r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for _, e := range selected {
+				fmt.Fprintf(&r.text, "=== %s — %s ===\n", e.id, e.desc)
+				result, text := e.run(r.Seed)
+				fmt.Fprint(&r.text, text)
+				fmt.Fprintln(&r.text)
+				r.Experiments[e.id] = result
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range runs {
+		if *seeds > 1 {
+			fmt.Printf("──── seed %d ────\n", r.Seed)
+		}
+		os.Stdout.Write(r.text.Bytes())
+	}
+
 	if *jsonPath != "" {
 		out := jsonOutput{
 			Schema:      sim.SnapshotSchemaVersion,
-			Experiments: results,
+			Experiments: runs[0].Experiments,
 			Stats:       exp.StatsWorkload(),
+		}
+		if *seeds > 1 {
+			out.Seeds = runs
 		}
 		raw, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {

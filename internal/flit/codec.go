@@ -75,6 +75,13 @@ type Flit struct {
 	Last    bool   // final flit of its packet
 	Payload []byte // PayloadBytes() of packet bytes (zero-padded)
 	CRC     uint16 // CRC-16/CCITT over Payload
+
+	// refs and next belong to the owning Pool: refs counts the holders
+	// (replay buffer, rx assembly) that must Release the flit before it
+	// recycles; next links the pool free list. Flits built by the plain
+	// Encode path leave both zero and are garbage-collected as before.
+	refs int32
+	next *Flit
 }
 
 // errors returned by the codec.

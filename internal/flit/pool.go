@@ -1,0 +1,155 @@
+package flit
+
+import "fmt"
+
+// Pool recycles Flit objects and their payload buffers for one link
+// direction. The simulation engine fires one event at a time, so the
+// pool is deliberately a plain free list — no sync.Pool, whose
+// scheduler-dependent reuse order would leak nondeterminism into
+// allocation patterns (and whose per-P caches defeat the engine's
+// single-threaded locality anyway).
+//
+// Ownership is reference-counted because one flit can be held by two
+// parties at once in retry mode: the sender's replay buffer and the
+// receiver's reassembly queue. Every holder calls Retain when it files
+// the flit and Release when it lets go; the last Release recycles the
+// flit. Code that never pools (tests, the plain Encode path) can ignore
+// refcounts entirely — Release on a flit that never came from a pool is
+// a bug and panics.
+type Pool struct {
+	mode Mode
+	free *Flit  // recycled flits, LIFO for cache warmth
+	raw  []byte // Encode scratch: header + payload staging
+	dec  []byte // Decode scratch: reassembled packet bytes
+}
+
+// NewPool returns an empty pool producing flits of the given mode.
+func NewPool(m Mode) *Pool {
+	return &Pool{mode: m}
+}
+
+// Mode reports the flit mode this pool encodes for.
+func (pl *Pool) Mode() Mode { return pl.mode }
+
+// Get returns a flit with refs=1 and a payload buffer of PayloadBytes
+// capacity. The payload contents are stale; callers must overwrite (the
+// pool's Encode does).
+func (pl *Pool) Get() *Flit {
+	f := pl.free
+	if f == nil {
+		f = &Flit{Payload: make([]byte, pl.mode.PayloadBytes())}
+	} else {
+		pl.free = f.next
+		f.next = nil
+	}
+	f.refs = 1
+	f.Seq = 0
+	f.Last = false
+	f.CRC = 0
+	return f
+}
+
+// Retain adds a holder to a pooled flit. A no-op on non-pooled flits
+// (refs stays 0) so shared helpers can call it unconditionally.
+func (f *Flit) Retain() {
+	if f.refs > 0 {
+		f.refs++
+	}
+}
+
+// Release drops one holder; the last holder's Release returns the flit
+// to the pool. Releasing a flit that was never pooled, or more times
+// than it was retained, panics — both are ownership bugs that would
+// otherwise surface as silent payload corruption much later.
+func (pl *Pool) Release(f *Flit) {
+	f.refs--
+	if f.refs > 0 {
+		return
+	}
+	if f.refs < 0 {
+		panic(fmt.Sprintf("flit: over-released flit seq=%d (refs=%d)", f.Seq, f.refs))
+	}
+	f.next = pl.free
+	pl.free = f
+}
+
+// Encode is the pooled counterpart of the package-level Encode: it
+// splits a packet into flits drawn from the pool (each refs=1, owned by
+// the caller) and appends them to dst, reusing the pool's staging
+// buffer. Error cases match Encode exactly.
+func (pl *Pool) Encode(p *Packet, firstSeq uint32, dst []*Flit) ([]*Flit, error) {
+	if p.Src > MaxPortID || p.Dst > MaxPortID {
+		return dst, ErrBadPortID
+	}
+	if p.Size > MaxPayload {
+		return dst, ErrSizeBounds
+	}
+	if p.Data != nil && uint32(len(p.Data)) != p.Size {
+		return dst, fmt.Errorf("flit: data length %d != size %d", len(p.Data), p.Size)
+	}
+	total := headerSize + int(p.Size)
+	if cap(pl.raw) < total {
+		pl.raw = make([]byte, total)
+	}
+	raw := pl.raw[:total]
+	EncodeHeader(p, raw[:headerSize])
+	if p.Data != nil {
+		copy(raw[headerSize:], p.Data)
+	} else {
+		clear(raw[headerSize:])
+	}
+	per := pl.mode.PayloadBytes()
+	n := pl.mode.FlitsFor(p.Size)
+	for i := 0; i < n; i++ {
+		f := pl.Get()
+		chunk := f.Payload[:per]
+		lo := i * per
+		hi := lo + per
+		if hi > total {
+			hi = total
+		}
+		copy(chunk, raw[lo:hi])
+		clear(chunk[hi-lo:]) // pooled buffer: pad bytes may be stale
+		f.Seq = firstSeq + uint32(i)
+		f.Last = i == n-1
+		f.CRC = CRC16(chunk)
+		dst = append(dst, f)
+	}
+	return dst, nil
+}
+
+// Decode is the pooled counterpart of the package-level Decode: it
+// reassembles a packet using the pool's scratch buffer instead of a
+// fresh allocation per packet. The returned Packet (and its Data) are
+// freshly allocated — they escape to the transaction layer and beyond,
+// so they cannot alias pool scratch. The input flits are NOT released;
+// the caller owns them and releases after a successful decode. Error
+// semantics match Decode exactly.
+func (pl *Pool) Decode(flits []*Flit) (*Packet, error) {
+	if len(flits) == 0 {
+		return nil, ErrTruncated
+	}
+	raw := pl.dec[:0]
+	for _, f := range flits {
+		if CRC16(f.Payload) != f.CRC {
+			return nil, ErrCRC
+		}
+		raw = append(raw, f.Payload...)
+	}
+	pl.dec = raw[:0]
+	p, err := DecodeHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	need := headerSize + int(p.Size)
+	if len(raw) < need {
+		return nil, ErrTruncated
+	}
+	if p.Size > 0 {
+		p.Data = append([]byte(nil), raw[headerSize:need]...)
+	}
+	if pl.mode.FlitsFor(p.Size) != len(flits) {
+		return nil, ErrTruncated
+	}
+	return p, nil
+}

@@ -1,0 +1,153 @@
+package flit
+
+import (
+	"bytes"
+	"testing"
+)
+
+func poolPacket(size uint32, fill byte) *Packet {
+	p := &Packet{
+		Chan: ChMem, Op: OpMemWr, Src: 3, Dst: 9, Tag: 77,
+		Addr: 0xdead0000, Size: size,
+	}
+	if size > 0 {
+		p.Data = bytes.Repeat([]byte{fill}, int(size))
+	}
+	return p
+}
+
+// TestPoolEncodeMatchesEncode: the pooled encoder must be byte-for-byte
+// identical to the allocating one, for both modes and for payload sizes
+// around every flit boundary.
+func TestPoolEncodeMatchesEncode(t *testing.T) {
+	for _, m := range []Mode{Mode68, Mode256} {
+		pl := NewPool(m)
+		for _, size := range []uint32{0, 1, 40, 63, 64, 65, 200, 248, 4096} {
+			p := poolPacket(size, byte(size))
+			want, err := Encode(m, p, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pl.Encode(p, 100, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v size %d: %d flits, want %d", m, size, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Seq != want[i].Seq || got[i].Last != want[i].Last ||
+					got[i].CRC != want[i].CRC || !bytes.Equal(got[i].Payload, want[i].Payload) {
+					t.Fatalf("%v size %d: flit %d differs", m, size, i)
+				}
+			}
+			dec, err := pl.Decode(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Size != p.Size || !bytes.Equal(dec.Data, p.Data) {
+				t.Fatalf("%v size %d: pooled decode round-trip mismatch", m, size)
+			}
+			for _, f := range got {
+				pl.Release(f)
+			}
+		}
+	}
+}
+
+// TestPoolReuseIsClean: a recycled flit carrying stale payload must not
+// bleed into the next, shorter packet (pad bytes are re-zeroed).
+func TestPoolReuseIsClean(t *testing.T) {
+	pl := NewPool(Mode68)
+	big, err := pl.Encode(poolPacket(100, 0xFF), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range big {
+		pl.Release(f)
+	}
+	small, err := pl.Encode(poolPacket(4, 0xAA), 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Encode(Mode68, poolPacket(4, 0xAA), 10)
+	if !bytes.Equal(small[0].Payload, want[0].Payload) {
+		t.Fatal("stale payload bytes leaked into recycled flit")
+	}
+	p, err := pl.Decode(small)
+	if err != nil || !bytes.Equal(p.Data, []byte{0xAA, 0xAA, 0xAA, 0xAA}) {
+		t.Fatalf("round-trip through recycled flits: %v %v", p, err)
+	}
+}
+
+// TestPoolRefcount: two holders, two releases; the third panics.
+func TestPoolRefcount(t *testing.T) {
+	pl := NewPool(Mode68)
+	f := pl.Get()
+	f.Retain()
+	pl.Release(f)
+	if pl.free != nil {
+		t.Fatal("flit recycled while a holder remained")
+	}
+	pl.Release(f)
+	if pl.free != f {
+		t.Fatal("flit not recycled after last release")
+	}
+	g := pl.Get()
+	if g != f {
+		t.Fatal("pool did not hand back the recycled flit")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	pl.Release(g)
+	pl.Release(g)
+}
+
+// TestPoolDecodeErrors: pooled decode keeps the exact error contract of
+// the allocating decoder.
+func TestPoolDecodeErrors(t *testing.T) {
+	pl := NewPool(Mode68)
+	if _, err := pl.Decode(nil); err != ErrTruncated {
+		t.Fatalf("empty: %v", err)
+	}
+	flits, _ := pl.Encode(poolPacket(100, 1), 0, nil)
+	flits[1].Corrupt(13)
+	if _, err := pl.Decode(flits); err != ErrCRC {
+		t.Fatalf("corrupt: %v", err)
+	}
+	flits2, _ := pl.Encode(poolPacket(100, 1), 0, nil)
+	if _, err := pl.Decode(flits2[:1]); err != ErrTruncated {
+		t.Fatalf("missing flit: %v", err)
+	}
+}
+
+// TestPoolEncodeZeroAlloc: steady-state pooled encode/decode of a
+// recycled packet allocates only the escaping Packet+Data from Decode,
+// never flits or staging buffers.
+func TestPoolEncodeZeroAlloc(t *testing.T) {
+	pl := NewPool(Mode256)
+	p := poolPacket(512, 7)
+	buf := make([]*Flit, 0, 8)
+	// Warm: size the scratch buffers and free list.
+	for i := 0; i < 4; i++ {
+		var err error
+		buf, err = pl.Encode(p, 0, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range buf {
+			pl.Release(f)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		buf, _ = pl.Encode(p, 0, buf[:0])
+		for _, f := range buf {
+			pl.Release(f)
+		}
+	}); n != 0 {
+		t.Fatalf("pooled encode allocates %.1f per packet, want 0", n)
+	}
+}

@@ -20,10 +20,15 @@ func New(eng *sim.Engine, name string, cfg Config) (*Link, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Both directions share one flit pool: the engine fires one event at
+	// a time, so a plain free list is race-free, and sharing halves the
+	// warm-up footprint (a flit released by B's receiver is immediately
+	// reusable by A's transmitter).
+	pool := flit.NewPool(cfg.Mode)
 	l := &Link{
 		name: name,
-		a:    newPort(eng, name+".A", cfg),
-		b:    newPort(eng, name+".B", cfg),
+		a:    newPort(eng, name+".A", cfg, pool),
+		b:    newPort(eng, name+".B", cfg, pool),
 	}
 	l.a.peer, l.b.peer = l.b, l.a
 	return l, nil
@@ -38,12 +43,98 @@ func (l *Link) A() *Port { return l.a }
 // B returns the second endpoint.
 func (l *Link) B() *Port { return l.b }
 
-// txPacket is a packet queued for transmission, flit by flit.
+// txPacket is a packet queued for transmission, flit by flit. Instances
+// are recycled through the port's free list; the flits slice keeps its
+// capacity across reuse so a steady-state Send performs no allocation.
 type txPacket struct {
 	pkt   *flit.Packet
 	flits []*flit.Flit
 	next  int
 	enq   sim.Time
+	free  *txPacket
+}
+
+// linkMsg is the pooled argument block for the port's closure-free
+// scheduled events: serialization completion, flit delivery, ack/nak,
+// and credit return all travel through the engine as (static fn, *linkMsg)
+// pairs instead of per-event closures, so the wire hot path allocates
+// nothing in steady state.
+type linkMsg struct {
+	p    *Port
+	vc   flit.Channel
+	f    *flit.Flit
+	seq  uint32
+	n    int
+	next *linkMsg
+}
+
+func (p *Port) getMsg() *linkMsg {
+	m := p.msgFree
+	if m == nil {
+		return &linkMsg{p: p}
+	}
+	p.msgFree = m.next
+	m.next = nil
+	return m
+}
+
+// putMsg recycles a message block, dropping its flit pointer so a parked
+// free-list entry never pins a payload buffer.
+func (p *Port) putMsg(m *linkMsg) {
+	m.f = nil
+	m.next = p.msgFree
+	p.msgFree = m
+}
+
+// serDone fires when the last bit of a flit has left the transmitter:
+// free the wire, launch the flit toward the peer, refill, and continue.
+// The delivery event is scheduled before DrainHook/kick run so the event
+// sequence numbers (and therefore same-seed ordering) match the previous
+// closure-based implementation exactly.
+func serDone(a any) {
+	m := a.(*linkMsg)
+	p, vc, f := m.p, m.vc, m.f
+	p.putMsg(m)
+	p.sending = false
+	dm := p.getMsg()
+	dm.vc, dm.f = vc, f
+	p.eng.After2(p.cfg.Phys.Propagation, deliverFlit, dm)
+	if p.DrainHook != nil {
+		p.DrainHook()
+	}
+	p.kick()
+}
+
+// deliverFlit lands a flit at the peer after the propagation delay.
+func deliverFlit(a any) {
+	m := a.(*linkMsg)
+	p, vc, f := m.p, m.vc, m.f
+	p.putMsg(m)
+	p.peer.receiveFlit(vc, f)
+}
+
+// sendAck delivers a link-layer ack to the peer transmitter.
+func sendAck(a any) {
+	m := a.(*linkMsg)
+	p, vc, seq := m.p, m.vc, m.seq
+	p.putMsg(m)
+	p.peer.handleAck(vc, seq)
+}
+
+// sendNak delivers a link-layer nak (retransmit request) to the peer.
+func sendNak(a any) {
+	m := a.(*linkMsg)
+	p, vc, seq := m.p, m.vc, m.seq
+	p.putMsg(m)
+	p.peer.handleNak(vc, seq)
+}
+
+// returnCredits hands freed receive-buffer credits back to the peer.
+func returnCredits(a any) {
+	m := a.(*linkMsg)
+	p, vc, n := m.p, m.vc, m.n
+	p.putMsg(m)
+	p.peer.addCredits(vc, n)
 }
 
 // Port is one directionful endpoint of a link: it transmits packets
@@ -55,9 +146,13 @@ type Port struct {
 	peer *Port
 	sink Sink
 	rng  *sim.RNG
+	pool *flit.Pool // shared with peer; see Link constructor
 
-	// Transmit state.
+	// Transmit state. txq is consumed from txqHead rather than resliced
+	// so the backing array is reused; it compacts when the dead prefix
+	// dominates.
 	txq      [flit.NumChannels][]*txPacket
+	txqHead  [flit.NumChannels]int
 	retryq   [flit.NumChannels][]*flit.Flit
 	credits  [flit.NumChannels]int
 	shared   int
@@ -66,6 +161,11 @@ type Port struct {
 	sched    Scheduler
 	vcSeq    [flit.NumChannels]uint32
 	replay   [flit.NumChannels]map[uint32]*flit.Flit
+
+	// Free lists and scratch for the allocation-free hot path.
+	txpFree *txPacket
+	msgFree *linkMsg
+	viewBuf [flit.NumChannels]VCView
 
 	// Fault state (see the fault.Injectable implementation on Link).
 	// down pauses the transmitter; flits already serialized onto the
@@ -107,11 +207,12 @@ type Port struct {
 	QueueLat    *sim.Histogram
 }
 
-func newPort(eng *sim.Engine, name string, cfg Config) *Port {
+func newPort(eng *sim.Engine, name string, cfg Config, pool *flit.Pool) *Port {
 	p := &Port{
 		eng:      eng,
 		name:     name,
 		cfg:      cfg,
+		pool:     pool,
 		lockedVC: -1,
 		laneDiv:  1,
 		rng:      sim.NewRNG(cfg.Seed ^ 0xfabc),
@@ -214,27 +315,52 @@ func (p *Port) Send(pkt *flit.Packet) {
 			pkt.Size, MaxPacketPayload))
 	}
 	vc := pkt.Chan
-	fl, err := flit.Encode(p.cfg.Mode, pkt, p.vcSeq[vc])
+	tp := p.getTxPacket()
+	fl, err := p.pool.Encode(pkt, p.vcSeq[vc], tp.flits[:0])
 	if err != nil {
 		panic("link: encode: " + err.Error())
 	}
+	tp.pkt, tp.flits, tp.next, tp.enq = pkt, fl, 0, p.eng.Now()
 	p.vcSeq[vc] += uint32(len(fl))
-	p.txq[vc] = append(p.txq[vc], &txPacket{pkt: pkt, flits: fl, enq: p.eng.Now()})
+	p.txq[vc] = append(p.txq[vc], tp)
 	p.tracePkt(telemetry.EvPktSend, vc, fl[0].Seq, pkt)
 	p.kick()
+}
+
+func (p *Port) getTxPacket() *txPacket {
+	tp := p.txpFree
+	if tp == nil {
+		return &txPacket{}
+	}
+	p.txpFree = tp.free
+	tp.free = nil
+	return tp
+}
+
+// putTxPacket recycles a fully transmitted packet descriptor, clearing
+// its pointers so the free list pins neither the packet nor its flits.
+func (p *Port) putTxPacket(tp *txPacket) {
+	tp.pkt = nil
+	clear(tp.flits)
+	tp.flits = tp.flits[:0]
+	tp.next = 0
+	tp.free = p.txpFree
+	p.txpFree = tp
 }
 
 // TxQueueFlits reports the flits queued (not yet on the wire) for a VC.
 func (p *Port) TxQueueFlits(vc flit.Channel) int {
 	n := len(p.retryq[vc])
-	for _, tp := range p.txq[vc] {
+	for _, tp := range p.txq[vc][p.txqHead[vc]:] {
 		n += len(tp.flits) - tp.next
 	}
 	return n
 }
 
 // TxQueuePackets reports the packets queued on a VC.
-func (p *Port) TxQueuePackets(vc flit.Channel) int { return len(p.txq[vc]) }
+func (p *Port) TxQueuePackets(vc flit.Channel) int {
+	return len(p.txq[vc]) - p.txqHead[vc]
+}
 
 // Credits reports the transmit credits currently available on a VC (or
 // the shared pool when so configured).
@@ -285,19 +411,19 @@ func (p *Port) pickVC() int {
 		p.StallPicks.Inc()
 		return -1
 	}
-	views := make([]VCView, flit.NumChannels)
+	views := p.viewBuf[:] // scratch; schedulers read it synchronously
 	any := false
 	for i := range views {
 		vc := flit.Channel(i)
 		v := VCView{
 			Channel:       vc,
 			QueuedFlits:   p.TxQueueFlits(vc),
-			QueuedPackets: len(p.txq[vc]),
+			QueuedPackets: p.TxQueuePackets(vc),
 			Credits:       p.Credits(vc),
 			Eligible:      p.eligible(vc),
 		}
-		if len(p.txq[vc]) > 0 {
-			v.HeadAge = int64(p.eng.Now() - p.txq[vc][0].enq)
+		if p.TxQueuePackets(vc) > 0 {
+			v.HeadAge = int64(p.eng.Now() - p.txq[vc][p.txqHead[vc]].enq)
 		}
 		views[i] = v
 		if v.QueuedFlits > 0 {
@@ -315,7 +441,7 @@ func (p *Port) eligible(vc flit.Channel) bool {
 	if len(p.retryq[vc]) > 0 {
 		return true // retransmissions own their credit already
 	}
-	return len(p.txq[vc]) > 0 && p.creditAvailable(vc)
+	return p.TxQueuePackets(vc) > 0 && p.creditAvailable(vc)
 }
 
 // kick advances the transmitter if the wire is idle and a flit is ready.
@@ -335,15 +461,25 @@ func (p *Port) kick() {
 		p.Retransmits.Inc()
 		p.trace(telemetry.EvRetransmit, vc, f.Seq)
 	} else {
-		tp := p.txq[vc][0]
+		h := p.txqHead[vc]
+		tp := p.txq[vc][h]
 		f = tp.flits[tp.next]
 		p.consumeCredit(vc)
 		p.tracePkt(telemetry.EvFlitTx, vc, f.Seq, tp.pkt)
 		tp.next++
 		if tp.next == len(tp.flits) {
-			p.txq[vc] = p.txq[vc][1:]
+			p.txq[vc][h] = nil
+			h++
+			p.txqHead[vc] = h
+			if h >= 32 && h*2 >= len(p.txq[vc]) {
+				n := copy(p.txq[vc], p.txq[vc][h:])
+				clear(p.txq[vc][n:])
+				p.txq[vc] = p.txq[vc][:n]
+				p.txqHead[vc] = 0
+			}
 			p.PktsTx.Inc()
 			p.QueueLat.ObserveTime(p.eng.Now() - tp.enq)
+			p.putTxPacket(tp)
 			if p.lockedVC == idx {
 				p.lockedVC = -1
 			}
@@ -352,21 +488,22 @@ func (p *Port) kick() {
 		}
 	}
 	if p.cfg.RetryEnabled {
+		// The replay buffer is its own holder. A fresh send files the
+		// flit for the first time (retain); a retransmit normally finds
+		// its entry still present — unless the ack arrived while the
+		// flit sat in the retry queue, in which case the entry was
+		// released and must be re-retained.
+		if _, ok := p.replay[vc][f.Seq]; !ok {
+			f.Retain()
+		}
 		p.replay[vc][f.Seq] = f
 	}
 	p.sending = true
 	p.FlitsTx.Inc()
 	ser := p.cfg.Phys.SerTime(p.cfg.Mode.WireBytes()) * sim.Time(p.laneDiv)
-	p.eng.After(ser, func() {
-		p.sending = false
-		p.eng.After(p.cfg.Phys.Propagation, func() {
-			p.peer.receiveFlit(vc, f)
-		})
-		if p.DrainHook != nil {
-			p.DrainHook()
-		}
-		p.kick()
-	})
+	m := p.getMsg()
+	m.vc, m.f = vc, f
+	p.eng.After2(ser, serDone, m)
 }
 
 // receiveFlit handles one arriving flit: error injection, selective
@@ -379,10 +516,15 @@ func (p *Port) receiveFlit(vc flit.Channel, f *flit.Flit) {
 		if corrupted {
 			p.CRCErrors.Inc()
 			p.trace(telemetry.EvCRCError, vc, f.Seq)
-			p.eng.After(p.cfg.Phys.Propagation, func() { p.peer.handleNak(vc, f.Seq) })
+			m := p.getMsg()
+			m.vc, m.seq = vc, f.Seq
+			p.eng.After2(p.cfg.Phys.Propagation, sendNak, m)
+			p.pool.Release(f) // wire copy discarded; sender's replay holds it
 			return
 		}
-		p.eng.After(p.cfg.Phys.Propagation, func() { p.peer.handleAck(vc, f.Seq) })
+		m := p.getMsg()
+		m.vc, m.seq = vc, f.Seq
+		p.eng.After2(p.cfg.Phys.Propagation, sendAck, m)
 		if f.Seq != p.rxExpect[vc] {
 			if f.Seq-p.rxExpect[vc] >= 1<<31 {
 				// Stale retransmission of a flit already delivered (its
@@ -391,9 +533,16 @@ func (p *Port) receiveFlit(vc flit.Channel, f *flit.Flit) {
 				// the flit a second time when the sequence space wraps.
 				p.DupFlits.Inc()
 				p.trace(telemetry.EvDupDrop, vc, f.Seq)
+				p.pool.Release(f)
 				return
 			}
-			p.rxStash[vc][f.Seq] = f
+			if _, dup := p.rxStash[vc][f.Seq]; dup {
+				// Original and retransmit both in flight: the stash
+				// already holds this flit; drop the extra wire reference.
+				p.pool.Release(f)
+			} else {
+				p.rxStash[vc][f.Seq] = f // stash inherits the wire reference
+			}
 			return
 		}
 		p.acceptFlit(vc, f)
@@ -419,14 +568,17 @@ func (p *Port) acceptFlit(vc flit.Channel, f *flit.Flit) {
 		return
 	}
 	flits := p.rxAsm[vc]
-	p.rxAsm[vc] = nil
-	pkt, err := flit.Decode(p.cfg.Mode, flits)
+	p.rxAsm[vc] = flits[:0] // backing array reused for the next packet
+	pkt, err := p.pool.Decode(flits)
 	if err != nil {
 		panic(fmt.Sprintf("link %s: reassembly on %v: %v", p.name, vc, err))
 	}
 	p.PktsRx.Inc()
 	p.tracePkt(telemetry.EvPktDeliver, vc, flits[0].Seq, pkt)
 	n := len(flits)
+	for _, fl := range flits {
+		p.pool.Release(fl) // decode copied the payload out
+	}
 	released := false
 	release := func() {
 		if released {
@@ -441,9 +593,9 @@ func (p *Port) acceptFlit(vc flit.Channel, f *flit.Flit) {
 			ret -= swallow
 		}
 		if ret > 0 {
-			p.eng.After(p.cfg.CreditReturnDelay+p.cfg.Phys.Propagation, func() {
-				p.peer.addCredits(vc, ret)
-			})
+			m := p.getMsg()
+			m.vc, m.n = vc, ret
+			p.eng.After2(p.cfg.CreditReturnDelay+p.cfg.Phys.Propagation, returnCredits, m)
 		}
 	}
 	if p.sink == nil {
@@ -459,13 +611,17 @@ func (p *Port) handleNak(vc flit.Channel, seq uint32) {
 	if !ok {
 		return // already retransmitted and acked
 	}
+	f.Retain() // the retry queue holds its own reference until resend
 	p.retryq[vc] = append(p.retryq[vc], f)
 	p.kick()
 }
 
 // handleAck drops a delivered flit from the replay buffer.
 func (p *Port) handleAck(vc flit.Channel, seq uint32) {
-	delete(p.replay[vc], seq)
+	if f, ok := p.replay[vc][seq]; ok {
+		delete(p.replay[vc], seq)
+		p.pool.Release(f)
+	}
 }
 
 // ReplayBufferLen reports unacknowledged flits on a VC (retry mode only).
@@ -502,7 +658,9 @@ func (p *Port) SetRxBuf(vc flit.Channel, n int) {
 			grant -= cancel
 		}
 		if grant > 0 {
-			p.eng.After(p.cfg.Phys.Propagation, func() { p.peer.addCredits(vc, grant) })
+			m := p.getMsg()
+			m.vc, m.n = vc, grant
+			p.eng.After2(p.cfg.Phys.Propagation, returnCredits, m)
 		}
 	case delta < 0:
 		p.rxDebt[vc] += -delta

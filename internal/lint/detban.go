@@ -24,6 +24,18 @@ var detbanFuncs = map[string]map[string]string{
 		"LookupEnv": "simulation behaviour must not depend on the environment; plumb configuration explicitly",
 		"Environ":   "simulation behaviour must not depend on the environment; plumb configuration explicitly",
 	},
+	// sync.Pool's reuse order depends on the runtime scheduler and GC,
+	// so pooled-object identity (and any allocation-coupled behaviour)
+	// would differ between same-seed runs. The repo's pools are plain
+	// single-threaded free lists instead: the engine fires one event at
+	// a time, so they need no locking and recycle in program order (see
+	// flit.Pool and the sim.Engine event pool). Get/Put are the only
+	// method names on any type in package sync that collide with this
+	// ban, so matching by name is exact.
+	"sync": {
+		"Get": "sync.Pool reuse is scheduler/GC-ordered and breaks same-seed determinism; use a plain free list (see flit.Pool)",
+		"Put": "sync.Pool reuse is scheduler/GC-ordered and breaks same-seed determinism; use a plain free list (see flit.Pool)",
+	},
 }
 
 // detbanImports are packages banned outright in simulation code.

@@ -7,6 +7,7 @@ import (
 	"crypto/rand"     // want `import of crypto/rand is banned`
 	mrand "math/rand" // want `import of math/rand is banned`
 	"os"
+	"sync"
 	"time"
 )
 
@@ -34,4 +35,25 @@ func allowed() time.Time {
 func allowedAbove() {
 	//fcclint:allow detban seeding the operator-facing demo only
 	time.Sleep(time.Millisecond)
+}
+
+// The engine fires one event at a time, so object pools must be plain
+// free lists; sync.Pool's scheduler-dependent reuse order leaks
+// nondeterminism into allocation patterns.
+var flitPool = sync.Pool{New: func() interface{} { return new(int) }}
+
+func badPool() {
+	v := flitPool.Get() // want `sync\.Get is banned`
+	flitPool.Put(v)     // want `sync\.Put is banned`
+}
+
+// Other sync primitives stay legal — only Pool's Get/Put are flagged.
+func okSync() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Wait()
 }

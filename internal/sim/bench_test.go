@@ -19,6 +19,83 @@ func BenchmarkEngineEventThroughput(b *testing.B) {
 	e.Run()
 }
 
+// chainState drives the closure-free self-rescheduling chain used by the
+// schedule/fire benchmarks: the canonical flit-path pattern (every fired
+// event schedules its successor a few ns out).
+type chainState struct {
+	e     *Engine
+	n     int
+	limit int
+	d     Time
+}
+
+func chainFire(a any) {
+	s := a.(*chainState)
+	s.n++
+	if s.n < s.limit {
+		s.e.After2(s.d, chainFire, s)
+	}
+}
+
+// BenchmarkEngineScheduleFire is the headline scheduler number: one
+// schedule + one dispatch per iteration through the closure-free ladder
+// path. Compare against BenchmarkEngineScheduleFireHeap (the pre-ladder
+// container/heap executive) for the speedup, and against allocs/op = 0
+// for the pooling contract.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	st := &chainState{e: e, limit: b.N, d: Nanosecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.After2(0, chainFire, st)
+	e.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineScheduleFireFanout stresses bucket occupancy: a fixed
+// population of 1024 in-flight events circulates with delays spread over
+// ~100 buckets, so every dispatch list holds multiple events and refill
+// has to sort, unlike the single-event chain above.
+func BenchmarkEngineScheduleFireFanout(b *testing.B) {
+	e := NewEngine()
+	fired := 0
+	var fan func()
+	fan = func() {
+		fired++
+		if fired+1024 <= b.N {
+			e.After(Time(1+(fired%97))*Nanosecond, fan)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < 1024 && i < b.N; i++ {
+		e.After(Time(1+(i%97))*Nanosecond, fan)
+	}
+	e.Run()
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineScheduleFireHeap runs the identical chain on the
+// preserved pre-PR container/heap executive (see engine_equiv_test.go).
+// The acceptance bar for the ladder rewrite is >= 2x the events/sec of
+// this baseline.
+func BenchmarkEngineScheduleFireHeap(b *testing.B) {
+	e := &heapEngine{}
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.At(e.Now()+Nanosecond, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.At(0, step)
+	e.Run()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
 // BenchmarkProcSwitch measures coroutine process handoff cost.
 func BenchmarkProcSwitch(b *testing.B) {
 	e := NewEngine()

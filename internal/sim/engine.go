@@ -1,8 +1,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
+	"slices"
 )
 
 // Engine is a discrete-event simulation executive. Events fire in
@@ -11,13 +12,58 @@ import (
 //
 // Engine is not safe for concurrent use. Processes started with Go run on
 // goroutines but are resumed strictly one at a time (see proc.go), so
-// model code never needs locks.
+// model code never needs locks. Parallelism across *simulations* (e.g.
+// fccbench -seeds/-parallel) is safe because each seed owns a private
+// Engine.
+//
+// # Scheduler structure
+//
+// The pending set is a two-tier ladder queue, sized for the event
+// population a credit-based flit-level fabric generates: an enormous rate
+// of short-horizon events (serialization, propagation, credit returns —
+// all within tens of ns) plus a thin tail of far-future timers.
+//
+//   - near tier: a ring of numBuckets buckets, each bucketWidth of
+//     virtual time wide, spanning a ~1µs window ahead of the clock.
+//     Enqueue appends to the bucket (O(1)); a bucket is sorted once, by
+//     (at, seq), at the moment it becomes the active dispatch list. An
+//     occupancy bitmap makes "find the next non-empty bucket" a few word
+//     scans.
+//   - far tier: a plain binary min-heap for events beyond the window.
+//     As the window slides forward, far events migrate into buckets.
+//
+// Events are drawn from a per-engine free list and recycled after firing,
+// so steady-state scheduling performs zero heap allocations when the
+// closure-free API (At2/After2) is used. The (at, seq) tie-break order is
+// exactly the order the previous container/heap implementation produced,
+// so same-seed runs are byte-identical across the two schedulers (see
+// TestLadderMatchesHeapReference).
 type Engine struct {
 	now     Time
-	queue   eventQueue
 	seq     uint64
 	running bool
 	stopped bool
+
+	// cur is the active dispatch list: all pending events with at <
+	// curEnd, sorted ascending by (at, seq), consumed from curIdx. A
+	// same-instant insert (After(0) from a firing event) binary-inserts
+	// into the unconsumed suffix. curEnd is always bucketWidth-aligned.
+	cur    []*event
+	curIdx int
+	curEnd Time
+
+	// buckets hold events with curEnd <= at < curEnd+windowSpan. The
+	// slot for time t is (t>>bucketShift)&bucketMask: the window is
+	// exactly one revolution long, so in-window slots never alias.
+	buckets [numBuckets][]*event
+	occ     [numBuckets / 64]uint64
+	wheeln  int
+
+	far farHeap
+
+	// free is the event pool. Fired events are scrubbed (fn/afn/arg
+	// nil'd so pooled events never pin model objects) and recycled.
+	free *event
 
 	// procs counts live processes so RunUntilIdle can detect deadlock
 	// (live processes but an empty event queue).
@@ -29,69 +75,255 @@ type Engine struct {
 	fired      uint64
 }
 
+// Ladder geometry. 1.024ns buckets over a ~1.05µs window: per-hop fabric
+// events (serialization of a 68B flit ≈ 2ns, propagation ≈ 10ns, credit
+// return ≈ tens of ns) land a handful of buckets ahead, while timeouts
+// and epoch timers overflow to the far heap.
+const (
+	bucketShift = 10
+	bucketWidth = Time(1) << bucketShift
+	numBuckets  = 1 << 10
+	bucketMask  = numBuckets - 1
+	windowSpan  = Time(numBuckets) << bucketShift
+)
+
+// event is one scheduled callback. Exactly one of fn and afn is set: fn
+// is the closure form (At/After), afn+arg the closure-free form
+// (At2/After2). next links the free list.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	afn  func(any)
+	arg  any
+	next *event
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func eventCmp(a, b *event) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+	if a.seq < b.seq {
+		return -1
+	}
+	return 1 // seqs are unique; equality is impossible
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{curEnd: bucketWidth}
 }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of scheduled, not-yet-fired events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int {
+	return len(e.cur) - e.curIdx + e.wheeln + len(e.far)
+}
+
+// alloc takes an event from the pool, or mints one.
+func (e *Engine) alloc() *event {
+	ev := e.free
+	if ev == nil {
+		return &event{}
+	}
+	e.free = ev.next
+	ev.next = nil
+	return ev
+}
+
+// release scrubs a fired event and returns it to the pool. fn, afn, and
+// arg are nil'd here so a pooled event never pins the model objects its
+// last callback captured — without this, a long run's pool would keep an
+// arbitrary slice of dead simulation state reachable.
+func (e *Engine) release(ev *event) {
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.next = e.free
+	e.free = ev
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it indicates a model bug, and silently clamping would hide it.
+//
+// The closure fn is the convenient form; per-call it costs whatever the
+// closure captures. Hot paths that fire millions of events should use
+// At2/After2, which schedule with zero steady-state allocations.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	e.enqueue(ev)
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// At2 is the closure-free fast path: fn must be a static function (or a
+// pre-built closure reused across calls) and receives arg when the event
+// fires. Because the event itself comes from the engine's pool and a
+// pointer stored in an interface does not allocate, steady-state
+// scheduling through At2 performs zero heap allocations.
+//
+// It shares the (at, seq) ordering stream with At, so mixing the two
+// APIs preserves deterministic tie-break order.
+func (e *Engine) At2(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: At2 with nil fn")
+	}
+	e.seq++
+	ev := e.alloc()
+	ev.at, ev.seq, ev.afn, ev.arg = t, e.seq, fn, arg
+	e.enqueue(ev)
+}
+
+// After2 schedules fn(arg) to run d after the current time, allocation-
+// free. Negative d panics (via the past check in At2).
+func (e *Engine) After2(d Time, fn func(any), arg any) { e.At2(e.now+d, fn, arg) }
+
+// enqueue routes a scheduled event to the right tier.
+func (e *Engine) enqueue(ev *event) {
+	switch t := ev.at; {
+	case t < e.curEnd:
+		e.insertCur(ev)
+	case t < e.curEnd+windowSpan:
+		e.enqueueWheel(ev)
+	default:
+		e.far.push(ev)
+	}
+}
+
+func (e *Engine) enqueueWheel(ev *event) {
+	s := int(ev.at>>bucketShift) & bucketMask
+	e.buckets[s] = append(e.buckets[s], ev)
+	e.occ[s>>6] |= 1 << (s & 63)
+	e.wheeln++
+}
+
+// insertCur places ev into the sorted unconsumed suffix of the active
+// list. The common case — ev sorts after everything still pending in the
+// window — is a plain append.
+func (e *Engine) insertCur(ev *event) {
+	if e.curIdx == len(e.cur) {
+		// Fully consumed: recycle the storage instead of growing a dead
+		// prefix (a same-instant event chain would otherwise grow cur
+		// without bound).
+		e.cur = e.cur[:0]
+		e.curIdx = 0
+		e.cur = append(e.cur, ev)
+		return
+	}
+	if eventCmp(e.cur[len(e.cur)-1], ev) < 0 {
+		e.cur = append(e.cur, ev)
+		return
+	}
+	lo, hi := e.curIdx, len(e.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventCmp(e.cur[mid], ev) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.cur = append(e.cur, nil)
+	copy(e.cur[lo+1:], e.cur[lo:])
+	e.cur[lo] = ev
+}
+
+// migrateFar pulls far-tier events that the advancing window now covers
+// into their buckets. Called with curEnd freshly advanced, so every
+// migrated event lands at or beyond curEnd and slots cannot alias the
+// list being dispatched.
+func (e *Engine) migrateFar() {
+	horizon := e.curEnd + windowSpan
+	for len(e.far) > 0 && e.far[0].at < horizon {
+		e.enqueueWheel(e.far.pop())
+	}
+}
+
+// nextOccupied scans the occupancy bitmap ring for the first non-empty
+// bucket at or after start. The caller guarantees wheeln > 0.
+func (e *Engine) nextOccupied(start int) int {
+	w := start >> 6
+	if b := e.occ[w] & (^uint64(0) << (start & 63)); b != 0 {
+		return w<<6 + bits.TrailingZeros64(b)
+	}
+	for i := 1; i <= len(e.occ); i++ {
+		wi := (w + i) % len(e.occ)
+		if b := e.occ[wi]; b != 0 {
+			return wi<<6 + bits.TrailingZeros64(b)
+		}
+	}
+	panic("sim: occupancy bitmap empty with wheeln > 0")
+}
+
+// refill makes cur non-empty (sorted, curIdx at 0) from the earliest
+// non-empty tier, sliding the window forward. It reports false when no
+// events remain anywhere. This is the single ordering operation per
+// event: peeking (RunUntil's boundary check) and popping (Step) are both
+// O(1) array accesses against the refilled list.
+func (e *Engine) refill() bool {
+	e.cur = e.cur[:0]
+	e.curIdx = 0
+	if e.wheeln == 0 {
+		if len(e.far) == 0 {
+			return false
+		}
+		// Jump the window to the earliest far event, then migrate the
+		// far prefix in. Far events are always at or beyond the old
+		// horizon, so curEnd advances monotonically.
+		e.curEnd = e.far[0].at &^ (bucketWidth - 1)
+		e.migrateFar()
+	}
+	start := int(e.curEnd>>bucketShift) & bucketMask
+	s := e.nextOccupied(start)
+	d := (s - start + numBuckets) & bucketMask
+	slotStart := e.curEnd + Time(d)<<bucketShift
+	e.cur, e.buckets[s] = e.buckets[s], e.cur[:0]
+	e.occ[s>>6] &^= 1 << (s & 63)
+	e.wheeln -= len(e.cur)
+	e.curEnd = slotStart + bucketWidth
+	// The horizon moved: anything in the far tier the window now covers
+	// must come in before it could sort ahead of a future bucket.
+	e.migrateFar()
+	slices.SortFunc(e.cur, eventCmp)
+	return true
+}
+
 // Step fires the earliest pending event, advancing the clock to its
 // timestamp. It reports false when no events are pending.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.curIdx == len(e.cur) && !e.refill() {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.cur[e.curIdx]
+	e.cur[e.curIdx] = nil
+	e.curIdx++
 	e.now = ev.at
 	e.fired++
 	if e.EventLimit > 0 && e.fired > e.EventLimit {
 		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.EventLimit, e.now))
 	}
-	ev.fn()
+	// Recycle before firing: a callback that immediately reschedules
+	// (the dominant pattern on the flit path) reuses this same, cache-
+	// hot event object.
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	e.release(ev)
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
 	return true
 }
 
@@ -104,9 +336,18 @@ func (e *Engine) Run() {
 }
 
 // RunUntil fires events with timestamps <= t, then sets the clock to t.
+// The boundary check peeks the refilled dispatch list directly, so each
+// event pays one ordering operation (its bucket's sort, amortized), not
+// a heap-peek plus a heap-pop.
 func (e *Engine) RunUntil(t Time) {
 	e.running, e.stopped = true, false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= t {
+	for !e.stopped {
+		if e.curIdx == len(e.cur) && !e.refill() {
+			break
+		}
+		if e.cur[e.curIdx].at > t {
+			break
+		}
 		e.Step()
 	}
 	if !e.stopped && t > e.now {
@@ -123,3 +364,48 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Events reports the total number of events fired so far.
 func (e *Engine) Events() uint64 { return e.fired }
+
+// farHeap is a hand-rolled binary min-heap ordered by (at, seq) — no
+// container/heap interface, no interface{} boxing on push/pop.
+type farHeap []*event
+
+func (h *farHeap) push(ev *event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if eventCmp(q[parent], q[i]) <= 0 {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	*h = q
+}
+
+func (h *farHeap) pop() *event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventCmp(q[l], q[small]) < 0 {
+			small = l
+		}
+		if r < n && eventCmp(q[r], q[small]) < 0 {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	*h = q
+	return top
+}

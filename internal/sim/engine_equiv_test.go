@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// heapEngine preserves the pre-ladder container/heap executive verbatim
+// (modulo the pieces irrelevant to ordering). It exists as the reference
+// implementation for the equivalence property test and as the baseline
+// for BenchmarkEngineScheduleFireHeap, so the ladder queue's speedup and
+// exact-order claims stay checkable in-repo.
+type heapEngine struct {
+	now   Time
+	queue heapEventQueue
+	seq   uint64
+}
+
+type heapEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type heapEventQueue []*heapEvent
+
+func (q heapEventQueue) Len() int { return len(q) }
+func (q heapEventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q heapEventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *heapEventQueue) Push(x interface{}) { *q = append(*q, x.(*heapEvent)) }
+func (q *heapEventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+func (e *heapEngine) Now() Time { return e.now }
+
+func (e *heapEngine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("heapEngine: scheduling in the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, &heapEvent{at: t, seq: e.seq, fn: fn})
+}
+
+func (e *heapEngine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*heapEvent)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+func (e *heapEngine) Run() {
+	for e.Step() {
+	}
+}
+
+// scheduler is the least common denominator the trace driver needs.
+type scheduler interface {
+	Now() Time
+	At(Time, func())
+}
+
+// driveTrace seeds one pseudo-random cascading schedule onto s,
+// appending each fired event's id to *order as the run progresses. All
+// decisions come from the seeded RNG, so two schedulers given the same
+// seed see the identical trace; the delay mix deliberately covers
+// same-instant ties (0), sub-bucket (ps), in-window (ns..hundreds of
+// ns), beyond-window (multi-µs, exercising the far heap and window
+// jumps), and ms-scale outliers.
+func driveTrace(s scheduler, seed uint64, order *[]int) {
+	rng := NewRNG(seed)
+	next := 0
+	budget := 4000
+	var spawn func() func()
+	spawn = func() func() {
+		id := next
+		next++
+		return func() {
+			*order = append(*order, id)
+			kids := rng.Intn(3)
+			for k := 0; k < kids && budget > 0; k++ {
+				budget--
+				var d Time
+				switch rng.Intn(6) {
+				case 0:
+					d = 0
+				case 1:
+					d = Time(rng.Intn(1024)) // sub-bucket
+				case 2, 3:
+					d = Time(rng.Intn(500)) * Nanosecond
+				case 4:
+					d = Time(1+rng.Intn(10)) * Microsecond
+				default:
+					d = Time(1+rng.Intn(3)) * Millisecond
+				}
+				s.At(s.Now()+d, spawn())
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		budget--
+		s.At(Time(rng.Intn(200))*Nanosecond, spawn())
+	}
+}
+
+// TestLadderMatchesHeapReference drives the ladder engine and the old
+// heap executive from the same schedule trace and requires the identical
+// fire order — the determinism contract that keeps same-seed snapshots
+// byte-identical across the scheduler swap.
+func TestLadderMatchesHeapReference(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		var gotL, gotH []int
+		ladder := NewEngine()
+		driveTrace(ladder, seed, &gotL)
+		ladder.Run()
+
+		ref := &heapEngine{}
+		driveTrace(ref, seed, &gotH)
+		ref.Run()
+
+		if len(gotL) != len(gotH) {
+			t.Fatalf("seed %d: ladder fired %d events, heap %d", seed, len(gotL), len(gotH))
+		}
+		for i := range gotL {
+			if gotL[i] != gotH[i] {
+				t.Fatalf("seed %d: fire order diverges at event %d: ladder=%d heap=%d",
+					seed, i, gotL[i], gotH[i])
+			}
+		}
+		if ladder.Now() != ref.Now() {
+			t.Fatalf("seed %d: final clocks differ: %v vs %v", seed, ladder.Now(), ref.Now())
+		}
+	}
+}
+
+// TestLadderMatchesHeapUnderRunUntil checks the peek/boundary path too:
+// both executives advanced in fixed RunUntil increments must fire the
+// same prefix at every boundary.
+func TestLadderMatchesHeapUnderRunUntil(t *testing.T) {
+	var gotL, gotH []int
+	ladder := NewEngine()
+	driveTrace(ladder, 99, &gotL)
+	ref := &heapEngine{}
+	driveTrace(ref, 99, &gotH)
+
+	for until := 100 * Nanosecond; ladder.Pending() > 0 || len(ref.queue) > 0; until += 137 * Nanosecond {
+		ladder.RunUntil(until)
+		for len(ref.queue) > 0 && ref.queue[0].at <= until {
+			ref.Step()
+		}
+		if len(gotL) != len(gotH) {
+			t.Fatalf("until %v: ladder fired %d, heap fired %d", until, len(gotL), len(gotH))
+		}
+	}
+	for i := range gotL {
+		if gotL[i] != gotH[i] {
+			t.Fatalf("fire order diverges at %d: %d vs %d", i, gotL[i], gotH[i])
+		}
+	}
+}
+
+func nopEvent(any) {}
+
+// TestEngineZeroAllocSteadyState pins the pool + closure-free contract:
+// once warm, scheduling and firing through At2/Step must not allocate.
+func TestEngineZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 256; i++ {
+		e.At2(e.Now()+Time(i)*Nanosecond, nopEvent, nil)
+	}
+	e.Run()
+	if n := testing.AllocsPerRun(2000, func() {
+		e.At2(e.Now()+Nanosecond, nopEvent, nil)
+		e.Step()
+	}); n != 0 {
+		t.Fatalf("At2+Step allocates %.1f per event in steady state, want 0", n)
+	}
+}
+
+// TestEngineZeroAllocReusedClosure: the closure API is also allocation-
+// free when the caller hoists the closure out of the loop (the event
+// object itself is pooled).
+func TestEngineZeroAllocReusedClosure(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(Nanosecond, fn)
+	}
+	e.Run()
+	if n := testing.AllocsPerRun(2000, func() {
+		e.After(Nanosecond, fn)
+		e.Step()
+	}); n != 0 {
+		t.Fatalf("At+Step with a hoisted closure allocates %.1f per event, want 0", n)
+	}
+}
+
+// TestEngineFarTierOrdering exercises the window jump directly: sparse
+// events far beyond the ladder window must still fire in order.
+func TestEngineFarTierOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	rec := func() { got = append(got, e.Now()) }
+	times := []Time{
+		5 * Millisecond, 3 * Microsecond, 40 * Second, 2 * Microsecond,
+		7 * Nanosecond, 5*Millisecond + 1, 1100 * Nanosecond,
+	}
+	for _, at := range times {
+		e.At(at, rec)
+	}
+	e.Run()
+	if len(got) != len(times) {
+		t.Fatalf("fired %d of %d", len(got), len(times))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out of order at %d: %v", i, got)
+		}
+	}
+	if e.Now() != 40*Second {
+		t.Fatalf("final clock %v, want 40s", e.Now())
+	}
+}

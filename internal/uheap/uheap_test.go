@@ -193,7 +193,7 @@ func TestAllocFreeProperty(t *testing.T) {
 				}
 			}
 			live[o] = in
-			if freeEvery > 0 && i%int(freeEvery+1) == 0 {
+			if freeEvery > 0 && i%(int(freeEvery)+1) == 0 {
 				hp.Free(o)
 				delete(live, o)
 			}
