@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet fmtcheck lint test race bench bench-smoke examples-smoke
+.PHONY: ci build vet fmtcheck lint test race bench bench-smoke bench-diff examples-smoke
 
 # ci is the tier-1 gate: build, vet, the invariant lint pass, the full
 # suite under the race detector, and a smoke run of every example
@@ -9,6 +9,7 @@ GO ?= go
 # fail the gate, since timing noise must never block a merge.
 ci: build vet lint race examples-smoke
 	-@$(MAKE) --no-print-directory bench-smoke || echo "bench-smoke FAILED (non-gating)"
+	-@$(MAKE) --no-print-directory bench-diff || echo "bench-diff FAILED (non-gating)"
 
 build:
 	$(GO) build ./...
@@ -40,6 +41,19 @@ race:
 # previous PR before merging scheduler or flit-path changes.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_$$(date +%F).json
+
+# bench-diff compares the two most recent committed BENCH_<date>.json
+# documents (ns/op and allocs/op deltas; see cmd/benchdiff). It rides
+# along in ci non-gating — wall-clock noise must never block a merge —
+# but a REGRESSED line in its output is worth reading before pushing.
+bench-diff:
+	@files=$$(ls BENCH_*.json 2>/dev/null | sort | tail -2); \
+	set -- $$files; \
+	if [ $$# -lt 2 ]; then \
+		echo "bench-diff: need two BENCH_*.json documents, have $$#; skipping"; \
+	else \
+		$(GO) run ./cmd/benchdiff "$$1" "$$2"; \
+	fi
 
 # bench-smoke compiles and executes every benchmark for 100 iterations —
 # just enough to catch panics and broken invariants, cheap enough for ci.

@@ -1,0 +1,139 @@
+// benchdiff compares two BENCH_<date>.json documents (schema 1, as
+// written by cmd/benchjson) and prints per-benchmark ns/op and
+// allocs/op deltas. It is the review-time companion to `make bench`:
+// run it against the committed document from the previous PR to see
+// exactly what a scheduler or hot-path change bought or cost.
+//
+//	go run ./cmd/benchdiff OLD.json NEW.json
+//	go run ./cmd/benchdiff -threshold 10 BENCH_a.json BENCH_b.json
+//
+// A benchmark whose ns/op or allocs/op grew by more than -threshold
+// percent is marked REGRESSED and flips the exit status to 1, so the
+// tool can gate locally; the repository's ci target runs it non-gating
+// because wall-clock noise must never block a merge (allocs/op, by
+// contrast, is deterministic and worth watching closely).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchResult struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type doc struct {
+	Schema     int           `json:"schema"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func load(path string) (*doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema %d (want 1)", path, d.Schema)
+	}
+	return &d, nil
+}
+
+func key(r benchResult) string { return r.Package + "." + r.Name }
+
+// pct is the relative change cur vs old in percent; +10 means cur is
+// 10% larger (slower / more allocations).
+func pct(old, cur float64) float64 {
+	if old == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (cur - old) / old * 100
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10,
+		"regression threshold in percent for ns/op and allocs/op growth")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldDoc, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldBy := map[string]benchResult{}
+	for _, r := range oldDoc.Benchmarks {
+		oldBy[key(r)] = r
+	}
+	fmt.Printf("benchdiff: %s (%s) -> %s (%s), threshold %.0f%%\n",
+		flag.Arg(0), oldDoc.Date, flag.Arg(1), newDoc.Date, *threshold)
+	fmt.Printf("%-44s %12s %12s %8s %9s %9s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns %", "old alloc", "new alloc", "alloc %")
+
+	regressed := 0
+	seen := map[string]bool{}
+	for _, nr := range newDoc.Benchmarks {
+		k := key(nr)
+		seen[k] = true
+		or, ok := oldBy[k]
+		if !ok {
+			fmt.Printf("%-44s %12s %12.0f %8s %9s %9.0f %8s  NEW\n",
+				nr.Name, "-", nr.NsPerOp, "-", "-", nr.AllocsOp, "-")
+			continue
+		}
+		nsPct := pct(or.NsPerOp, nr.NsPerOp)
+		alPct := pct(or.AllocsOp, nr.AllocsOp)
+		mark := ""
+		if nsPct > *threshold || alPct > *threshold {
+			mark = "  REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-44s %12.0f %12.0f %+7.1f%% %9.0f %9.0f %+7.1f%%%s\n",
+			nr.Name, or.NsPerOp, nr.NsPerOp, nsPct, or.AllocsOp, nr.AllocsOp, alPct, mark)
+	}
+	var gone []string
+	for k := range oldBy {
+		if !seen[k] {
+			gone = append(gone, k)
+		}
+	}
+	sort.Strings(gone)
+	for _, k := range gone {
+		fmt.Printf("%-44s  (removed)\n", k)
+	}
+	if regressed > 0 {
+		fmt.Printf("benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressed, *threshold)
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
@@ -58,7 +60,40 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base RNG seed for seeded experiments (blast-radius)")
 	seeds := flag.Int("seeds", 1, "run seeds seed..seed+N-1 (merged output, ordered by seed)")
 	parallel := flag.Int("parallel", 1, "worker goroutines for multi-seed runs (each seed owns private engines)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile taken after the runs to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *cpuprofile, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "create %s: %v\n", path, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush in-flight garbage so alloc_* totals are settled
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "write heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	exps := []experiment{
 		{"table1", "Table 1: commodity memory fabrics", func(uint64) (any, string) {

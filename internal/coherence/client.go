@@ -61,6 +61,39 @@ type clientLine struct {
 	state mesi
 	lru   uint64
 	data  [64]byte
+	next  *clientLine // free list
+}
+
+// lineOp kinds: what a queued per-line operation does once it holds the
+// line lock.
+const (
+	opRead uint8 = iota
+	opWrite
+	opWBDirty // eviction writeback carrying dirty data
+	opWBClean // dataless eviction notice for an E line
+)
+
+// lineOp carries one client operation (read, write, or eviction
+// writeback) through the per-line lock, the optional hit latency, and
+// the protocol round trip. The step callbacks are bound once at
+// construction and the record recycles through a free list, so the
+// steady-state miss path allocates no closures.
+type lineOp struct {
+	c     *Client
+	addr  uint64 // line base
+	kind  uint8
+	off   uint64 // write offset within the line
+	wdata []byte // write payload (caller's slice, held until commit)
+	wb    [64]byte
+	l     *clientLine
+	rf    *sim.Future[[]byte]
+	wf    *sim.Future[struct{}]
+	req   *flit.Packet
+	next  *lineOp
+
+	run     func()
+	hitStep func()
+	respFn  func(*flit.Packet, error)
 }
 
 // Client is one node's participant in the directory protocol: a coherent
@@ -81,6 +114,9 @@ type Client struct {
 	// pending serializes client ops per line and against snoops.
 	pending map[uint64][]func()
 	busy    map[uint64]bool
+
+	opFree   *lineOp
+	lineFree *clientLine
 
 	// Metrics.
 	Hits      sim.Counter
@@ -107,55 +143,127 @@ func NewClient(eng *sim.Engine, h *host.Host, home flit.PortID, cfg ClientConfig
 // Host returns the underlying host.
 func (c *Client) Host() *host.Host { return c.h }
 
-// acquire serializes per-line work; release runs the next queued op.
-func (c *Client) acquire(addr uint64, fn func(release func())) {
-	run := func() {
-		c.busy[addr] = true
-		fn(func() {
-			c.busy[addr] = false
-			if q := c.pending[addr]; len(q) > 0 {
-				next := q[0]
-				c.pending[addr] = q[1:]
-				next()
-			} else {
-				delete(c.pending, addr)
+func (c *Client) getOp() *lineOp {
+	op := c.opFree
+	if op == nil {
+		op = &lineOp{c: c}
+		op.run = func() { op.c.runOp(op) }
+		op.hitStep = func() { op.c.finishHit(op) }
+		op.respFn = func(resp *flit.Packet, err error) {
+			if err != nil {
+				panic("coherence: protocol request failed: " + err.Error())
 			}
-		})
+			op.c.granted(op, resp.ReqLen, resp.Data)
+		}
+	} else {
+		c.opFree = op.next
+		op.next = nil
 	}
-	if c.busy[addr] {
-		c.pending[addr] = append(c.pending[addr], run)
+	return op
+}
+
+func (c *Client) putOp(op *lineOp) {
+	op.wdata, op.l, op.rf, op.wf, op.req = nil, nil, nil, nil, nil
+	op.next = c.opFree
+	c.opFree = op
+}
+
+func (c *Client) getLine() *clientLine {
+	l := c.lineFree
+	if l == nil {
+		return &clientLine{}
+	}
+	c.lineFree = l.next
+	l.next = nil
+	return l
+}
+
+func (c *Client) putLine(l *clientLine) {
+	l.next = c.lineFree
+	c.lineFree = l
+}
+
+// acquireOp serializes per-line work; release runs the next queued op.
+func (c *Client) acquireOp(op *lineOp) {
+	if c.busy[op.addr] {
+		c.pending[op.addr] = append(c.pending[op.addr], op.run)
 		return
 	}
-	run()
+	op.run()
+}
+
+// runOp executes an operation that holds its line lock.
+func (c *Client) runOp(op *lineOp) {
+	c.busy[op.addr] = true
+	switch op.kind {
+	case opRead:
+		if l, ok := c.lines[op.addr]; ok && l.state != stI {
+			c.Hits.Inc()
+			c.touch(l)
+			op.l = l
+			c.eng.After(c.cfg.HitLat, op.hitStep)
+			return
+		}
+		c.Misses.Inc()
+		c.protocol(op, flit.OpCacheRd, nil)
+	case opWrite:
+		if l, ok := c.lines[op.addr]; ok && (l.state == stM || l.state == stE) {
+			c.Hits.Inc()
+			l.state = stM
+			c.touch(l)
+			copy(l.data[op.off:], op.wdata)
+			c.eng.After(c.cfg.HitLat, op.hitStep)
+			return
+		}
+		if l, ok := c.lines[op.addr]; ok && l.state == stS {
+			c.Upgrades.Inc()
+		} else {
+			c.Misses.Inc()
+		}
+		c.protocol(op, flit.OpCacheRdOwn, nil)
+	case opWBDirty:
+		c.protocol(op, flit.OpCacheWB, op.wb[:])
+	case opWBClean:
+		c.protocol(op, flit.OpCacheWB, nil)
+	}
+}
+
+// release frees the line lock, recycles the op, and runs the next
+// queued operation for the line, if any.
+func (c *Client) release(op *lineOp) {
+	addr := op.addr
+	c.putOp(op)
+	c.busy[addr] = false
+	if q := c.pending[addr]; len(q) > 0 {
+		next := q[0]
+		c.pending[addr] = q[1:]
+		next()
+	} else {
+		delete(c.pending, addr)
+	}
+}
+
+// finishHit completes a read or write that hit locally, after HitLat.
+func (c *Client) finishHit(op *lineOp) {
+	switch op.kind {
+	case opRead:
+		data := append([]byte(nil), op.l.data[:]...)
+		rf := op.rf
+		c.release(op)
+		rf.Complete(data)
+	case opWrite:
+		wf := op.wf
+		c.release(op)
+		wf.Complete(struct{}{})
+	}
 }
 
 // Read returns the 64B line at device address addr (line-aligned).
 func (c *Client) Read(addr uint64) *sim.Future[[]byte] {
-	addr &^= 63
 	f := sim.NewFuture[[]byte]()
-	c.acquire(addr, func(release func()) {
-		if l, ok := c.lines[addr]; ok && l.state != stI {
-			c.Hits.Inc()
-			c.touch(l)
-			c.eng.After(c.cfg.HitLat, func() {
-				data := append([]byte(nil), l.data[:]...)
-				release()
-				f.Complete(data)
-			})
-			return
-		}
-		c.Misses.Inc()
-		c.protocol(flit.OpCacheRd, addr, nil, func(grant uint32, data []byte) {
-			st := stS
-			if grant == grantExclusive {
-				st = stE
-			}
-			l := c.install(addr, data, st)
-			out := append([]byte(nil), l.data[:]...)
-			release()
-			f.Complete(out)
-		})
-	})
+	op := c.getOp()
+	op.kind, op.addr, op.rf = opRead, addr&^63, f
+	c.acquireOp(op)
 	return f
 }
 
@@ -168,33 +276,9 @@ func (c *Client) Write(addr uint64, data []byte) *sim.Future[struct{}] {
 		panic("coherence: Write crosses a line")
 	}
 	f := sim.NewFuture[struct{}]()
-	c.acquire(base, func(release func()) {
-		if l, ok := c.lines[base]; ok && (l.state == stM || l.state == stE) {
-			c.Hits.Inc()
-			l.state = stM
-			c.touch(l)
-			copy(l.data[off:], data)
-			c.eng.After(c.cfg.HitLat, func() {
-				release()
-				f.Complete(struct{}{})
-			})
-			return
-		}
-		if l, ok := c.lines[base]; ok && l.state == stS {
-			c.Upgrades.Inc()
-		} else {
-			c.Misses.Inc()
-		}
-		c.protocol(flit.OpCacheRdOwn, base, nil, func(grant uint32, lineData []byte) {
-			if grant != grantModified {
-				panic(fmt.Sprintf("coherence: RdOwn granted %d", grant))
-			}
-			l := c.install(base, lineData, stM)
-			copy(l.data[off:], data)
-			release()
-			f.Complete(struct{}{})
-		})
-	})
+	op := c.getOp()
+	op.kind, op.addr, op.off, op.wdata, op.wf = opWrite, base, off, data, f
+	c.acquireOp(op)
 	return f
 }
 
@@ -222,22 +306,53 @@ func (c *Client) Write64P(p *sim.Proc, addr uint64, v uint64) {
 	c.WriteP(p, addr, b[:])
 }
 
-// protocol issues one coherent request to the home directory.
-func (c *Client) protocol(op flit.Op, addr uint64, data []byte,
-	done func(grant uint32, data []byte)) {
-	req := &flit.Packet{Chan: flit.ChCache, Op: op, Dst: c.home, Addr: addr}
+// protocol issues one coherent request to the home directory on behalf
+// of op; the grant lands in granted via the op's pre-bound respFn.
+func (c *Client) protocol(op *lineOp, pop flit.Op, data []byte) {
+	req := &flit.Packet{Chan: flit.ChCache, Op: pop, Dst: c.home, Addr: op.addr}
 	if data != nil {
 		req.Size = uint32(len(data))
 		req.Data = append([]byte(nil), data...)
 	}
-	c.eng.After(c.cfg.AdapterLat, func() {
-		c.h.Endpoint().Request(req).OnComplete(func(resp *flit.Packet, err error) {
-			if err != nil {
-				panic("coherence: protocol request failed: " + err.Error())
-			}
-			done(resp.ReqLen, resp.Data)
-		})
-	})
+	op.req = req
+	c.eng.After2(c.cfg.AdapterLat, clientSendFire, op)
+}
+
+func clientSendFire(a any) {
+	op := a.(*lineOp)
+	req := op.req
+	op.req = nil
+	op.c.h.Endpoint().Request(req).OnComplete(op.respFn)
+}
+
+// granted applies a directory response to the op that requested it.
+func (c *Client) granted(op *lineOp, grant uint32, data []byte) {
+	switch op.kind {
+	case opRead:
+		st := stS
+		if grant == grantExclusive {
+			st = stE
+		}
+		l := c.install(op.addr, data, st)
+		out := append([]byte(nil), l.data[:]...)
+		rf := op.rf
+		c.release(op)
+		rf.Complete(out)
+	case opWrite:
+		if grant != grantModified {
+			panic(fmt.Sprintf("coherence: RdOwn granted %d", grant))
+		}
+		l := c.install(op.addr, data, stM)
+		copy(l.data[op.off:], op.wdata)
+		wf := op.wf
+		c.release(op)
+		wf.Complete(struct{}{})
+	case opWBDirty:
+		delete(c.wbPending, op.addr)
+		c.release(op)
+	case opWBClean:
+		c.release(op)
+	}
 }
 
 func (c *Client) touch(l *clientLine) {
@@ -258,7 +373,8 @@ func (c *Client) install(addr uint64, data []byte, st mesi) *clientLine {
 	if len(c.lines) >= c.cfg.CapacityLines {
 		c.evictLRU()
 	}
-	l := &clientLine{state: st}
+	l := c.getLine()
+	l.state = st
 	copy(l.data[:], data)
 	c.lines[addr] = l
 	c.touch(l)
@@ -285,16 +401,17 @@ func (c *Client) evictLRU() {
 		// The per-line lock is held for the writeback's duration, so a
 		// re-request of this line waits until the directory has
 		// processed the eviction.
-		c.acquire(victim, func(release func()) {
-			c.protocol(flit.OpCacheWB, victim, vl.data[:], func(uint32, []byte) {
-				delete(c.wbPending, victim)
-				release()
-			})
-		})
+		op := c.getOp()
+		op.kind, op.addr, op.wb = opWBDirty, victim, vl.data
+		c.putLine(vl)
+		c.acquireOp(op)
 	case stE:
-		c.acquire(victim, func(release func()) {
-			c.protocol(flit.OpCacheWB, victim, nil, func(uint32, []byte) { release() })
-		})
+		op := c.getOp()
+		op.kind, op.addr = opWBClean, victim
+		c.putLine(vl)
+		c.acquireOp(op)
+	default:
+		c.putLine(vl)
 	}
 }
 
@@ -324,6 +441,11 @@ func (c *Client) handleSnoop(req *flit.Packet, reply func(*flit.Packet)) {
 		dirty := l.state == stM
 		data := l.data
 		delete(c.lines, addr)
+		// A busy line may still be referenced by an in-flight hit (op.l),
+		// so only recycle when the per-line lock is free.
+		if !c.busy[addr] {
+			c.putLine(l)
+		}
 		if dirty {
 			respond(data[:])
 			return

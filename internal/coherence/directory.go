@@ -16,9 +16,11 @@
 // simulated fabric.
 package coherence
 
+//fcclint:hotpath directory lookup/snoop structures must stay dense (PR 5)
+
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"fcc/internal/flit"
 	"fcc/internal/mem"
@@ -41,21 +43,100 @@ const (
 	dirExclusive // single owner, possibly dirty (E or M at the owner)
 )
 
+// portSet is a bitmask over fabric port IDs (12-bit, so at most 64
+// words), grown to the highest member seen. Iteration walks set bits in
+// ascending port order, so snoop fan-out derived from it is sorted by
+// construction — the PR 3 maporder fix is structural now, not a sort
+// call.
+type portSet struct {
+	words []uint64
+	n     int
+}
+
+func (s *portSet) add(p flit.PortID) {
+	w := int(p) >> 6
+	if w >= len(s.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
+	}
+	bit := uint64(1) << (p & 63)
+	if s.words[w]&bit == 0 {
+		s.words[w] |= bit
+		s.n++
+	}
+}
+
+func (s *portSet) remove(p flit.PortID) {
+	w := int(p) >> 6
+	if w < len(s.words) {
+		bit := uint64(1) << (p & 63)
+		if s.words[w]&bit != 0 {
+			s.words[w] &^= bit
+			s.n--
+		}
+	}
+}
+
+// clear empties the set, keeping its storage for reuse.
+func (s *portSet) clear() {
+	clear(s.words)
+	s.n = 0
+}
+
+// appendPorts appends the members to dst in ascending port order.
+func (s *portSet) appendPorts(dst []flit.PortID) []flit.PortID {
+	for wi, w := range s.words {
+		for w != 0 {
+			dst = append(dst, flit.PortID(wi<<6+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 type dirEntry struct {
-	state   dirState
-	owner   flit.PortID
-	sharers map[flit.PortID]bool
-	busy    bool
-	queue   []func()
+	state    dirState
+	owner    flit.PortID
+	sharers  portSet
+	busy     bool
+	queue    []func()
+	nextFree *dirEntry
+}
+
+// dirSlot is one open-addressed table slot; e == nil marks it empty.
+type dirSlot struct {
+	addr uint64
+	e    *dirEntry
 }
 
 // Directory is the home-node coherence engine living in a FAM's FEA. It
 // serializes protocol actions per line and uses the device's DRAM as the
 // backing home memory. Non-coherent traffic passes through to the FAM.
 type Directory struct {
-	eng   *sim.Engine
-	fam   *mem.FAM
-	lines map[uint64]*dirEntry
+	eng *sim.Engine
+	fam *mem.FAM
+
+	// The line table is open-addressed (power-of-two slots, linear
+	// probing, grown at 3/4 load) instead of a Go map: the per-miss
+	// lookup is one multiplicative hash and a short probe, with no map
+	// header or bucket overhead. Entries are slab-allocated and
+	// recycled through freeEnt; a line's entry persists once touched
+	// (exactly the original map's behaviour), so probing needs no
+	// tombstones.
+	slots   []dirSlot
+	nlines  int
+	entSlab []dirEntry
+	freeEnt *dirEntry
+
+	// targetScratch is reused for snoop fan-out lists; invalidateAll
+	// consumes the list synchronously, so one buffer suffices.
+	targetScratch []flit.PortID
+
+	// opFree recycles the per-action pipeline records; their step
+	// callbacks are bound once, so the snoop-free protocol paths (plain
+	// grants and writebacks) allocate only the response packet.
+	opFree *dirOp
 
 	// Metrics.
 	ReadMisses  sim.Counter
@@ -67,7 +148,7 @@ type Directory struct {
 
 // NewDirectory wraps fam with a coherence directory.
 func NewDirectory(eng *sim.Engine, fam *mem.FAM) *Directory {
-	d := &Directory{eng: eng, fam: fam, lines: make(map[uint64]*dirEntry)}
+	d := &Directory{eng: eng, fam: fam, slots: make([]dirSlot, 64)}
 	fam.SetHandler(d.handle)
 	return d
 }
@@ -75,13 +156,170 @@ func NewDirectory(eng *sim.Engine, fam *mem.FAM) *Directory {
 // ID reports the home node's fabric port.
 func (d *Directory) ID() flit.PortID { return d.fam.ID() }
 
-func (d *Directory) entry(addr uint64) *dirEntry {
-	e, ok := d.lines[addr]
-	if !ok {
-		e = &dirEntry{sharers: make(map[flit.PortID]bool)}
-		d.lines[addr] = e
+func dirHash(addr uint64) uint64 {
+	h := (addr >> 6) * 0x9E3779B97F4A7C15
+	return h ^ h>>32
+}
+
+func (d *Directory) allocEntry() *dirEntry {
+	if e := d.freeEnt; e != nil {
+		d.freeEnt = e.nextFree
+		e.nextFree = nil
+		return e
 	}
+	if len(d.entSlab) == 0 {
+		d.entSlab = make([]dirEntry, 64)
+	}
+	e := &d.entSlab[0]
+	d.entSlab = d.entSlab[1:]
 	return e
+}
+
+func (d *Directory) growTable() {
+	old := d.slots
+	d.slots = make([]dirSlot, 2*len(old))
+	mask := uint64(len(d.slots) - 1)
+	for _, s := range old {
+		if s.e == nil {
+			continue
+		}
+		i := dirHash(s.addr) & mask
+		for d.slots[i].e != nil {
+			i = (i + 1) & mask
+		}
+		d.slots[i] = s
+	}
+}
+
+// lookup finds an existing entry, or nil.
+func (d *Directory) lookup(addr uint64) *dirEntry {
+	mask := uint64(len(d.slots) - 1)
+	for i := dirHash(addr) & mask; ; i = (i + 1) & mask {
+		s := &d.slots[i]
+		if s.e == nil {
+			return nil
+		}
+		if s.addr == addr {
+			return s.e
+		}
+	}
+}
+
+// entry finds or inserts the entry for a line address.
+func (d *Directory) entry(addr uint64) *dirEntry {
+	mask := uint64(len(d.slots) - 1)
+	i := dirHash(addr) & mask
+	for d.slots[i].e != nil {
+		if d.slots[i].addr == addr {
+			return d.slots[i].e
+		}
+		i = (i + 1) & mask
+	}
+	if 4*(d.nlines+1) >= 3*len(d.slots) {
+		d.growTable()
+		mask = uint64(len(d.slots) - 1)
+		i = dirHash(addr) & mask
+		for d.slots[i].e != nil {
+			i = (i + 1) & mask
+		}
+	}
+	e := d.allocEntry()
+	d.slots[i] = dirSlot{addr: addr, e: e}
+	d.nlines++
+	return e
+}
+
+// dirOp carries one serialized protocol action. Its step callbacks are
+// bound once at construction and the record recycled, so the snoop-free
+// paths — plain grants from home and writebacks, the overwhelming bulk
+// of directory traffic — allocate only their response packet. The
+// snoop-bearing branches keep closures: they are multi-branch and rare
+// by comparison.
+type dirOp struct {
+	d          *Directory
+	next       *dirOp
+	e          *dirEntry
+	addr       uint64
+	req        *flit.Packet
+	reply      func(*flit.Packet)
+	grant      uint32
+	data       []byte
+	stillOwner bool
+
+	run      func()
+	unlock   func(*flit.Packet)
+	homeDone func([]byte)
+	grantFn  func()
+	wbStep   func()
+	wbReply  func()
+}
+
+func (d *Directory) getOp() *dirOp {
+	op := d.opFree
+	if op == nil {
+		op = &dirOp{d: d}
+		op.run = func() {
+			op.e.busy = true
+			op.d.serve(op)
+		}
+		op.unlock = op.replyUnlock
+		op.homeDone = op.grantFromHome
+		op.grantFn = func() { op.unlock(grantRespOwned(op.req, op.grant, op.data)) }
+		op.wbStep = op.wbApply
+		op.wbReply = func() { op.unlock(op.req.Response(flit.OpCacheResp, 0)) }
+	} else {
+		d.opFree = op.next
+		op.next = nil
+	}
+	return op
+}
+
+// replyUnlock sends the response, releases the per-line serialization,
+// runs the next queued action, and recycles the op.
+func (op *dirOp) replyUnlock(resp *flit.Packet) {
+	op.reply(resp)
+	e := op.e
+	e.busy = false
+	if len(e.queue) > 0 {
+		next := e.queue[0]
+		e.queue = e.queue[1:]
+		next()
+	}
+	d := op.d
+	op.e, op.req, op.reply, op.data = nil, nil, nil, nil
+	op.next = d.opFree
+	d.opFree = op
+}
+
+// grantFromHome applies the grant's directory mutation and schedules the
+// response after the FEA delay. For grantShared the requester joins the
+// sharer set; the exclusive and modified grants install the requester as
+// owner (idempotent for an owner re-grant).
+func (op *dirOp) grantFromHome(data []byte) {
+	op.data = data
+	e := op.e
+	if op.grant == grantShared {
+		e.sharers.add(op.req.Src)
+	} else {
+		e.state = dirExclusive
+		e.owner = op.req.Src
+	}
+	op.d.eng.After(op.d.fam.FEALat(), op.grantFn)
+}
+
+// wbApply retires the writer's copy from the directory state.
+func (op *dirOp) wbApply() {
+	e := op.e
+	if op.stillOwner {
+		e.state = dirUncached
+		e.owner = 0
+	} else {
+		e.sharers.remove(op.req.Src)
+		if e.sharers.n == 0 && e.state == dirShared {
+			e.state = dirUncached
+		}
+	}
+	op.d.eng.After(op.d.fam.FEALat(), op.wbReply)
 }
 
 // handle dispatches device traffic: coherent ops to the protocol engine,
@@ -91,60 +329,46 @@ func (d *Directory) handle(req *flit.Packet, reply func(*flit.Packet)) {
 	case flit.OpCacheRd, flit.OpCacheRdOwn, flit.OpCacheWB:
 		addr := req.Addr &^ 63
 		e := d.entry(addr)
-		run := func() {
-			e.busy = true
-			d.serve(e, addr, req, func(resp *flit.Packet) {
-				reply(resp)
-				e.busy = false
-				if len(e.queue) > 0 {
-					next := e.queue[0]
-					e.queue = e.queue[1:]
-					next()
-				}
-			})
-		}
+		op := d.getOp()
+		op.e, op.addr, op.req, op.reply = e, addr, req, reply
 		if e.busy {
-			e.queue = append(e.queue, run)
+			e.queue = append(e.queue, op.run)
 			return
 		}
-		run()
+		op.run()
 	default:
 		d.fam.Serve(req, reply)
 	}
 }
 
 // serve executes one serialized protocol action.
-func (d *Directory) serve(e *dirEntry, addr uint64, req *flit.Packet, reply func(*flit.Packet)) {
+func (d *Directory) serve(op *dirOp) {
+	e, addr, req := op.e, op.addr, op.req
+	reply := op.unlock
 	fea := d.fam.FEALat()
 	switch req.Op {
 	case flit.OpCacheRd:
 		d.ReadMisses.Inc()
 		switch e.state {
 		case dirUncached:
-			d.readHome(addr, func(data []byte) {
-				e.state = dirExclusive
-				e.owner = req.Src
-				d.eng.After(fea, func() { reply(grantResp(req, grantExclusive, data)) })
-			})
+			op.grant = grantExclusive
+			d.readHome(addr, op.homeDone)
 		case dirShared:
-			d.readHome(addr, func(data []byte) {
-				e.sharers[req.Src] = true
-				d.eng.After(fea, func() { reply(grantResp(req, grantShared, data)) })
-			})
+			op.grant = grantShared
+			d.readHome(addr, op.homeDone)
 		case dirExclusive:
 			if e.owner == req.Src {
 				// Owner re-reading its own line (stale directory after a
 				// lost eviction notice): re-grant from home.
-				d.readHome(addr, func(data []byte) {
-					d.eng.After(fea, func() { reply(grantResp(req, grantExclusive, data)) })
-				})
+				op.grant = grantExclusive
+				d.readHome(addr, op.homeDone)
 				return
 			}
 			// Downgrade the owner; it supplies the (possibly dirty) data.
 			d.snoop(flit.OpSnpData, e.owner, addr, func(dirty []byte) {
 				done := func(data []byte) {
-					e.sharers[e.owner] = true
-					e.sharers[req.Src] = true
+					e.sharers.add(e.owner)
+					e.sharers.add(req.Src)
 					e.owner = 0
 					e.state = dirShared
 					d.eng.After(fea, func() { reply(grantResp(req, grantShared, data)) })
@@ -161,28 +385,32 @@ func (d *Directory) serve(e *dirEntry, addr uint64, req *flit.Packet, reply func
 		d.WriteMisses.Inc()
 		switch e.state {
 		case dirUncached:
-			d.grantOwnership(e, addr, req, reply, nil)
+			op.grant = grantModified
+			d.readHome(addr, op.homeDone)
 		case dirShared:
-			targets := make([]flit.PortID, 0, len(e.sharers))
-			for s := range e.sharers {
-				if s != req.Src {
-					targets = append(targets, s)
+			// Bit iteration yields ascending port order, so the snoop
+			// fan-out is sorted by construction (maporder invariant) and
+			// the scratch list costs no allocation in steady state.
+			targets := e.sharers.appendPorts(d.targetScratch[:0])
+			k := 0
+			for _, t := range targets {
+				if t != req.Src {
+					targets[k] = t
+					k++
 				}
 			}
-			// Snoop in sorted port order: e.sharers is a map, and
-			// invalidateAll schedules packets in targets order, so map
-			// iteration would make same-seed runs diverge (fcclint:
-			// maporder).
-			sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+			targets = targets[:k]
+			d.targetScratch = targets
 			d.invalidateAll(targets, addr, func() {
-				e.sharers = make(map[flit.PortID]bool)
+				e.sharers.clear()
 				d.grantOwnership(e, addr, req, reply, nil)
 			})
 		case dirExclusive:
 			if e.owner == req.Src {
 				// Owner re-requesting (e.g. lost race with its own
 				// eviction); just re-grant.
-				d.grantOwnership(e, addr, req, reply, nil)
+				op.grant = grantModified
+				d.readHome(addr, op.homeDone)
 				return
 			}
 			d.snoop(flit.OpSnpInv, e.owner, addr, func(dirty []byte) {
@@ -198,27 +426,15 @@ func (d *Directory) serve(e *dirEntry, addr uint64, req *flit.Packet, reply func
 		}
 	case flit.OpCacheWB:
 		d.Writebacks.Inc()
-		stillOwner := e.state == dirExclusive && e.owner == req.Src
-		finish := func() {
-			if stillOwner {
-				e.state = dirUncached
-				e.owner = 0
-			} else {
-				delete(e.sharers, req.Src)
-				if len(e.sharers) == 0 && e.state == dirShared {
-					e.state = dirUncached
-				}
-			}
-			d.eng.After(fea, func() { reply(req.Response(flit.OpCacheResp, 0)) })
-		}
+		op.stillOwner = e.state == dirExclusive && e.owner == req.Src
 		// A writeback from a node that no longer owns the line lost a
 		// race with a snoop that already supplied the fresh data; its
 		// home update is stale and must be dropped.
-		if req.Size > 0 && stillOwner {
-			d.writeHome(addr, req.Data, finish)
+		if req.Size > 0 && op.stillOwner {
+			d.writeHome(addr, req.Data, op.wbStep)
 			return
 		}
-		finish()
+		op.wbStep()
 	}
 }
 
@@ -241,6 +457,16 @@ func grantResp(req *flit.Packet, grant uint32, data []byte) *flit.Packet {
 	resp := req.Response(flit.OpCacheResp, uint32(len(data)))
 	resp.ReqLen = grant
 	resp.Data = append([]byte(nil), data...)
+	return resp
+}
+
+// grantRespOwned builds a grant around a buffer the directory owns
+// outright (fresh from home DRAM), so ownership transfers to the
+// response without a copy.
+func grantRespOwned(req *flit.Packet, grant uint32, data []byte) *flit.Packet {
+	resp := req.Response(flit.OpCacheResp, uint32(len(data)))
+	resp.ReqLen = grant
+	resp.Data = data
 	return resp
 }
 
@@ -294,13 +520,13 @@ func (d *Directory) writeHome(addr uint64, data []byte, done func()) {
 // StateOf reports the directory's view of a line (testing/diagnostics):
 // "uncached", "shared(n)", or "exclusive".
 func (d *Directory) StateOf(addr uint64) string {
-	e, ok := d.lines[addr&^63]
-	if !ok {
+	e := d.lookup(addr &^ 63)
+	if e == nil {
 		return "uncached"
 	}
 	switch e.state {
 	case dirShared:
-		return fmt.Sprintf("shared(%d)", len(e.sharers))
+		return fmt.Sprintf("shared(%d)", e.sharers.n)
 	case dirExclusive:
 		return "exclusive"
 	default:
@@ -315,5 +541,5 @@ func (d *Directory) RegisterStats(s *sim.Stats) {
 	s.Register("snoops", &d.Snoops)
 	s.Register("writebacks", &d.Writebacks)
 	s.Register("forwards", &d.Forwards)
-	s.Gauge("tracked_lines", func() int64 { return int64(len(d.lines)) })
+	s.Gauge("tracked_lines", func() int64 { return int64(d.nlines) })
 }

@@ -6,6 +6,8 @@
 // chassis, and switches into a cluster — the architecture of Figure 1b.
 package fabric
 
+//fcclint:hotpath route tables and crossbar state must stay dense (PR 5)
+
 import (
 	"fmt"
 
@@ -46,9 +48,18 @@ type Switch struct {
 
 	ports []*swPort
 
-	// routes maps destination PBR ID to candidate output port indexes
-	// (all tied at shortest distance; adaptive routing picks among them).
-	routes map[flit.PortID][]int
+	// routes is a dense table indexed by destination PBR ID (12-bit, so
+	// at most 4096 entries): candidate output port indexes, all tied at
+	// shortest distance (adaptive routing picks among them). A nil entry
+	// means no route. The table is grown to the highest installed ID and
+	// zeroed in place on manager re-fills, so the packet-path lookup is
+	// one bounds check and one indexed load — no map hashing.
+	routes  [][]int
+	nroutes int
+
+	// hopFree pools crossbar-traversal event states so a forwarded
+	// packet costs no closure allocation per hop.
+	hopFree *xbarHop
 
 	// rr rotates tie-breaking among equal-cost adaptive candidates.
 	rr int
@@ -98,7 +109,6 @@ func newSwitch(eng *sim.Engine, name string, cfg SwitchConfig) *Switch {
 		eng:     eng,
 		name:    name,
 		cfg:     cfg,
-		routes:  make(map[flit.PortID][]int),
 		Transit: sim.NewHistogram(),
 	}
 }
@@ -125,11 +135,42 @@ func (s *Switch) InstallRoute(dst flit.PortID, outs []int) {
 			panic(fmt.Sprintf("fabric: switch %s route to %d via invalid port %d", s.name, dst, o))
 		}
 	}
+	if outs == nil {
+		outs = []int{} // presence marker: installed, but no candidates
+	}
+	if int(dst) >= len(s.routes) {
+		grown := make([][]int, int(dst)+1)
+		copy(grown, s.routes)
+		s.routes = grown
+	}
+	if s.routes[dst] == nil {
+		s.nroutes++
+	}
 	s.routes[dst] = outs
 }
 
+// routeFor looks up the candidate outputs for a destination (nil when
+// no route is installed).
+func (s *Switch) routeFor(dst flit.PortID) []int {
+	if int(dst) < len(s.routes) {
+		return s.routes[dst]
+	}
+	return nil
+}
+
 // Routes reports the number of installed destination entries.
-func (s *Switch) Routes() int { return len(s.routes) }
+func (s *Switch) Routes() int { return s.nroutes }
+
+// xbarHop carries one packet's crossbar-traversal state between Arrive
+// and the traversal event, drawn from the switch's free list so the
+// per-hop event schedules closure-free.
+type xbarHop struct {
+	sw      *Switch
+	pkt     *flit.Packet
+	release func()
+	arrived sim.Time
+	next    *xbarHop
+}
 
 // Arrive implements link.Sink for a switch port.
 func (sp *swPort) Arrive(pkt *flit.Packet, release func()) {
@@ -140,34 +181,48 @@ func (sp *swPort) Arrive(pkt *flit.Packet, release func()) {
 		return
 	}
 	pkt.Hops++
-	arrived := s.eng.Now()
+	h := s.hopFree
+	if h == nil {
+		h = &xbarHop{sw: s}
+	} else {
+		s.hopFree = h.next
+	}
+	h.pkt, h.release, h.arrived = pkt, release, s.eng.Now()
 	// Crossbar traversal, then output enqueue (or hold under backpressure).
 	// The route lookup happens after traversal so a table the manager
 	// re-filled mid-flight steers even packets already inside the switch.
-	s.eng.After(s.cfg.Latency, func() {
-		if s.down {
-			s.PktsDropped.Inc()
+	s.eng.After2(s.cfg.Latency, xbarTraverse, h)
+}
+
+func xbarTraverse(a any) {
+	h := a.(*xbarHop)
+	s := h.sw
+	pkt, release, arrived := h.pkt, h.release, h.arrived
+	h.pkt, h.release = nil, nil
+	h.next = s.hopFree
+	s.hopFree = h
+	if s.down {
+		s.PktsDropped.Inc()
+		release()
+		return
+	}
+	outs := s.routeFor(pkt.Dst)
+	if len(outs) == 0 {
+		if s.dropUnroutable {
+			s.NoRoute.Inc()
 			release()
 			return
 		}
-		outs, ok := s.routes[pkt.Dst]
-		if !ok || len(outs) == 0 {
-			if s.dropUnroutable {
-				s.NoRoute.Inc()
-				release()
-				return
-			}
-			panic(fmt.Sprintf("fabric: switch %s has no route to %d (packet %v)", s.name, pkt.Dst, pkt))
-		}
-		out := s.pickOutput(outs, pkt)
-		op := s.ports[out]
-		if s.spaceFor(op, pkt) {
-			s.forward(op, pkt, release, arrived)
-			return
-		}
-		s.HolStalls.Inc()
-		op.waiting = append(op.waiting, heldPacket{pkt: pkt, release: release})
-	})
+		panic(fmt.Sprintf("fabric: switch %s has no route to %d (packet %v)", s.name, pkt.Dst, pkt))
+	}
+	out := s.pickOutput(outs, pkt)
+	op := s.ports[out]
+	if s.spaceFor(op, pkt) {
+		s.forward(op, pkt, release, arrived)
+		return
+	}
+	s.HolStalls.Inc()
+	op.waiting = append(op.waiting, heldPacket{pkt: pkt, release: release})
 }
 
 // pickOutput selects among equal-cost candidates.
@@ -260,8 +315,12 @@ func (s *Switch) HealFault(k fault.Kind) error {
 	return nil
 }
 
-// ClearRoutes empties the PBR table ahead of a manager re-fill.
-func (s *Switch) ClearRoutes() { s.routes = make(map[flit.PortID][]int) }
+// ClearRoutes empties the PBR table ahead of a manager re-fill, keeping
+// the dense table's storage.
+func (s *Switch) ClearRoutes() {
+	clear(s.routes)
+	s.nroutes = 0
+}
 
 // tryDrain moves held packets into the output queue as space frees.
 func (sp *swPort) tryDrain() {

@@ -66,9 +66,32 @@ func DefaultConfig() Config {
 	}
 }
 
-// mshr tracks one outstanding line fill and its merged waiters.
+// mshrWaiter is one access merged into an outstanding fill.
+type mshrWaiter struct {
+	write bool
+	done  func(l *line, missed bool)
+}
+
+// mshr tracks one outstanding line fill and its merged waiters. Its
+// fetch/fill steps are bound once at construction and the record is
+// recycled through the host free list, so a full miss allocates only
+// its remote request packet.
 type mshr struct {
-	waiters []func(l *line)
+	h        *Host
+	lineAddr uint64
+	pref     bool // issued by the prefetcher
+	waiters  []mshrWaiter
+	buf      [LineSize]byte
+	ev       victim
+	resp     *flit.Packet
+	next     *mshr
+
+	dramDone  func([]byte)
+	sendReq   func()
+	respDone  func(*flit.Packet, error)
+	respDelay func()
+	vbGranted func()
+	req       *flit.Packet
 }
 
 // Host is one host server: core, caches, local memory, and FHA.
@@ -84,8 +107,15 @@ type Host struct {
 
 	issue   *sim.Semaphore
 	mshrSem *sim.Semaphore
-	mshrs   map[uint64]*mshr
-	vb      *victimBuffer
+	// mshrs holds the outstanding fills. The population is bounded by
+	// the MSHR count (plus prefetches), so a linear scan over a small
+	// slice beats map hashing on every miss.
+	mshrs    []*mshr
+	mshrFree *mshr
+	accFree  *accessOp
+	loadFree *loadOp
+	stFree   *storeOp
+	vb       *victimBuffer
 
 	handlers map[flit.Op]txn.Handler
 
@@ -141,7 +171,6 @@ func New(eng *sim.Engine, name string, cfg Config, att *fabric.Attachment) *Host
 		dram:     mem.NewDRAM(eng, cfg.DRAM, cfg.LocalMemSize),
 		issue:    sim.NewSemaphore(cfg.IssueWidth),
 		mshrSem:  sim.NewSemaphore(cfg.MSHRs),
-		mshrs:    make(map[uint64]*mshr),
 		vb:       newVictimBuffer(cfg.VictimBufEntries),
 		handlers: make(map[flit.Op]txn.Handler),
 	}
@@ -206,6 +235,49 @@ func newVictimBuffer(entries int) *victimBuffer {
 
 // ---- core access path ----
 
+// accessOp carries one cached access through the issue/L1/L2 pipeline.
+// The step callbacks are bound to the op once at construction and the op
+// is recycled through the host free list, so hits and merged misses
+// allocate nothing.
+type accessOp struct {
+	h        *Host
+	lineAddr uint64
+	write    bool
+	l1Lat    sim.Time
+	l2Lat    sim.Time
+	done     func(l *line, missed bool)
+	buf      [LineSize]byte
+	next     *accessOp
+
+	granted func()
+	l1Step  func()
+	l2Step  func()
+	mshrGot func()
+	vbDone  func(l *line)
+}
+
+func (h *Host) getAccessOp() *accessOp {
+	op := h.accFree
+	if op == nil {
+		op = &accessOp{h: h}
+		op.granted = func() { op.h.eng.After(op.l1Lat, op.l1Step) }
+		op.l1Step = op.lookupL1
+		op.l2Step = op.lookupL2
+		op.mshrGot = op.startFill
+		op.vbDone = op.vbInstalled
+	} else {
+		h.accFree = op.next
+		op.next = nil
+	}
+	return op
+}
+
+func (h *Host) putAccessOp(op *accessOp) {
+	op.done = nil
+	op.next = h.accFree
+	h.accFree = op
+}
+
 // access performs one cached load or store of the line containing addr.
 // done receives the L1 line after the access commits; missed reports
 // whether the access went all the way to memory (stores pay their
@@ -217,131 +289,223 @@ func (h *Host) access(addr uint64, write bool, done func(l *line, missed bool)) 
 	} else {
 		h.Loads.Inc()
 	}
-	l1Lat, l2Lat := h.cfg.L1.ReadLat, h.cfg.L2.ReadLat
+	op := h.getAccessOp()
+	op.lineAddr, op.write, op.done = lineAddr, write, done
 	if write {
-		l1Lat, l2Lat = h.cfg.L1.WriteLat, h.cfg.L2.WriteLat
+		op.l1Lat, op.l2Lat = h.cfg.L1.WriteLat, h.cfg.L2.WriteLat
+	} else {
+		op.l1Lat, op.l2Lat = h.cfg.L1.ReadLat, h.cfg.L2.ReadLat
 	}
-	h.issue.Acquire(func() {
-		h.eng.After(l1Lat, func() {
-			if l := h.l1.lookup(lineAddr); l != nil {
-				if l.pref {
-					l.pref = false
-					h.PrefUseful.Inc()
-				}
-				if write {
-					l.dirty = true
-				}
-				h.issue.Release()
-				done(l, false)
-				return
+	h.issue.Acquire(op.granted)
+}
+
+func (op *accessOp) lookupL1() {
+	h := op.h
+	if l := h.l1.lookup(op.lineAddr); l != nil {
+		if l.pref {
+			l.pref = false
+			h.PrefUseful.Inc()
+		}
+		if op.write {
+			l.dirty = true
+		}
+		done := op.done
+		h.putAccessOp(op)
+		h.issue.Release()
+		done(l, false)
+		return
+	}
+	h.eng.After(op.l2Lat, op.l2Step)
+}
+
+func (op *accessOp) lookupL2() {
+	h := op.h
+	lineAddr := op.lineAddr
+	if l2l := h.l2.lookup(lineAddr); l2l != nil {
+		if l2l.pref {
+			l2l.pref = false
+			h.PrefUseful.Inc()
+		}
+		// Fill L1 from L2; L2 keeps its copy clean relative to L1
+		// (dirtiness migrates up with the data).
+		l := h.fillL1(lineAddr, &l2l.data, l2l.dirty)
+		l2l.dirty = false
+		if op.write {
+			l.dirty = true
+		}
+		done := op.done
+		h.putAccessOp(op)
+		h.issue.Release()
+		done(l, false)
+		return
+	}
+	// Full miss. Victim-buffer forwarding: the line may be in flight to
+	// memory.
+	if vbData, ok := h.vb.data[lineAddr]; ok {
+		op.buf = vbData
+		h.installLine(lineAddr, &op.buf, true, op.vbDone)
+		return
+	}
+	h.missToMemory(op)
+}
+
+func (op *accessOp) vbInstalled(l *line) {
+	h := op.h
+	if op.write {
+		l.dirty = true
+	}
+	done := op.done
+	h.putAccessOp(op)
+	h.issue.Release()
+	done(l, false)
+}
+
+// startFill runs with an MSHR slot held: registers the fill and kicks
+// off the fetch.
+func (op *accessOp) startFill() {
+	h := op.h
+	m := h.getMSHR()
+	m.lineAddr = op.lineAddr
+	m.pref = false
+	m.waiters = append(m.waiters[:0], mshrWaiter{write: op.write, done: op.done})
+	h.mshrs = append(h.mshrs, m)
+	h.putAccessOp(op)
+	h.issue.Release()
+	h.prefetchAfterMiss(m.lineAddr)
+	h.fetchLine(m)
+}
+
+// findMSHR scans the (small, MSHR-bounded) outstanding-fill list.
+func (h *Host) findMSHR(lineAddr uint64) *mshr {
+	for _, m := range h.mshrs {
+		if m.lineAddr == lineAddr {
+			return m
+		}
+	}
+	return nil
+}
+
+func (h *Host) removeMSHR(m *mshr) {
+	for i, x := range h.mshrs {
+		if x == m {
+			last := len(h.mshrs) - 1
+			h.mshrs[i] = h.mshrs[last]
+			h.mshrs[last] = nil
+			h.mshrs = h.mshrs[:last]
+			return
+		}
+	}
+}
+
+func (h *Host) getMSHR() *mshr {
+	m := h.mshrFree
+	if m == nil {
+		m = &mshr{h: h}
+		m.dramDone = func(b []byte) {
+			copy(m.buf[:], b)
+			m.install()
+		}
+		m.sendReq = func() { m.h.ep.Request(m.req).OnComplete(m.respDone) }
+		m.respDone = func(resp *flit.Packet, err error) {
+			if err != nil {
+				panic("host: remote read failed: " + err.Error())
 			}
-			h.eng.After(l2Lat, func() {
-				if l2l := h.l2.lookup(lineAddr); l2l != nil {
-					if l2l.pref {
-						l2l.pref = false
-						h.PrefUseful.Inc()
-					}
-					// Fill L1 from L2; L2 keeps its copy clean relative
-					// to L1 (dirtiness migrates up with the data).
-					l := h.fillL1(lineAddr, &l2l.data, l2l.dirty)
-					l2l.dirty = false
-					if write {
-						l.dirty = true
-					}
-					h.issue.Release()
-					done(l, false)
-					return
-				}
-				// Full miss. Victim-buffer forwarding: the line may be
-				// in flight to memory.
-				if vbData, ok := h.vb.data[lineAddr]; ok {
-					d := vbData
-					l := h.installLine(lineAddr, &d, true, func(l *line) {
-						if write {
-							l.dirty = true
-						}
-						h.issue.Release()
-						done(l, false)
-					})
-					_ = l
-					return
-				}
-				h.missToMemory(lineAddr, write, done)
-			})
-		})
-	})
+			if resp.Op != flit.OpMemRdData {
+				panic(fmt.Sprintf("host %s: remote read of %#x returned %v",
+					m.h.name, m.lineAddr, resp.Op))
+			}
+			m.resp = resp
+			m.h.eng.After(m.h.cfg.FHALat, m.respDelay)
+		}
+		m.respDelay = func() {
+			copy(m.buf[:], m.resp.Data)
+			m.req, m.resp = nil, nil
+			m.install()
+		}
+		m.vbGranted = func() {
+			h := m.h
+			h.vb.data[m.ev.addr] = m.ev.data
+			h.writeback(m.ev.addr, m.ev.data)
+			m.fillDone()
+		}
+	} else {
+		h.mshrFree = m.next
+		m.next = nil
+	}
+	return m
+}
+
+func (h *Host) putMSHR(m *mshr) {
+	m.waiters = m.waiters[:0]
+	m.req, m.resp = nil, nil
+	m.next = h.mshrFree
+	h.mshrFree = m
 }
 
 // missToMemory handles an L2 miss: MSHR allocation/merge, the memory or
 // fabric fetch, fill, and waiter wakeup.
-func (h *Host) missToMemory(lineAddr uint64, write bool, done func(l *line, missed bool)) {
-	if m, ok := h.mshrs[lineAddr]; ok {
+func (h *Host) missToMemory(op *accessOp) {
+	if m := h.findMSHR(op.lineAddr); m != nil {
 		// Merge with the outstanding fill.
 		h.MSHRMerges.Inc()
-		m.waiters = append(m.waiters, func(l *line) {
-			if write {
-				l.dirty = true
-			}
-			done(l, true)
-		})
+		m.waiters = append(m.waiters, mshrWaiter{write: op.write, done: op.done})
+		h.putAccessOp(op)
 		h.issue.Release()
 		return
 	}
 	// The issue slot is held while waiting for an MSHR: a full miss
 	// queue stalls the pipeline.
-	h.mshrSem.Acquire(func() {
-		m := &mshr{}
-		m.waiters = append(m.waiters, func(l *line) {
-			if write {
-				l.dirty = true
-			}
-			done(l, true)
-		})
-		h.mshrs[lineAddr] = m
-		h.issue.Release()
-		h.prefetchAfterMiss(lineAddr)
-		h.fetchLine(lineAddr, func(data *[LineSize]byte) {
-			h.installLine(lineAddr, data, false, func(l *line) {
-				waiters := m.waiters
-				delete(h.mshrs, lineAddr)
-				h.mshrSem.Release()
-				for _, w := range waiters {
-					w(l)
-				}
-			})
-		})
-	})
+	h.mshrSem.Acquire(op.mshrGot)
 }
 
-// fetchLine reads one line from local DRAM or a remote device.
-func (h *Host) fetchLine(lineAddr uint64, done func(*[LineSize]byte)) {
-	r := h.amap.MustLookup(lineAddr)
+// fetchLine reads one line from local DRAM or a remote device into the
+// MSHR's line buffer, then installs it.
+func (h *Host) fetchLine(m *mshr) {
+	r := h.amap.MustLookup(m.lineAddr)
 	if r.Local {
-		h.dram.Read(lineAddr, LineSize, func(b []byte) {
-			var d [LineSize]byte
-			copy(d[:], b)
-			done(&d)
-		})
+		h.dram.Read(m.lineAddr, LineSize, m.dramDone)
 		return
 	}
 	h.RemoteReads.Inc()
-	req := &flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd, Dst: r.Port,
-		Addr: r.DevAddr(lineAddr), ReqLen: LineSize}
-	h.eng.After(h.cfg.FHALat, func() {
-		h.ep.Request(req).OnComplete(func(resp *flit.Packet, err error) {
-			if err != nil {
-				panic("host: remote read failed: " + err.Error())
-			}
-			if resp.Op != flit.OpMemRdData {
-				panic(fmt.Sprintf("host %s: remote read of %#x returned %v", h.name, lineAddr, resp.Op))
-			}
-			h.eng.After(h.cfg.FHALat, func() {
-				var d [LineSize]byte
-				copy(d[:], resp.Data)
-				done(&d)
-			})
-		})
-	})
+	m.req = &flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd, Dst: r.Port,
+		Addr: r.DevAddr(m.lineAddr), ReqLen: LineSize}
+	h.eng.After(h.cfg.FHALat, m.sendReq)
+}
+
+// install inserts the fetched line into L2, draining any dirty victim
+// through the victim buffer, then completes the fill.
+func (m *mshr) install() {
+	h := m.h
+	ev, has := h.l2.insert(m.lineAddr, &m.buf, false)
+	if has {
+		// A dirty L2 victim needs a victim-buffer slot before the fill
+		// can complete; this is where streaming stores feel writeback
+		// backpressure.
+		m.ev = ev
+		h.vb.sem.Acquire(m.vbGranted)
+		return
+	}
+	m.fillDone()
+}
+
+// fillDone fills L1, retires the MSHR, and wakes the merged waiters.
+func (m *mshr) fillDone() {
+	h := m.h
+	l := h.fillL1(m.lineAddr, &m.buf, false)
+	if m.pref {
+		l.pref = true
+	}
+	waiters := m.waiters
+	h.removeMSHR(m)
+	h.mshrSem.Release()
+	for i := range waiters {
+		w := &waiters[i]
+		if w.write {
+			l.dirty = true
+		}
+		w.done(l, true)
+	}
+	h.putMSHR(m)
 }
 
 // installLine inserts a fetched line into L2 then L1, draining dirty
@@ -430,25 +594,18 @@ func (h *Host) prefetchAfterMiss(lineAddr uint64) {
 		if h.l1.peek(target) != nil || h.l2.peek(target) != nil {
 			continue
 		}
-		if _, busy := h.mshrs[target]; busy {
+		if h.findMSHR(target) != nil {
 			continue
 		}
 		if !h.mshrSem.TryAcquire() {
 			return // demand misses keep priority on MSHRs
 		}
-		m := &mshr{}
-		h.mshrs[target] = m
+		m := h.getMSHR()
+		m.lineAddr = target
+		m.pref = true
+		m.waiters = m.waiters[:0]
+		h.mshrs = append(h.mshrs, m)
 		h.PrefIssued.Inc()
-		h.fetchLine(target, func(data *[LineSize]byte) {
-			h.installLine(target, data, false, func(l *line) {
-				l.pref = true
-				waiters := m.waiters
-				delete(h.mshrs, target)
-				h.mshrSem.Release()
-				for _, w := range waiters {
-					w(l)
-				}
-			})
-		})
+		h.fetchLine(m)
 	}
 }

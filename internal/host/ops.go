@@ -13,15 +13,50 @@ import (
 // Futures for asynchronous model code; *P variants block a sim.Proc —
 // the natural notation for workload drivers.
 
+// loadOp and storeOp recycle the completion state of the 64-bit
+// load/store fast paths; their callbacks are bound once at construction,
+// so in steady state an access allocates only its result future.
+type loadOp struct {
+	h    *Host
+	addr uint64
+	f    *sim.Future[uint64]
+	next *loadOp
+	done func(l *line, missed bool)
+}
+
+type storeOp struct {
+	h      *Host
+	addr   uint64
+	v      uint64
+	f      *sim.Future[struct{}]
+	next   *storeOp
+	done   func(l *line, missed bool)
+	commit func()
+}
+
 // Load64 reads the little-endian uint64 at addr through the caches.
 func (h *Host) Load64(addr uint64) *sim.Future[uint64] {
 	if addr&7 != 0 {
 		panic(fmt.Sprintf("host: unaligned Load64 at %#x", addr))
 	}
 	f := sim.NewFuture[uint64]()
-	h.access(addr, false, func(l *line, _ bool) {
-		f.Complete(binary.LittleEndian.Uint64(l.data[addr&(LineSize-1):]))
-	})
+	op := h.loadFree
+	if op == nil {
+		op = &loadOp{h: h}
+		op.done = func(l *line, _ bool) {
+			v := binary.LittleEndian.Uint64(l.data[op.addr&(LineSize-1):])
+			ff := op.f
+			op.f = nil
+			op.next = op.h.loadFree
+			op.h.loadFree = op
+			ff.Complete(v)
+		}
+	} else {
+		h.loadFree = op.next
+		op.next = nil
+	}
+	op.addr, op.f = addr, f
+	h.access(addr, false, op.done)
 	return f
 }
 
@@ -32,14 +67,30 @@ func (h *Host) Store64(addr uint64, v uint64) *sim.Future[struct{}] {
 		panic(fmt.Sprintf("host: unaligned Store64 at %#x", addr))
 	}
 	f := sim.NewFuture[struct{}]()
-	h.access(addr, true, func(l *line, missed bool) {
-		binary.LittleEndian.PutUint64(l.data[addr&(LineSize-1):], v)
-		if missed {
-			h.eng.After(h.cfg.StoreCommit, func() { f.Complete(struct{}{}) })
-		} else {
-			f.Complete(struct{}{})
+	op := h.stFree
+	if op == nil {
+		op = &storeOp{h: h}
+		op.commit = func() {
+			ff := op.f
+			op.f = nil
+			op.next = op.h.stFree
+			op.h.stFree = op
+			ff.Complete(struct{}{})
 		}
-	})
+		op.done = func(l *line, missed bool) {
+			binary.LittleEndian.PutUint64(l.data[op.addr&(LineSize-1):], op.v)
+			if missed {
+				op.h.eng.After(op.h.cfg.StoreCommit, op.commit)
+			} else {
+				op.commit()
+			}
+		}
+	} else {
+		h.stFree = op.next
+		op.next = nil
+	}
+	op.addr, op.v, op.f = addr, v, f
+	h.access(addr, true, op.done)
 	return f
 }
 

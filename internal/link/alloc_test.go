@@ -47,9 +47,9 @@ func TestLinkSendPathZeroAlloc(t *testing.T) {
 }
 
 // TestLinkDeliveryAllocCeiling bounds the receive side: delivering a
-// packet hands the sink a freshly allocated Packet (plus Data and the
-// release closure) by design — those escape to the transaction layer —
-// but nothing else on the wire path may allocate. The ceiling of 8
+// packet hands the sink a freshly allocated Packet (plus Data) by
+// design — those escape to the transaction layer; the credit-release
+// record is pooled — but nothing else on the wire path may allocate. The ceiling of 8
 // allocations per delivered packet catches any regression back to
 // per-flit or per-event allocation (2 flits + ~4 events per packet
 // previously cost ~10 allocations on top of the escaping ones).

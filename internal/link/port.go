@@ -165,6 +165,7 @@ type Port struct {
 	// Free lists and scratch for the allocation-free hot path.
 	txpFree *txPacket
 	msgFree *linkMsg
+	relFree *pktRelease
 	viewBuf [flit.NumChannels]VCView
 
 	// Fault state (see the fault.Injectable implementation on Link).
@@ -579,29 +580,62 @@ func (p *Port) acceptFlit(vc flit.Channel, f *flit.Flit) {
 	for _, fl := range flits {
 		p.pool.Release(fl) // decode copied the payload out
 	}
-	released := false
-	release := func() {
-		if released {
-			panic("link: packet released twice")
-		}
-		released = true
-		p.rxUsed[vc] -= n
-		ret := n
-		if p.rxDebt[vc] > 0 {
-			swallow := min(p.rxDebt[vc], ret)
-			p.rxDebt[vc] -= swallow
-			ret -= swallow
-		}
-		if ret > 0 {
-			m := p.getMsg()
-			m.vc, m.n = vc, ret
-			p.eng.After2(p.cfg.CreditReturnDelay+p.cfg.Phys.Propagation, returnCredits, m)
-		}
-	}
 	if p.sink == nil {
 		panic("link " + p.name + ": packet arrived with no sink attached")
 	}
-	p.sink.Arrive(pkt, release)
+	r := p.getRelease()
+	r.vc, r.n = vc, n
+	p.sink.Arrive(pkt, r.fn)
+}
+
+// pktRelease is the pooled credit-release record handed to the sink with
+// each delivered packet. The fn field is bound once at construction so
+// steady-state delivery allocates no closure.
+type pktRelease struct {
+	p        *Port
+	vc       flit.Channel
+	n        int
+	released bool
+	fn       func()
+	next     *pktRelease
+}
+
+func (p *Port) getRelease() *pktRelease {
+	r := p.relFree
+	if r == nil {
+		r = &pktRelease{p: p}
+		r.fn = r.release
+	} else {
+		p.relFree = r.next
+		r.next = nil
+	}
+	r.released = false
+	return r
+}
+
+// release returns the packet's receive-buffer slots as credits. The
+// record recycles immediately; released stays true while parked so a
+// stale double-release still panics until the record is reused.
+func (r *pktRelease) release() {
+	if r.released {
+		panic("link: packet released twice")
+	}
+	r.released = true
+	p, vc := r.p, r.vc
+	p.rxUsed[vc] -= r.n
+	ret := r.n
+	if p.rxDebt[vc] > 0 {
+		swallow := min(p.rxDebt[vc], ret)
+		p.rxDebt[vc] -= swallow
+		ret -= swallow
+	}
+	if ret > 0 {
+		m := p.getMsg()
+		m.vc, m.n = vc, ret
+		p.eng.After2(p.cfg.CreditReturnDelay+p.cfg.Phys.Propagation, returnCredits, m)
+	}
+	r.next = p.relFree
+	p.relFree = r
 }
 
 // handleNak retransmits the flit with the given sequence number. The

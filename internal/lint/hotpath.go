@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Hotpath enforces the dense-structure discipline on packet-path hot
+// code. A file that opts in with a `//fcclint:hotpath` directive
+// comment must not construct maps — neither `make(map[...])` nor a map
+// composite literal. Hash maps on the per-flit/per-transaction path
+// cost a hash + probe per touch and (worse) invite order-sensitive
+// iteration; the repo's hot structures are dense tables indexed by
+// port/tag/hash slot with free-listed entries (see DESIGN.md,
+// "Upper-stack data structures"). The directive is deliberately
+// per-file: cold setup code keeps its maps by simply living in an
+// untagged file, and a justified exception inside a tagged file uses
+// the ordinary inline `//fcclint:allow hotpath <reason>`.
+func Hotpath() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath",
+		Doc:  "ban map construction in files tagged //fcclint:hotpath (dense-structure discipline)",
+		Run:  runHotpath,
+	}
+}
+
+// hotpathTagged reports whether f carries the //fcclint:hotpath
+// directive (trailing note after the directive is allowed).
+func hotpathTagged(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//fcclint:hotpath"); ok {
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func runHotpath(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		if !hotpathTagged(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if b, ok := builtinCallee(p, n); !ok || b != "make" {
+					return true
+				}
+				if tv, ok := p.Info.Types[n]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						diags = append(diags, Diagnostic{
+							Analyzer: "hotpath",
+							Pos:      p.Fset.Position(n.Pos()),
+							Message:  "make(map) in a //fcclint:hotpath file; hot-path state must use a dense table or free list (see DESIGN.md \"Upper-stack data structures\")",
+						})
+					}
+				}
+			case *ast.CompositeLit:
+				if tv, ok := p.Info.Types[n]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						diags = append(diags, Diagnostic{
+							Analyzer: "hotpath",
+							Pos:      p.Fset.Position(n.Pos()),
+							Message:  "map literal in a //fcclint:hotpath file; hot-path state must use a dense table or free list (see DESIGN.md \"Upper-stack data structures\")",
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

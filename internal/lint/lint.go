@@ -3,7 +3,7 @@
 // byte-identical same-seed runs (see the blast-radius experiment in
 // internal/exp), and on model code honouring the cooperative-scheduling
 // contract of internal/sim. Those invariants used to live in comments;
-// the four analyzers here make them machine-checked:
+// the analyzers here make them machine-checked:
 //
 //   - detban:    no wall-clock, global-randomness, or environment reads
 //     in simulation code — virtual time comes from sim.Engine,
@@ -19,6 +19,9 @@
 //     (txn.ErrTimeout, txn.ErrDeviceDown, etrans.ErrExecutorFailed, …)
 //     with errors.Is, never ==, because every production path
 //     wraps them.
+//   - hotpath:   no map construction in files tagged //fcclint:hotpath —
+//     packet-path state lives in dense tables and free lists,
+//     not hash maps (the PR 5 dense-structure discipline).
 //
 // The pass is stdlib-only (go/parser + go/ast + go/types; export data
 // located by shelling out to `go list`). Suppression is explicit: either
@@ -58,7 +61,7 @@ type Analyzer struct {
 
 // Analyzers returns the full rule set in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detban(), Maporder(), Procblock(), Errcmp()}
+	return []*Analyzer{Detban(), Maporder(), Procblock(), Errcmp(), Hotpath()}
 }
 
 // Package is one typechecked target package, ready for analysis.

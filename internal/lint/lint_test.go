@@ -93,6 +93,7 @@ func TestDetban(t *testing.T)    { checkFixture(t, "detban", Detban()) }
 func TestMaporder(t *testing.T)  { checkFixture(t, "maporder", Maporder()) }
 func TestProcblock(t *testing.T) { checkFixture(t, "procblock", Procblock()) }
 func TestErrcmp(t *testing.T)    { checkFixture(t, "errcmp", Errcmp()) }
+func TestHotpath(t *testing.T)   { checkFixture(t, "hotpath", Hotpath()) }
 
 // TestAllowlistSuppresses proves the path-prefix allowlist drops every
 // diagnostic under the exempted prefix — the mechanism cmd/ relies on.

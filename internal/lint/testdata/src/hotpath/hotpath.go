@@ -1,0 +1,41 @@
+// Package fixture seeds hotpath violations for the analyzer's golden
+// test. The file-level directive below opts the whole file into the
+// dense-structure discipline.
+package fixture
+
+//fcclint:hotpath packet-path fixture
+
+// sparse is the banned shape: hashing per touch on a hot path.
+func sparse() map[uint16]int {
+	m := make(map[uint16]int) // want `make\(map\) in a //fcclint:hotpath file`
+	m[1] = 1
+	return m
+}
+
+func sparseLit() map[string]bool {
+	return map[string]bool{"a": true} // want `map literal in a //fcclint:hotpath file`
+}
+
+// dense is the endorsed replacement: an indexed table plus free list.
+type entry struct {
+	next *entry
+	val  int
+}
+
+type denseTable struct {
+	slots []entry
+	free  *entry
+}
+
+func dense(n int) *denseTable {
+	return &denseTable{slots: make([]entry, n)}
+}
+
+// Reading or ranging an existing map is fine — only construction is
+// flagged; a map built in cold setup code may still be consulted here.
+func consult(m map[uint16]int, k uint16) int { return m[k] }
+
+func allowedException() map[int]int {
+	//fcclint:allow hotpath cold one-time diagnostics table
+	return make(map[int]int)
+}

@@ -1,0 +1,11 @@
+package fixture
+
+// This file carries no //fcclint:hotpath directive, so map
+// construction here is untouched — the discipline is per-file opt-in.
+func coldSetup() map[string]int {
+	return map[string]int{"routes": 0}
+}
+
+func coldMake() map[uint64]bool {
+	return make(map[uint64]bool)
+}

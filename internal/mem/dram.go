@@ -1,5 +1,7 @@
 package mem
 
+//fcclint:hotpath per-access op records must stay pooled (PR 5)
+
 import (
 	"fcc/internal/sim"
 )
@@ -40,8 +42,56 @@ type DRAM struct {
 	rd    []*sim.Pipe
 	wr    []*sim.Pipe
 
+	// opFree recycles the completion records for reads and atomics, so
+	// the access hot path schedules its finish event closure-free.
+	opFree *dramOp
+
 	Reads  sim.Counter
 	Writes sim.Counter
+}
+
+// dramOp carries one read or atomic through its latency event.
+type dramOp struct {
+	d     *DRAM
+	addr  uint64
+	n     int
+	prev  uint64
+	done  func([]byte)
+	doneA func(uint64)
+	next  *dramOp
+}
+
+func (d *DRAM) getOp() *dramOp {
+	op := d.opFree
+	if op == nil {
+		op = &dramOp{d: d}
+	} else {
+		d.opFree = op.next
+		op.next = nil
+	}
+	return op
+}
+
+func dramReadFire(a any) {
+	op := a.(*dramOp)
+	d := op.d
+	buf := make([]byte, op.n)
+	d.store.Read(op.addr, buf)
+	done := op.done
+	op.done = nil
+	op.next = d.opFree
+	d.opFree = op
+	done(buf)
+}
+
+func dramAtomicFire(a any) {
+	op := a.(*dramOp)
+	d := op.d
+	prev, done := op.prev, op.doneA
+	op.doneA = nil
+	op.next = d.opFree
+	d.opFree = op
+	done(prev)
 }
 
 // NewDRAM builds a module of the given capacity.
@@ -84,11 +134,9 @@ func (d *DRAM) Read(addr uint64, n int, done func(data []byte)) {
 	if bankFree > finish {
 		finish = bankFree
 	}
-	d.eng.At(finish, func() {
-		buf := make([]byte, n)
-		d.store.Read(addr, buf)
-		done(buf)
-	})
+	op := d.getOp()
+	op.addr, op.n, op.done = addr, n, done
+	d.eng.At2(finish, dramReadFire, op)
 }
 
 // Write commits data at addr; done fires when the write is durable in
@@ -121,7 +169,9 @@ func (d *DRAM) Atomic(addr uint64, delta uint64, done func(prev uint64)) {
 	}
 	prev := d.store.Read64(addr)
 	d.store.Write64(addr, prev+delta)
-	d.eng.At(finish, func() { done(prev) })
+	op := d.getOp()
+	op.prev, op.doneA = prev, done
+	d.eng.At2(finish, dramAtomicFire, op)
 }
 
 // RegisterStats attaches the module's access counters to a registry.

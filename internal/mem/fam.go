@@ -1,5 +1,7 @@
 package mem
 
+//fcclint:hotpath request pipeline op records must stay pooled (PR 5)
+
 import (
 	"fmt"
 
@@ -94,6 +96,11 @@ type FAM struct {
 	epoch  int
 	downAt sim.Time
 
+	// opFree recycles the per-request pipeline records; their stage
+	// callbacks are bound once at construction, so serving a request
+	// allocates no closures.
+	opFree *famOp
+
 	Violations sim.Counter
 	Dropped    sim.Counter // requests and replies lost to a down device
 }
@@ -159,26 +166,128 @@ func (f *FAM) allowed(src flit.PortID, addr uint64, n uint32) bool {
 	return false
 }
 
+// famOp carries one request through the FEA/DRAM pipeline. Its stage
+// callbacks are bound to the op once at construction and the op is
+// recycled through the device free list, so the serve path allocates
+// nothing beyond the response packet. The epoch captured at arrival
+// guards the reply: a device that died (or died and recovered) while the
+// request was in flight answers nothing.
+type famOp struct {
+	f     *FAM
+	req   *flit.Packet
+	resp  *flit.Packet
+	reply func(*flit.Packet)
+	epoch int
+	kind  uint8
+	n     uint32
+	delta uint64
+	prev  uint64
+	data  []byte
+	next  *famOp
+
+	enter     func()
+	stage1    func()
+	stage2    func()
+	replyStep func()
+	dramRd    func([]byte)
+	dramWr    func()
+	dramAt    func(uint64)
+}
+
+const (
+	famRd uint8 = iota
+	famIORd
+	famWr
+	famIOWr
+	famAt
+)
+
+func (f *FAM) getOp() *famOp {
+	op := f.opFree
+	if op == nil {
+		op = &famOp{f: f}
+		op.enter = func() { op.f.serveOp(op) }
+		op.stage1 = op.runStage1
+		op.stage2 = op.runStage2
+		op.replyStep = func() { op.finish(op.resp) }
+		op.dramRd = func(data []byte) {
+			op.data = data
+			op.f.eng.After(op.f.cfg.FEALat, op.stage2)
+		}
+		op.dramWr = func() { op.f.eng.After(op.f.cfg.FEALat, op.stage2) }
+		op.dramAt = func(prev uint64) {
+			op.prev = prev
+			op.f.eng.After(op.f.cfg.FEALat, op.stage2)
+		}
+	} else {
+		f.opFree = op.next
+		op.next = nil
+	}
+	return op
+}
+
+func (op *famOp) runStage1() {
+	f := op.f
+	switch op.kind {
+	case famRd, famIORd:
+		f.dram.Read(op.req.Addr, int(op.n), op.dramRd)
+	case famWr, famIOWr:
+		f.dram.Write(op.req.Addr, op.data, op.dramWr)
+	case famAt:
+		f.dram.Atomic(op.req.Addr, op.delta, op.dramAt)
+	}
+}
+
+func (op *famOp) runStage2() {
+	req := op.req
+	switch op.kind {
+	case famRd:
+		resp := req.Response(flit.OpMemRdData, op.n)
+		resp.Data = op.data
+		op.finish(resp)
+	case famIORd:
+		resp := req.Response(flit.OpIOData, op.n)
+		resp.Data = op.data
+		op.finish(resp)
+	case famWr:
+		op.finish(req.Response(flit.OpMemWrAck, 0))
+	case famIOWr:
+		op.finish(req.Response(flit.OpIOAck, 0))
+	case famAt:
+		prev := op.prev
+		resp := req.Response(flit.OpMemAtomicR, 8)
+		resp.Data = []byte{byte(prev), byte(prev >> 8), byte(prev >> 16),
+			byte(prev >> 24), byte(prev >> 32), byte(prev >> 40),
+			byte(prev >> 48), byte(prev >> 56)}
+		op.finish(resp)
+	}
+}
+
+// finish delivers the response unless the device is (or has been) fenced
+// since the request arrived, then recycles the op.
+func (op *famOp) finish(resp *flit.Packet) {
+	f := op.f
+	if f.down || f.epoch != op.epoch {
+		f.Dropped.Inc()
+	} else {
+		op.reply(resp)
+	}
+	op.req, op.resp, op.reply, op.data = nil, nil, nil, nil
+	op.next = f.opFree
+	f.opFree = op
+}
+
 func (f *FAM) handle(req *flit.Packet, reply func(*flit.Packet)) {
 	if f.down {
 		f.Dropped.Inc()
 		return
 	}
-	// Guard the reply against the device dying (or dying and recovering —
-	// the epoch check) while the request was in flight through the FEA and
-	// DRAM pipeline: a power-fenced device answers nothing.
-	epoch := f.epoch
-	guarded := func(resp *flit.Packet) {
-		if f.down || f.epoch != epoch {
-			f.Dropped.Inc()
-			return
-		}
-		reply(resp)
-	}
+	op := f.getOp()
+	op.req, op.reply, op.epoch = req, reply, f.epoch
 	// Every request first passes the serialized FEA ingest station;
 	// service time scales with inbound payload.
 	occ := f.cfg.FEAOccBase + sim.Time((req.Size+63)/64)*f.cfg.FEAOccPerLine
-	f.fea.Enter(occ, func() { f.serve(req, guarded) })
+	f.fea.Enter(occ, op.enter)
 }
 
 // Fail power-fences the device: every request from now until Recover —
@@ -225,15 +334,19 @@ func (f *FAM) HealFault(k fault.Kind) error {
 	return nil
 }
 
-func (f *FAM) serve(req *flit.Packet, reply func(*flit.Packet)) {
+// deny schedules the partition-violation error response.
+func (f *FAM) deny(op *famOp) {
+	f.Violations.Inc()
+	op.resp = op.req.Response(flit.OpMemErr, 0)
+	f.eng.After(f.cfg.FEALat, op.replyStep)
+}
+
+func (f *FAM) serveOp(op *famOp) {
+	req := op.req
 	if f.OnAccess != nil {
 		f.OnAccess(req)
 	}
 	fea := f.cfg.FEALat
-	deny := func() {
-		f.Violations.Inc()
-		f.eng.After(fea, func() { reply(req.Response(flit.OpMemErr, 0)) })
-	}
 	switch req.Op {
 	case flit.OpMemRd:
 		n := req.ReqLen
@@ -241,35 +354,25 @@ func (f *FAM) serve(req *flit.Packet, reply func(*flit.Packet)) {
 			n = 64
 		}
 		if !f.allowed(req.Src, req.Addr, n) {
-			deny()
+			f.deny(op)
 			return
 		}
-		f.eng.After(fea, func() {
-			f.dram.Read(req.Addr, int(n), func(data []byte) {
-				f.eng.After(fea, func() {
-					resp := req.Response(flit.OpMemRdData, n)
-					resp.Data = data
-					reply(resp)
-				})
-			})
-		})
+		op.kind, op.n = famRd, n
+		f.eng.After(fea, op.stage1)
 	case flit.OpMemWr:
 		if !f.allowed(req.Src, req.Addr, req.Size) {
-			deny()
+			f.deny(op)
 			return
 		}
-		data := req.Data
-		if data == nil {
-			data = make([]byte, req.Size)
+		op.data = req.Data
+		if op.data == nil {
+			op.data = make([]byte, req.Size)
 		}
-		f.eng.After(fea, func() {
-			f.dram.Write(req.Addr, data, func() {
-				f.eng.After(fea, func() { reply(req.Response(flit.OpMemWrAck, 0)) })
-			})
-		})
+		op.kind = famWr
+		f.eng.After(fea, op.stage1)
 	case flit.OpMemAtomic:
 		if !f.allowed(req.Src, req.Addr, 8) {
-			deny()
+			f.deny(op)
 			return
 		}
 		var delta uint64
@@ -278,46 +381,27 @@ func (f *FAM) serve(req *flit.Packet, reply func(*flit.Packet)) {
 				delta = delta<<8 | uint64(req.Data[i])
 			}
 		}
-		f.eng.After(fea, func() {
-			f.dram.Atomic(req.Addr, delta, func(prev uint64) {
-				f.eng.After(fea, func() {
-					resp := req.Response(flit.OpMemAtomicR, 8)
-					resp.Data = []byte{byte(prev), byte(prev >> 8), byte(prev >> 16),
-						byte(prev >> 24), byte(prev >> 32), byte(prev >> 40),
-						byte(prev >> 48), byte(prev >> 56)}
-					reply(resp)
-				})
-			})
-		})
+		op.kind, op.delta = famAt, delta
+		f.eng.After(fea, op.stage1)
 	case flit.OpIORd:
 		n := req.ReqLen
 		if !f.allowed(req.Src, req.Addr, n) {
-			deny()
+			f.deny(op)
 			return
 		}
-		f.eng.After(fea, func() {
-			f.dram.Read(req.Addr, int(n), func(data []byte) {
-				f.eng.After(fea, func() {
-					resp := req.Response(flit.OpIOData, n)
-					resp.Data = data
-					reply(resp)
-				})
-			})
-		})
+		op.kind, op.n = famIORd, n
+		f.eng.After(fea, op.stage1)
 	case flit.OpIOWr:
 		if !f.allowed(req.Src, req.Addr, req.Size) {
-			deny()
+			f.deny(op)
 			return
 		}
-		data := req.Data
-		if data == nil {
-			data = make([]byte, req.Size)
+		op.data = req.Data
+		if op.data == nil {
+			op.data = make([]byte, req.Size)
 		}
-		f.eng.After(fea, func() {
-			f.dram.Write(req.Addr, data, func() {
-				f.eng.After(fea, func() { reply(req.Response(flit.OpIOAck, 0)) })
-			})
-		})
+		op.kind = famIOWr
+		f.eng.After(fea, op.stage1)
 	case flit.OpCfgRd:
 		// Device identification for the fabric manager: capacity in
 		// ReqLen-agnostic 8-byte response.
@@ -325,7 +409,8 @@ func (f *FAM) serve(req *flit.Packet, reply func(*flit.Packet)) {
 		cap := f.cfg.Capacity
 		resp.Data = []byte{byte(cap), byte(cap >> 8), byte(cap >> 16), byte(cap >> 24),
 			byte(cap >> 32), byte(cap >> 40), byte(cap >> 48), byte(cap >> 56)}
-		f.eng.After(fea, func() { reply(resp) })
+		op.resp = resp
+		f.eng.After(fea, op.replyStep)
 	default:
 		panic(fmt.Sprintf("mem: FAM %s cannot serve %v", f.name, req))
 	}

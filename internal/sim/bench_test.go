@@ -96,7 +96,10 @@ func BenchmarkEngineScheduleFireHeap(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 }
 
-// BenchmarkProcSwitch measures coroutine process handoff cost.
+// BenchmarkProcSwitch measures coroutine process handoff cost. In the
+// steady state the sleeping process's own wake-up is the next pending
+// event, so the fast path consumes it in place: no goroutine switch and
+// no allocation per yield.
 func BenchmarkProcSwitch(b *testing.B) {
 	e := NewEngine()
 	e.Go("spinner", func(p *Proc) {
@@ -104,7 +107,46 @@ func BenchmarkProcSwitch(b *testing.B) {
 			p.Sleep(Nanosecond)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkProcSwitchPair measures handoff between two alternating
+// processes — the genuine goroutine-switch path (each yield hands the
+// dispatch token directly to the peer).
+func BenchmarkProcSwitchPair(b *testing.B) {
+	e := NewEngine()
+	spin := func(p *Proc) {
+		for i := 0; i < b.N/2; i++ {
+			p.Sleep(Nanosecond)
+		}
+	}
+	e.Go("a", spin)
+	e.Go("b", spin)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkProcSpawn measures spawn-to-completion of short-lived
+// processes. The runner free list makes the steady state cost one Proc
+// allocation — no goroutine or channel construction per spawn.
+func BenchmarkProcSpawn(b *testing.B) {
+	e := NewEngine()
+	body := func(p *Proc) {}
+	n := 0
+	var spawn func()
+	spawn = func() {
+		n++
+		if n < b.N {
+			e.After(Nanosecond, spawn)
+		}
+		e.Go("w", body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.After(0, spawn)
 	e.Run()
 }
 

@@ -69,6 +69,17 @@ type Engine struct {
 	// (live processes but an empty event queue).
 	procs int
 
+	// mainHand parks the Run caller while a process holds the dispatch
+	// token; freeRunner pools runner goroutines for reuse across
+	// processes (drained when Run returns). driveLimit is the active
+	// Run/RunUntil horizon, read by takeProcEvent on process goroutines.
+	mainHand   handoff
+	freeRunner *runner
+	driveLimit Time
+	// runnersMinted counts runner goroutine constructions, so tests can
+	// pin the free list's reuse guarantee.
+	runnersMinted int
+
 	// EventLimit, when >0, aborts Run with a panic after that many events.
 	// It is a guard against accidental infinite simulations in tests.
 	EventLimit uint64
@@ -87,15 +98,27 @@ const (
 	windowSpan  = Time(numBuckets) << bucketShift
 )
 
-// event is one scheduled callback. Exactly one of fn and afn is set: fn
-// is the closure form (At/After), afn+arg the closure-free form
-// (At2/After2). next links the free list.
+// Event kinds. kindProc events resume a process (arg holds the *Proc);
+// they are recognized by the dispatch core so a pausing process can
+// consume the next resume directly instead of bouncing through the Run
+// caller's goroutine (see proc.go "Handoff structure").
+const (
+	kindFn uint8 = iota
+	kindAfn
+	kindProc
+)
+
+// event is one scheduled callback. kind selects the form: fn is the
+// closure form (At/After), afn+arg the closure-free form (At2/After2),
+// and kindProc stores the process to resume in arg. next links the free
+// list.
 type event struct {
 	at   Time
 	seq  uint64
 	fn   func()
 	afn  func(any)
 	arg  any
+	kind uint8
 	next *event
 }
 
@@ -114,7 +137,9 @@ func eventCmp(a, b *event) int {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{curEnd: bucketWidth}
+	e := &Engine{curEnd: bucketWidth}
+	e.mainHand.park = make(chan struct{})
+	return e
 }
 
 // Now reports the current virtual time.
@@ -158,7 +183,7 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	ev := e.alloc()
-	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	ev.at, ev.seq, ev.fn, ev.kind = t, e.seq, fn, kindFn
 	e.enqueue(ev)
 }
 
@@ -182,13 +207,26 @@ func (e *Engine) At2(t Time, fn func(any), arg any) {
 	}
 	e.seq++
 	ev := e.alloc()
-	ev.at, ev.seq, ev.afn, ev.arg = t, e.seq, fn, arg
+	ev.at, ev.seq, ev.afn, ev.arg, ev.kind = t, e.seq, fn, arg, kindAfn
 	e.enqueue(ev)
 }
 
 // After2 schedules fn(arg) to run d after the current time, allocation-
 // free. Negative d panics (via the past check in At2).
 func (e *Engine) After2(d Time, fn func(any), arg any) { e.At2(e.now+d, fn, arg) }
+
+// atProc schedules a resume of p at absolute time t. It shares the
+// (at, seq) ordering stream with At/At2, so process wake-ups keep their
+// exact tie-break position among ordinary events.
+func (e *Engine) atProc(t Time, p *Proc) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := e.alloc()
+	ev.at, ev.seq, ev.arg, ev.kind = t, e.seq, p, kindProc
+	e.enqueue(ev)
+}
 
 // enqueue routes a scheduled event to the right tier.
 func (e *Engine) enqueue(ev *event) {
@@ -300,12 +338,10 @@ func (e *Engine) refill() bool {
 	return true
 }
 
-// Step fires the earliest pending event, advancing the clock to its
-// timestamp. It reports false when no events are pending.
-func (e *Engine) Step() bool {
-	if e.curIdx == len(e.cur) && !e.refill() {
-		return false
-	}
+// pop removes and returns the earliest pending event, advancing the
+// clock and the fired counter. The caller guarantees the dispatch list
+// is non-empty (refill already done).
+func (e *Engine) pop() *event {
 	ev := e.cur[e.curIdx]
 	e.cur[e.curIdx] = nil
 	e.curIdx++
@@ -314,46 +350,140 @@ func (e *Engine) Step() bool {
 	if e.EventLimit > 0 && e.fired > e.EventLimit {
 		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v", e.EventLimit, e.now))
 	}
+	return ev
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It reports false when no events are pending. A process
+// resume runs synchronously: Step blocks until the process pauses.
+func (e *Engine) Step() bool {
+	if e.curIdx == len(e.cur) && !e.refill() {
+		return false
+	}
+	ev := e.pop()
 	// Recycle before firing: a callback that immediately reschedules
 	// (the dominant pattern on the flit path) reuses this same, cache-
 	// hot event object.
-	fn, afn, arg := ev.fn, ev.afn, ev.arg
-	e.release(ev)
-	if fn != nil {
+	switch ev.kind {
+	case kindProc:
+		p := ev.arg.(*Proc)
+		e.release(ev)
+		if !p.done {
+			p.resumeBlocking()
+		}
+	case kindFn:
+		fn := ev.fn
+		e.release(ev)
 		fn()
-	} else {
+	default:
+		afn, arg := ev.afn, ev.arg
+		e.release(ev)
 		afn(arg)
 	}
 	return true
 }
 
-// Run fires events until the queue drains or Stop is called.
-func (e *Engine) Run() {
-	e.running, e.stopped = true, false
-	for !e.stopped && e.Step() {
+// driveTo fires callback events in order until the next pending event is
+// a live process resume (returned, already popped), the horizon or queue
+// is exhausted, or Stop is called. Runs only on the Run caller's
+// goroutine: every non-process callback fires here, while all process
+// goroutines are parked.
+func (e *Engine) driveTo(limit Time) *Proc {
+	for !e.stopped {
+		if e.curIdx == len(e.cur) && !e.refill() {
+			return nil
+		}
+		if e.cur[e.curIdx].at > limit {
+			return nil
+		}
+		ev := e.pop()
+		switch ev.kind {
+		case kindProc:
+			p := ev.arg.(*Proc)
+			e.release(ev)
+			if p.done {
+				continue // stale wake-up of a finished process
+			}
+			return p
+		case kindFn:
+			fn := ev.fn
+			e.release(ev)
+			fn()
+		default:
+			afn, arg := ev.afn, ev.arg
+			e.release(ev)
+			afn(arg)
+		}
 	}
+	return nil
+}
+
+// takeProcEvent consumes the next pending event if and only if it is a
+// live process resume within the drive horizon. Called by a pausing
+// process that holds the dispatch token (the Run caller is parked), so
+// it may mutate engine state freely. When the next event would exceed
+// EventLimit it declines, bouncing control to driveTo so the limit
+// panic fires on the Run caller's goroutine.
+func (e *Engine) takeProcEvent() (*Proc, bool) {
+	for {
+		if e.stopped {
+			return nil, false
+		}
+		if e.curIdx == len(e.cur) && !e.refill() {
+			return nil, false
+		}
+		ev := e.cur[e.curIdx]
+		if ev.kind != kindProc || ev.at > e.driveLimit {
+			return nil, false
+		}
+		if e.EventLimit > 0 && e.fired >= e.EventLimit {
+			return nil, false
+		}
+		p := ev.arg.(*Proc)
+		e.pop()
+		e.release(ev)
+		if p.done {
+			continue // stale wake-up of a finished process
+		}
+		return p, true
+	}
+}
+
+// runLimit is the shared Run/RunUntil core: alternate between driving
+// callback events and granting the dispatch token to the next runnable
+// process, which gives it back via mainHand when no process resume is
+// immediately next.
+func (e *Engine) runLimit(limit Time) {
+	e.running, e.stopped = true, false
+	e.driveLimit = limit
+	for !e.stopped {
+		p := e.driveTo(limit)
+		if p == nil {
+			break
+		}
+		e.resume(p)
+		e.mainHand.wait()
+	}
+	e.drainRunners()
 	e.running = false
 }
+
+// maxTime is the largest representable virtual time, used as Run's
+// horizon.
+const maxTime = Time(1<<63 - 1)
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() { e.runLimit(maxTime) }
 
 // RunUntil fires events with timestamps <= t, then sets the clock to t.
 // The boundary check peeks the refilled dispatch list directly, so each
 // event pays one ordering operation (its bucket's sort, amortized), not
 // a heap-peek plus a heap-pop.
 func (e *Engine) RunUntil(t Time) {
-	e.running, e.stopped = true, false
-	for !e.stopped {
-		if e.curIdx == len(e.cur) && !e.refill() {
-			break
-		}
-		if e.cur[e.curIdx].at > t {
-			break
-		}
-		e.Step()
-	}
+	e.runLimit(t)
 	if !e.stopped && t > e.now {
 		e.now = t
 	}
-	e.running = false
 }
 
 // RunFor advances the simulation by d from the current time.

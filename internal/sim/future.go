@@ -12,7 +12,15 @@ type Future[T any] struct {
 	done bool
 	val  T
 	err  error
-	cbs  []func(T, error)
+	// cb0 is the inline slot for the first callback: the overwhelmingly
+	// common case is exactly one consumer, which must not cost a slice
+	// allocation on the transaction hot path.
+	cb0 func(T, error)
+	cbs []func(T, error)
+	// wp is a process parked in Await. Waking it needs no closure at
+	// all — finish resumes it directly — so the blocking consumption
+	// style is allocation-free.
+	wp *Proc
 }
 
 // NewFuture returns an incomplete future.
@@ -53,10 +61,18 @@ func (f *Future[T]) finish(v T, err error) {
 	}
 	f.done = true
 	f.val, f.err = v, err
+	if cb := f.cb0; cb != nil {
+		f.cb0 = nil
+		cb(v, err)
+	}
 	cbs := f.cbs
 	f.cbs = nil
 	for _, cb := range cbs {
 		cb(v, err)
+	}
+	if p := f.wp; p != nil {
+		f.wp = nil
+		p.resumeBlocking()
 	}
 }
 
@@ -66,6 +82,10 @@ func (f *Future[T]) OnComplete(cb func(T, error)) {
 		cb(f.val, f.err)
 		return
 	}
+	if f.cb0 == nil && f.cbs == nil {
+		f.cb0 = cb
+		return
+	}
 	f.cbs = append(f.cbs, cb)
 }
 
@@ -73,9 +93,18 @@ func (f *Future[T]) OnComplete(cb func(T, error)) {
 // result.
 func (f *Future[T]) Await(p *Proc) (T, error) {
 	if !f.done {
-		p.Suspend(func(wake func()) {
-			f.OnComplete(func(T, error) { wake() })
-		})
+		if f.wp == nil {
+			// Direct park: finish resumes this process in completion
+			// order with no callback machinery and no allocation.
+			f.wp = p
+			p.pause()
+		} else {
+			// A second process awaiting the same future takes the
+			// (allocating) callback path.
+			p.Suspend(func(wake func()) {
+				f.OnComplete(func(T, error) { wake() })
+			})
+		}
 	}
 	return f.val, f.err
 }

@@ -1,6 +1,11 @@
 package sim
 
-import "fmt"
+//fcclint:hotpath process handoff is the hottest non-event path (PR 5)
+
+import (
+	"runtime"
+	"sync/atomic"
+)
 
 // Proc is a cooperatively scheduled simulation process. Each Proc runs on
 // its own goroutine, but the engine resumes exactly one process at a time
@@ -8,13 +13,139 @@ import "fmt"
 // returns, so execution remains deterministic — processes are simply a
 // more convenient notation for sequential model code (workload drivers,
 // CPU threads, controller firmware) than chained callbacks.
+//
+// # Handoff structure
+//
+// Control transfers use a single-word rendezvous (handoff) instead of
+// channel pairs, and the transfer topology is flattened so the common
+// paths skip goroutine switches entirely:
+//
+//   - A process that sleeps and whose own wake-up is the next pending
+//     event consumes that event in place: zero goroutine switches
+//     (the BenchmarkProcSwitch steady state).
+//   - A process that yields while another process's wake-up is next
+//     hands control directly to that process: one switch, not two
+//     (old: yield to engine, engine resumes peer).
+//   - Only when the next event is a plain callback (or the queue is
+//     empty/bounded) does control return to the Run caller's goroutine,
+//     which is the only goroutine that executes non-process events.
+//
+// Synchronous wakes from event context (Suspend/Await) keep their exact
+// blocking semantics — the woken process runs immediately, nested inside
+// the firing callback — so event and model execution order is unchanged
+// from the channel-based implementation (same-seed runs are
+// byte-identical across the two).
 type Proc struct {
 	eng    *Engine
 	name   string
-	resume chan struct{} // engine -> proc: run
-	yield  chan struct{} // proc -> engine: paused or done
+	fn     func(p *Proc)
+	r      *runner
 	done   bool
 	killed bool
+	// nested marks that the current resume came from event context
+	// (resumeBlocking): the next pause must return control to the
+	// blocked caller, not to the dispatch loop.
+	nested bool
+}
+
+// handoff is a single-word binary semaphore: a spin-then-park rendezvous
+// point for transferring the "exactly one goroutine runs" token. The
+// spin phase yields to the scheduler between attempts, so on a single
+// CPU the transfer usually completes via two cheap scheduler passes
+// instead of a full channel park/unpark pair (~1.5x faster, measured).
+// Atomic operations carry the happens-before edge for the race detector.
+type handoff struct {
+	// state: 0 = no token, 1 = token available, -1 = a waiter is parked.
+	state atomic.Int32
+	park  chan struct{}
+}
+
+const handoffSpins = 16
+
+// signal deposits the token, waking the parked waiter if there is one.
+// Strict alternation (one token in flight per handoff) means signal can
+// never observe state == 1.
+func (h *handoff) signal() {
+	if h.state.Swap(1) == -1 {
+		h.park <- struct{}{}
+	}
+}
+
+// wait consumes the token, spinning briefly before parking.
+func (h *handoff) wait() {
+	for i := 0; i < handoffSpins; i++ {
+		if h.state.CompareAndSwap(1, 0) {
+			return
+		}
+		runtime.Gosched()
+	}
+	for {
+		if h.state.CompareAndSwap(1, 0) {
+			return
+		}
+		if h.state.CompareAndSwap(0, -1) {
+			<-h.park
+			h.state.Store(0)
+			return
+		}
+	}
+}
+
+// runner is the goroutine + rendezvous pair a process executes on.
+// Runners are pooled on the engine: a short-lived workload thread costs
+// no goroutine or channel construction when a finished runner is free
+// (the pool is drained when Run returns, so idle engines hold no parked
+// goroutines beyond genuinely suspended processes).
+type runner struct {
+	hand   handoff // resume: token granting this runner's proc the right to run
+	back   handoff // nested yield: proc -> blocked resumeBlocking caller
+	p      *Proc
+	retire bool
+	next   *runner // engine free list
+}
+
+func newRunner() *runner {
+	r := &runner{}
+	r.hand.park = make(chan struct{})
+	r.back.park = make(chan struct{})
+	go runnerLoop(r)
+	return r
+}
+
+func runnerLoop(r *runner) {
+	for {
+		r.hand.wait()
+		if r.retire {
+			return
+		}
+		runBody(r.p)
+	}
+}
+
+// runBody executes one process body and routes control onward when it
+// returns or unwinds.
+func runBody(p *Proc) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(procKilled); !ok {
+				// A model panic: hand control back (so the engine side
+				// unblocks rather than wedging) and re-raise; the
+				// program is going down with the original value.
+				p.done = true
+				p.eng.procs--
+				if p.nested {
+					p.r.back.signal()
+				} else {
+					p.eng.mainHand.signal()
+				}
+				panic(rec)
+			}
+		}
+		if !p.done {
+			p.finish()
+		}
+	}()
+	p.fn(p)
 }
 
 // Go starts fn as a new process at the current simulation time. The
@@ -22,68 +153,123 @@ type Proc struct {
 // block on anything else (real channels, locks held across yields), or
 // the simulation will deadlock.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-	}
+	p := &Proc{eng: e, name: name, fn: fn}
 	e.procs++
-	started := false
-	e.After(0, func() {
-		started = true
-		go func() {
-			<-p.resume
-			defer func() {
-				if r := recover(); r != nil {
-					if _, ok := r.(procKilled); !ok {
-						// Re-panicking on the process goroutine would crash the
-						// program without unwinding the engine; surface the
-						// original panic value via the engine goroutine instead.
-						p.done = true
-						e.procs--
-						p.yield <- struct{}{}
-						panic(r)
-					}
-				}
-				if !p.done {
-					p.done = true
-					e.procs--
-					p.yield <- struct{}{}
-				}
-			}()
-			fn(p)
-			p.done = true
-			e.procs--
-			p.yield <- struct{}{}
-		}()
-		p.run()
-	})
-	_ = started
+	// The start is an ordinary proc-resume event, so start order at equal
+	// timestamps follows Go-call order exactly as before. The runner is
+	// bound lazily, when the start event is dispatched.
+	e.atProc(e.now, p)
 	return p
+}
+
+// bind attaches a pooled (or new) runner goroutine to p.
+func (p *Proc) bind() {
+	e := p.eng
+	r := e.freeRunner
+	if r != nil {
+		e.freeRunner = r.next
+		r.next = nil
+	} else {
+		r = newRunner()
+		e.runnersMinted++
+	}
+	r.p = p
+	p.r = r
+}
+
+// resume hands the run token to p, binding a runner on first resume.
+// The caller must immediately either park or return to model code.
+func (e *Engine) resume(p *Proc) {
+	if p.r == nil {
+		p.bind()
+	}
+	p.r.hand.signal()
+}
+
+// resumeBlocking runs p from event context until it pauses or finishes,
+// blocking the calling goroutine — the synchronous wake used by
+// Suspend/Await and by Step. Resuming a finished process is a no-op: a
+// Kill and a pending wake-up can race benignly.
+func (p *Proc) resumeBlocking() {
+	if p.done {
+		return
+	}
+	p.nested = true
+	if p.r == nil {
+		p.bind()
+	}
+	// Capture the runner before granting the token: the process may
+	// finish and detach p.r before we reach the wait.
+	r := p.r
+	r.hand.signal()
+	r.back.wait()
+}
+
+// finish retires a completed process: its runner returns to the engine
+// pool and control routes onward exactly as a pause would.
+func (p *Proc) finish() {
+	e := p.eng
+	p.done = true
+	e.procs--
+	r := p.r
+	nested := p.nested
+	p.nested = false
+	p.r = nil
+	r.p = nil
+	r.next = e.freeRunner
+	e.freeRunner = r
+	if nested {
+		r.back.signal()
+		return
+	}
+	if q, ok := e.takeProcEvent(); ok {
+		e.resume(q)
+	} else {
+		e.mainHand.signal()
+	}
 }
 
 type procKilled struct{}
 
-// run hands control to the process goroutine and waits for it to pause.
-// Resuming an already finished process is a no-op: a Kill and a pending
-// wake-up can race benignly.
-func (p *Proc) run() {
-	if p.done {
-		return
-	}
-	p.resume <- struct{}{}
-	<-p.yield
-}
-
-// pause returns control to the engine and blocks until resumed. Called
-// from the process goroutine only.
+// pause returns control from the process and blocks until resumed.
+// Called from the process goroutine only.
 func (p *Proc) pause() {
-	p.yield <- struct{}{}
-	<-p.resume
+	r := p.r
+	if p.nested {
+		// Resumed from event context: unblock that caller.
+		p.nested = false
+		r.back.signal()
+	} else {
+		// We hold the dispatch token. Consume our own wake-up in place
+		// (zero switches), hand directly to the next process (one
+		// switch), or return the token to the Run caller.
+		e := p.eng
+		if q, ok := e.takeProcEvent(); ok {
+			if q == p {
+				if p.killed {
+					panic(procKilled{})
+				}
+				return
+			}
+			e.resume(q)
+		} else {
+			e.mainHand.signal()
+		}
+	}
+	r.hand.wait()
 	if p.killed {
 		panic(procKilled{})
 	}
+}
+
+// drainRunners retires every pooled runner goroutine; called when Run
+// returns so idle engines pin no goroutines beyond suspended processes.
+func (e *Engine) drainRunners() {
+	for r := e.freeRunner; r != nil; r = r.next {
+		r.retire = true
+		r.hand.signal()
+	}
+	e.freeRunner = nil
 }
 
 // Name reports the name the process was started with.
@@ -98,17 +284,10 @@ func (p *Proc) Now() Time { return p.eng.Now() }
 // Done reports whether the process body has returned.
 func (p *Proc) Done() bool { return p.done }
 
-// wakeProc resumes a parked process; it is the closure-free event body
-// for Sleep and Kill, so a process that sleeps millions of times costs
-// zero steady-state allocations in the scheduler.
-func wakeProc(a any) { a.(*Proc).run() }
-
-// Sleep suspends the process for d of virtual time.
+// Sleep suspends the process for d of virtual time. Negative d panics
+// (via the past check in atProc).
 func (p *Proc) Sleep(d Time) {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative sleep %v in proc %q", d, p.name))
-	}
-	p.eng.After2(d, wakeProc, p)
+	p.eng.atProc(p.eng.now+d, p)
 	p.pause()
 }
 
@@ -126,7 +305,7 @@ func (p *Proc) Suspend(arm func(wake func())) {
 		}
 		fired = true
 		if parked {
-			p.run()
+			p.resumeBlocking()
 		}
 	})
 	if fired {
@@ -148,7 +327,7 @@ func (p *Proc) Kill() {
 		return
 	}
 	p.killed = true
-	p.eng.After2(0, wakeProc, p)
+	p.eng.atProc(p.eng.now, p)
 }
 
 // Yield lets other events scheduled at the current instant run before the

@@ -5,6 +5,8 @@
 // link-MTU-sized packets (the PCIe max-payload-size discipline).
 package txn
 
+//fcclint:hotpath tag/pend tracking must stay dense (PR 5)
+
 import (
 	"errors"
 	"fmt"
@@ -43,19 +45,50 @@ type Endpoint struct {
 	out  Sender
 	tags *sim.Semaphore
 	next uint16
-	pend map[uint16]*sim.Future[*flit.Packet]
 
-	// tomb records tags whose request timed out but whose response may
-	// still arrive (a slow path, a healed flap). A tombstoned tag is not
-	// reallocated — a late response must never complete a different
-	// request — and the late response, when it lands, is dropped and
-	// counted instead of panicking as an unmatched response.
-	tomb map[uint16]bool
+	// pend is the dense tag table: pend[tag] is the future awaiting that
+	// tag's response, nil when free — one load to match a response, no
+	// map hashing. It grows geometrically toward the full 64K tag space
+	// as the bump allocator hands out higher tags, so a short-lived
+	// endpoint (a benchmark iteration, a test rig) pays for a window's
+	// worth of slots rather than half a megabyte up front.
+	pend  []*sim.Future[*flit.Packet]
+	npend int
+
+	// tomb is a bitset over tags whose request timed out but whose
+	// response may still arrive (a slow path, a healed flap). A
+	// tombstoned tag is not reallocated — a late response must never
+	// complete a different request — and the late response, when it
+	// lands, is dropped and counted instead of panicking as an
+	// unmatched response. Like pend it grows lazily; most endpoints
+	// never time out and keep it empty.
+	tomb  []uint64
+	ntomb int
+
+	// freeTags rings released tags back to the allocator; allocTag pops
+	// from here first and falls back to the monotonic bump pointer.
+	freeTags []uint16
+	ftHead   int
+	ftCount  int
+
+	// Free lists recycling the per-request timeout records and the
+	// per-inbound-request reply contexts, so the steady-state request
+	// and serve paths allocate neither.
+	timerFree *reqTimer
+	replyFree *replyCtx
 
 	// Timeout, when > 0, bounds each request's wait for its response;
 	// expiry fails the future with ErrTimeout. Zero (the default) waits
 	// forever — the right semantics for a fabric that cannot fail.
 	Timeout sim.Time
+
+	// DrainHorizon, when > 0, bounds how long a tombstoned tag is
+	// retained: once the horizon passes, any response still in flight
+	// must have drained from the fabric, so the tomb is dropped and the
+	// tag returns to circulation. Zero (the default) keeps tombs
+	// forever — safe, but a long-lived endpoint under repeated timeouts
+	// accumulates them without bound.
+	DrainHorizon sim.Time
 
 	// Handler serves inbound requests. It may be nil for pure
 	// initiators (a request arriving then panics — a topology bug).
@@ -83,16 +116,93 @@ func NewEndpoint(eng *sim.Engine, id flit.PortID, out Sender, maxTags int) *Endp
 		id:   id,
 		out:  out,
 		tags: sim.NewSemaphore(maxTags),
-		pend: make(map[uint16]*sim.Future[*flit.Packet]),
-		tomb: make(map[uint16]bool),
 	}
+}
+
+// growPend extends the dense tag table to cover tag t. Growth is
+// geometric and bounded by the 16-bit tag space, so the amortized cost
+// per endpoint is one window's worth of slots, not the full 64K.
+func (e *Endpoint) growPend(t uint16) {
+	n := len(e.pend)
+	if n == 0 {
+		n = 64
+	}
+	for n <= int(t) {
+		n *= 2
+	}
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	grown := make([]*sim.Future[*flit.Packet], n)
+	copy(grown, e.pend)
+	e.pend = grown
 }
 
 // ID reports the endpoint's fabric port ID.
 func (e *Endpoint) ID() flit.PortID { return e.id }
 
 // Outstanding reports in-flight requests initiated by this endpoint.
-func (e *Endpoint) Outstanding() int { return len(e.pend) }
+func (e *Endpoint) Outstanding() int { return e.npend }
+
+// Tombstones reports tags held back from reallocation because a
+// timed-out request's response may still arrive.
+func (e *Endpoint) Tombstones() int { return e.ntomb }
+
+func (e *Endpoint) tombed(t uint16) bool {
+	if int(t>>6) >= len(e.tomb) {
+		return false
+	}
+	return e.tomb[t>>6]&(1<<(t&63)) != 0
+}
+
+func (e *Endpoint) setTomb(t uint16) {
+	if int(t>>6) >= len(e.tomb) {
+		n := len(e.tomb)
+		if n == 0 {
+			n = 4
+		}
+		for n <= int(t>>6) {
+			n *= 2
+		}
+		if n > 1<<16/64 {
+			n = 1 << 16 / 64
+		}
+		grown := make([]uint64, n)
+		copy(grown, e.tomb)
+		e.tomb = grown
+	}
+	e.tomb[t>>6] |= 1 << (t & 63)
+	e.ntomb++
+	if e.DrainHorizon > 0 {
+		e.eng.After(e.DrainHorizon, func() {
+			// The response may have landed (late) in the meantime and
+			// cleared the tomb already.
+			if e.tombed(t) {
+				e.clearTomb(t)
+				e.freeTag(t)
+			}
+		})
+	}
+}
+
+func (e *Endpoint) clearTomb(t uint16) {
+	e.tomb[t>>6] &^= 1 << (t & 63)
+	e.ntomb--
+}
+
+// freeTag returns a tag to the allocation ring.
+func (e *Endpoint) freeTag(t uint16) {
+	if e.ftCount == len(e.freeTags) {
+		grown := make([]uint16, max(16, 2*len(e.freeTags)))
+		for i := 0; i < e.ftCount; i++ {
+			grown[i] = e.freeTags[(e.ftHead+i)%len(e.freeTags)]
+		}
+		e.freeTags = grown
+		e.ftHead = 0
+	}
+	e.freeTags[(e.ftHead+e.ftCount)%len(e.freeTags)] = t
+	e.ftCount++
+}
 
 // Arrive implements link.Sink: endpoint buffers drain instantly (the
 // endpoint is the terminus; its internal queues are modelled above the
@@ -102,6 +212,42 @@ func (e *Endpoint) Arrive(pkt *flit.Packet, release func()) {
 	e.Dispatch(pkt)
 }
 
+// replyCtx is the recyclable state behind the reply callback handed to
+// a Handler. The callback itself (fn) is bound to the context once at
+// construction, so serving a request costs no closure allocation; the
+// context returns to the endpoint's free list when the reply is sent.
+type replyCtx struct {
+	e       *Endpoint
+	replied bool
+	fn      func(*flit.Packet)
+	next    *replyCtx
+}
+
+func (c *replyCtx) reply(resp *flit.Packet) {
+	if c.replied {
+		panic("txn: handler replied twice")
+	}
+	c.replied = true
+	e := c.e
+	e.out.Send(resp)
+	e.ReqsServed.Inc()
+	c.next = e.replyFree
+	e.replyFree = c
+}
+
+func (e *Endpoint) getReplyCtx() *replyCtx {
+	c := e.replyFree
+	if c == nil {
+		c = &replyCtx{e: e}
+		c.fn = c.reply
+	} else {
+		e.replyFree = c.next
+		c.next = nil
+	}
+	c.replied = false
+	return c
+}
+
 // Dispatch routes an inbound packet: responses complete their pending
 // future; requests go to the Handler.
 func (e *Endpoint) Dispatch(pkt *flit.Packet) {
@@ -109,30 +255,59 @@ func (e *Endpoint) Dispatch(pkt *flit.Packet) {
 		if e.Handler == nil {
 			panic(fmt.Sprintf("txn: endpoint %d received request %v with no handler", e.id, pkt))
 		}
-		replied := false
-		e.Handler(pkt, func(resp *flit.Packet) {
-			if replied {
-				panic("txn: handler replied twice")
-			}
-			replied = true
-			e.out.Send(resp)
-			e.ReqsServed.Inc()
-		})
+		e.Handler(pkt, e.getReplyCtx().fn)
 		return
 	}
-	f, ok := e.pend[pkt.Tag]
-	if !ok {
-		if e.tomb[pkt.Tag] {
-			delete(e.tomb, pkt.Tag)
+	var f *sim.Future[*flit.Packet]
+	if int(pkt.Tag) < len(e.pend) {
+		f = e.pend[pkt.Tag]
+	}
+	if f == nil {
+		if e.tombed(pkt.Tag) {
+			e.clearTomb(pkt.Tag)
+			e.freeTag(pkt.Tag)
 			e.LateResps.Inc()
 			return
 		}
 		panic(fmt.Sprintf("txn: endpoint %d got response %v with no pending request", e.id, pkt))
 	}
-	delete(e.pend, pkt.Tag)
+	e.pend[pkt.Tag] = nil
+	e.npend--
+	e.freeTag(pkt.Tag)
 	e.tags.Release()
 	e.RespsRecv.Inc()
 	f.Complete(pkt)
+}
+
+// reqTimer is the recyclable state behind a request's timeout event,
+// scheduled closure-free via After2. The firing event is the sole owner
+// at expiry, so the record returns to the free list exactly once.
+type reqTimer struct {
+	e    *Endpoint
+	f    *sim.Future[*flit.Packet]
+	tag  uint16
+	op   flit.Op
+	dst  flit.PortID
+	next *reqTimer
+}
+
+func reqTimerFire(a any) {
+	t := a.(*reqTimer)
+	e := t.e
+	// Pointer compare: only time out if THIS request is still the one
+	// pending on the tag (the tag cannot have been reused for another
+	// while tombstoned).
+	if e.pend[t.tag] == t.f {
+		e.pend[t.tag] = nil
+		e.npend--
+		e.setTomb(t.tag)
+		e.tags.Release()
+		e.Timeouts.Inc()
+		t.f.Fail(fmt.Errorf("%w: %v to %d after %v", ErrTimeout, t.op, t.dst, e.Timeout))
+	}
+	t.f = nil
+	t.next = e.timerFree
+	e.timerFree = t
 }
 
 // Request sends a request packet (Src and Tag are filled in) and returns
@@ -144,30 +319,38 @@ func (e *Endpoint) Request(pkt *flit.Packet) *sim.Future[*flit.Packet] {
 		panic("txn: Request with non-request op " + pkt.Op.String())
 	}
 	f := sim.NewFuture[*flit.Packet]()
-	e.tags.Acquire(func() {
-		tag := e.allocTag()
-		pkt.Src = e.id
-		pkt.Tag = tag
-		e.pend[tag] = f
-		e.ReqsSent.Inc()
-		e.out.Send(pkt)
-		if e.Timeout > 0 {
-			e.eng.After(e.Timeout, func() {
-				// Pointer compare: only time out if THIS request is still
-				// the one pending on the tag (the tag cannot have been
-				// reused for another while tombstoned).
-				if e.pend[tag] != f {
-					return
-				}
-				delete(e.pend, tag)
-				e.tomb[tag] = true
-				e.tags.Release()
-				e.Timeouts.Inc()
-				f.Fail(fmt.Errorf("%w: %v to %d after %v", ErrTimeout, pkt.Op, pkt.Dst, e.Timeout))
-			})
-		}
-	})
+	if e.tags.TryAcquire() {
+		e.send(pkt, f)
+	} else {
+		e.tags.Acquire(func() { e.send(pkt, f) })
+	}
 	return f
+}
+
+// send runs with a window slot held: allocates the tag, emits the
+// packet, and arms the timeout.
+func (e *Endpoint) send(pkt *flit.Packet, f *sim.Future[*flit.Packet]) {
+	tag := e.allocTag()
+	pkt.Src = e.id
+	pkt.Tag = tag
+	if int(tag) >= len(e.pend) {
+		e.growPend(tag)
+	}
+	e.pend[tag] = f
+	e.npend++
+	e.ReqsSent.Inc()
+	e.out.Send(pkt)
+	if e.Timeout > 0 {
+		t := e.timerFree
+		if t == nil {
+			t = &reqTimer{e: e}
+		} else {
+			e.timerFree = t.next
+			t.next = nil
+		}
+		t.f, t.tag, t.op, t.dst = f, tag, pkt.Op, pkt.Dst
+		e.eng.After2(e.Timeout, reqTimerFire, t)
+	}
 }
 
 // RequestRetry sends a request with bounded retry: on ErrTimeout it
@@ -205,10 +388,18 @@ func (e *Endpoint) RequestRetry(pkt *flit.Packet, attempts int, backoff sim.Time
 }
 
 func (e *Endpoint) allocTag() uint16 {
+	if e.ftCount > 0 {
+		t := e.freeTags[e.ftHead]
+		e.ftHead = (e.ftHead + 1) % len(e.freeTags)
+		e.ftCount--
+		return t
+	}
+	// Bump path: hands out never-recycled tag values; after a full wrap
+	// of the 16-bit space it must probe past still-busy tags.
 	for {
 		t := e.next
 		e.next++
-		if _, busy := e.pend[t]; !busy && !e.tomb[t] {
+		if (int(t) >= len(e.pend) || e.pend[t] == nil) && !e.tombed(t) {
 			return t
 		}
 	}
@@ -287,6 +478,6 @@ func (e *Endpoint) RegisterStats(s *sim.Stats) {
 	s.Register("timeouts", &e.Timeouts)
 	s.Register("retries", &e.Retries)
 	s.Register("late_resps", &e.LateResps)
-	s.Gauge("outstanding", func() int64 { return int64(len(e.pend)) })
+	s.Gauge("outstanding", func() int64 { return int64(e.npend) })
 	s.Gauge("tags_in_use", func() int64 { return int64(e.tags.InUse()) })
 }
