@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci build vet fmtcheck lint test race bench bench-smoke bench-diff examples-smoke
+.PHONY: ci build vet fmtcheck lint test race shard-equiv bench bench-smoke bench-diff examples-smoke
 
 # ci is the tier-1 gate: build, vet, the invariant lint pass, the full
-# suite under the race detector, and a smoke run of every example
-# binary. Run it before every push. bench-smoke rides along non-gating
-# (the leading `-`): a crash in a benchmark prints loudly but does not
-# fail the gate, since timing noise must never block a merge.
-ci: build vet lint race examples-smoke
+# suite under the race detector, the sharded-equivalence crown jewel
+# under -race, and a smoke run of every example binary. Run it before
+# every push. bench-smoke rides along non-gating (the leading `-`): a
+# crash in a benchmark prints loudly but does not fail the gate, since
+# timing noise must never block a merge.
+ci: build vet lint race shard-equiv examples-smoke
 	-@$(MAKE) --no-print-directory bench-smoke || echo "bench-smoke FAILED (non-gating)"
 	-@$(MAKE) --no-print-directory bench-diff || echo "bench-diff FAILED (non-gating)"
 
@@ -23,8 +24,9 @@ fmtcheck:
 		echo "gofmt drift in:"; echo "$$out"; exit 1; fi
 
 # lint is the determinism/engine-invariant gate: gofmt drift, go vet,
-# and fcclint's four analyzers (detban, maporder, procblock, errcmp —
-# see DESIGN.md "Simulator invariants"). fcclint also runs standalone:
+# and fcclint's analyzers (detban, maporder, procblock, errcmp,
+# hotpath, concban — see DESIGN.md "Simulator invariants"). fcclint
+# also runs standalone:
 #   go run ./cmd/fcclint ./...
 lint: fmtcheck vet
 	$(GO) run ./cmd/fcclint ./...
@@ -34,6 +36,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# shard-equiv is the parallel-determinism gate: the coordinator/mailbox
+# unit tests plus the serial-vs-sharded byte-identical-snapshot suite,
+# run under the race detector with -count=1 so a cached pass never
+# masks a fresh data race in the window-barrier machinery.
+shard-equiv:
+	$(GO) test -race -count=1 -run 'Coordinator|Mailbox|Window' ./internal/sim/
+	$(GO) test -race -count=1 -run 'TestSharded' ./internal/exp/
 
 # bench runs every benchmark in the tree and records the perf
 # trajectory as BENCH_<date>.json (events/sec, ns/op, allocs/op — see
@@ -47,13 +57,7 @@ bench:
 # along in ci non-gating — wall-clock noise must never block a merge —
 # but a REGRESSED line in its output is worth reading before pushing.
 bench-diff:
-	@files=$$(ls BENCH_*.json 2>/dev/null | sort | tail -2); \
-	set -- $$files; \
-	if [ $$# -lt 2 ]; then \
-		echo "bench-diff: need two BENCH_*.json documents, have $$#; skipping"; \
-	else \
-		$(GO) run ./cmd/benchdiff "$$1" "$$2"; \
-	fi
+	@$(GO) run ./cmd/benchdiff
 
 # bench-smoke compiles and executes every benchmark for 100 iterations —
 # just enough to catch panics and broken invariants, cheap enough for ci.

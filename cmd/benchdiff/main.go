@@ -4,8 +4,15 @@
 // run it against the committed document from the previous PR to see
 // exactly what a scheduler or hot-path change bought or cost.
 //
+//	go run ./cmd/benchdiff                  # two most recent BENCH_*.json in .
 //	go run ./cmd/benchdiff OLD.json NEW.json
 //	go run ./cmd/benchdiff -threshold 10 BENCH_a.json BENCH_b.json
+//
+// With no arguments it compares the two most recent BENCH_*.json
+// documents in the working directory; on a fresh checkout with fewer
+// than two it prints "nothing to compare" and exits 0, so `make ci`
+// stays quiet rather than failing on a tree that has never been
+// benchmarked.
 //
 // A benchmark whose ns/op or allocs/op grew by more than -threshold
 // percent is marked REGRESSED and flips the exit status to 1, so the
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -50,9 +58,22 @@ func load(path string) (*doc, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if d.Schema != 1 {
-		return nil, fmt.Errorf("%s: unsupported schema %d (want 1)", path, d.Schema)
+		return nil, fmt.Errorf("%s: unsupported schema %d (this benchdiff reads schema 1; regenerate the document with `make bench`, or compare it with a matching benchdiff)", path, d.Schema)
 	}
 	return &d, nil
+}
+
+// discover finds the two most recent BENCH_<date>.json documents in the
+// working directory (the ISO dates in the names sort chronologically).
+// ok is false when there are fewer than two — a fresh checkout, not an
+// error.
+func discover() (older, newer string, ok bool) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil || len(files) < 2 {
+		return "", "", false
+	}
+	sort.Strings(files)
+	return files[len(files)-2], files[len(files)-1], true
 }
 
 func key(r benchResult) string { return r.Package + "." + r.Name }
@@ -73,20 +94,31 @@ func main() {
 	threshold := flag.Float64("threshold", 10,
 		"regression threshold in percent for ns/op and allocs/op growth")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold pct] [OLD.json NEW.json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 2 {
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 0:
+		var ok bool
+		oldPath, newPath, ok = discover()
+		if !ok {
+			fmt.Println("benchdiff: nothing to compare (need two BENCH_*.json documents; run `make bench` to record one)")
+			return
+		}
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
 		flag.Usage()
 		os.Exit(2)
 	}
-	oldDoc, err := load(flag.Arg(0))
+	oldDoc, err := load(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	newDoc, err := load(flag.Arg(1))
+	newDoc, err := load(newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -97,7 +129,7 @@ func main() {
 		oldBy[key(r)] = r
 	}
 	fmt.Printf("benchdiff: %s (%s) -> %s (%s), threshold %.0f%%\n",
-		flag.Arg(0), oldDoc.Date, flag.Arg(1), newDoc.Date, *threshold)
+		oldPath, oldDoc.Date, newPath, newDoc.Date, *threshold)
 	fmt.Printf("%-44s %12s %12s %8s %9s %9s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "ns %", "old alloc", "new alloc", "alloc %")
 

@@ -76,6 +76,18 @@ type Config struct {
 	// (endpoint and switch sides). See Cluster.Tracer.
 	TraceFlits int
 
+	// Shards > 1 partitions the cluster into that many failure domains
+	// (contiguous groups of switches plus their attached endpoints),
+	// each running on a private engine, synchronized conservatively by a
+	// sim.Coordinator with the inter-switch propagation delay as the
+	// lookahead window. Same-seed runs produce byte-identical stats
+	// snapshots to the serial (Shards <= 1) build. The centralized
+	// services — Manager, Arbiter, Coherent, Agents, TraceFlits — are
+	// single-engine designs and must stay off under sharding; use
+	// SchedulePlan for deterministic fault injection instead of
+	// NewInjector.
+	Shards int
+
 	// Hooks to override component defaults (nil = defaults).
 	HostConfig    func(i int) host.Config
 	LinkConfig    func() link.Config
@@ -93,7 +105,11 @@ func DefaultConfig() Config {
 
 // Cluster is an assembled composable infrastructure.
 type Cluster struct {
-	Eng     *sim.Engine
+	Eng *sim.Engine
+	// Coord synchronizes the failure-domain engines (nil unless
+	// Config.Shards > 1). When set, Eng is domain 0's engine; workloads
+	// must schedule on their host's own engine (see host.Engine).
+	Coord   *sim.Coordinator
 	Builder *fabric.Builder
 	Hosts   []*host.Host
 	FAMs    []*mem.FAM
@@ -128,9 +144,6 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Switches < 1 {
 		cfg.Switches = 1
 	}
-	eng := sim.NewEngine()
-	b := fabric.NewBuilder(eng)
-	c := &Cluster{Eng: eng, Builder: b, cfg: cfg}
 
 	lcfg := link.DefaultConfig
 	if cfg.LinkConfig != nil {
@@ -140,6 +153,33 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.SwitchConfig != nil {
 		scfg = cfg.SwitchConfig
 	}
+
+	var eng *sim.Engine
+	var b *fabric.Builder
+	var coord *sim.Coordinator
+	if cfg.Shards > 1 {
+		switch {
+		case cfg.Manager, cfg.Arbiter, cfg.Coherent, cfg.Agents, cfg.TraceFlits > 0:
+			return nil, fmt.Errorf("fcc: Shards > 1 cannot host the centralized services (Manager/Arbiter/Coherent/Agents/TraceFlits)")
+		case cfg.Shards > cfg.Switches:
+			return nil, fmt.Errorf("fcc: %d shards need at least that many switches, have %d", cfg.Shards, cfg.Switches)
+		}
+		// Lookahead = the inter-switch propagation delay: every
+		// cross-domain interaction crosses a cut ISL, so no shard can
+		// affect another sooner than one propagation in the future.
+		coord = sim.NewCoordinator(cfg.Shards, lcfg().Phys.Propagation)
+		b = fabric.NewShardedBuilder(fabric.Sharding{
+			Coord: coord,
+			// Contiguous blocks: switch i of a line/ring lands in
+			// domain i*Shards/Switches, so only block boundaries cut.
+			DomainOf: func(i int) int { return i * cfg.Shards / cfg.Switches },
+		})
+		eng = coord.Engine(0)
+	} else {
+		eng = sim.NewEngine()
+		b = fabric.NewBuilder(eng)
+	}
+	c := &Cluster{Eng: eng, Coord: coord, Builder: b, cfg: cfg}
 
 	var switches []*fabric.Switch
 	for i := 0; i < cfg.Switches; i++ {
@@ -172,7 +212,7 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.HostConfig != nil {
 			hc = cfg.HostConfig(i)
 		}
-		c.Hosts = append(c.Hosts, host.New(eng, att.Name, hc, att))
+		c.Hosts = append(c.Hosts, host.New(att.Eng, att.Name, hc, att))
 	}
 	for i := 0; i < cfg.FAMs; i++ {
 		att, err := b.AttachEndpoint(devSwitch(i), fmt.Sprintf("fam%d", i), fabric.RoleFAM, lcfg())
@@ -183,7 +223,7 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.FAMConfig != nil {
 			fc = cfg.FAMConfig(i, cfg.FAMCapacity)
 		}
-		fam := mem.NewFAM(eng, att, fc)
+		fam := mem.NewFAM(att.Eng, att, fc)
 		c.FAMs = append(c.FAMs, fam)
 		if cfg.Coherent {
 			c.Dirs = append(c.Dirs, coherence.NewDirectory(eng, fam))
@@ -198,7 +238,7 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.FAAConfig != nil {
 			fc = cfg.FAAConfig(i)
 		}
-		c.FAAs = append(c.FAAs, faa.New(eng, att, fc))
+		c.FAAs = append(c.FAAs, faa.New(att.Eng, att, fc))
 	}
 	if cfg.Agents {
 		for i := range c.FAMs {
@@ -273,9 +313,19 @@ func (c *Cluster) NewHeap(h *host.Host, hcfg uheap.Config, localBytes uint64) (*
 	return uheap.New(h, hcfg, specs...)
 }
 
+// requireUnsharded guards the runtime-layer helpers that assume one
+// shared engine; calling them on a sharded cluster would silently mix
+// engines across shard goroutines.
+func (c *Cluster) requireUnsharded(what string) {
+	if c.Coord != nil {
+		panic(fmt.Sprintf("fcc: %s requires an unsharded cluster (Shards <= 1)", what))
+	}
+}
+
 // NewETrans builds an elastic transaction engine for host h, registered
 // with every migration agent (and the arbiter when present).
 func (c *Cluster) NewETrans(h *host.Host) *etrans.Engine {
+	c.requireUnsharded("NewETrans")
 	e := etrans.NewEngine(c.Eng, h.Endpoint())
 	for i, a := range c.Agents {
 		e.AddAgent(a.ID(), c.FAMs[i].ID())
@@ -292,6 +342,7 @@ func (c *Cluster) NewETrans(h *host.Host) *etrans.Engine {
 // NewTaskRunner builds an idempotent-task runner on host h, with one
 // local engine and one engine per FAA.
 func (c *Cluster) NewTaskRunner(h *host.Host, seed uint64) *task.Runner {
+	c.requireUnsharded("NewTaskRunner")
 	r := task.NewRunner(c.Eng, h.Endpoint())
 	r.AddEngine(task.NewLocalEngine(c.Eng, h.Name()+"-cpu", seed))
 	for _, d := range c.FAAs {
@@ -353,6 +404,7 @@ func (c *Cluster) Stats() *sim.Stats {
 // injector is also stored as c.Faults so Stats() exports its
 // blast-radius metrics under the "fault" subtree.
 func (c *Cluster) NewInjector(seed uint64) *fault.Injector {
+	c.requireUnsharded("NewInjector (use SchedulePlan for sharded runs)")
 	in := fault.NewInjector(c.Eng, seed)
 	for _, sw := range c.Builder.Switches() {
 		in.Register(sw)
@@ -373,17 +425,99 @@ func (c *Cluster) NewInjector(seed uint64) *fault.Injector {
 	return in
 }
 
+// FaultEvent is one entry in a deterministic fault plan: at virtual
+// time At, inject Fault into (or, with Heal set, heal Fault.Kind on)
+// the named link. Plans are link-scoped because links are the only
+// components that can straddle a shard cut; the plan applies each
+// side's share on that side's own engine at the same virtual instant,
+// which keeps serial and sharded runs byte-identical.
+type FaultEvent struct {
+	At    sim.Time
+	Link  string
+	Fault fault.Fault
+	Heal  bool
+}
+
+// SchedulePlan pre-schedules a fault plan against the cluster's links.
+// Unlike NewInjector it works on sharded clusters, adds no stats
+// subtree (snapshots stay comparable across serial and sharded runs),
+// and is fully deterministic: every event is pinned to a virtual
+// timestamp at build time.
+func (c *Cluster) SchedulePlan(plan []FaultEvent) error {
+	for _, ev := range plan {
+		l := c.findLink(ev.Link)
+		if l == nil {
+			return fmt.Errorf("fcc: fault plan names unknown link %q", ev.Link)
+		}
+		da, db, _ := c.Builder.LinkSideDomains(l)
+		c.scheduleSide(ev, l, da, 0)
+		c.scheduleSide(ev, l, db, 1)
+	}
+	return nil
+}
+
+func (c *Cluster) scheduleSide(ev FaultEvent, l *link.Link, domain, side int) {
+	c.domainEngine(domain).At(ev.At, func() {
+		var err error
+		if ev.Heal {
+			err = l.HealFaultSide(side, ev.Fault.Kind)
+		} else {
+			err = l.InjectFaultSide(side, ev.Fault)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("fcc: fault plan on link %s: %v", ev.Link, err))
+		}
+	})
+}
+
+func (c *Cluster) domainEngine(d int) *sim.Engine {
+	if c.Coord == nil {
+		return c.Eng
+	}
+	return c.Coord.Engine(d)
+}
+
+func (c *Cluster) findLink(name string) *link.Link {
+	for _, l := range c.Builder.ISLLinks() {
+		if l.FaultID() == name {
+			return l
+		}
+	}
+	for _, att := range c.Builder.Attachments() {
+		if att.Link.FaultID() == name {
+			return att.Link
+		}
+	}
+	return nil
+}
+
 // Render draws the topology (the Figure 1b regeneration).
 func (c *Cluster) Render() string { return c.Builder.Render() }
 
-// Run drains the simulation.
-func (c *Cluster) Run() { c.Eng.Run() }
+// Run drains the simulation (all shards, when sharded).
+func (c *Cluster) Run() {
+	if c.Coord != nil {
+		c.Coord.Run()
+		return
+	}
+	c.Eng.Run()
+}
 
-// RunFor advances the simulation by d.
-func (c *Cluster) RunFor(d sim.Time) { c.Eng.RunFor(d) }
+// RunFor advances the simulation by d (all shards, when sharded).
+func (c *Cluster) RunFor(d sim.Time) {
+	if c.Coord != nil {
+		c.Coord.RunFor(d)
+		return
+	}
+	c.Eng.RunFor(d)
+}
 
-// Go starts a workload process.
+// Go starts a workload process on the shared engine. On a sharded
+// cluster, spawn processes on the owning host's engine instead:
+// c.Hosts[i].Engine().Go(...) — a workload touching a host from
+// another shard's engine is a race.
 func (c *Cluster) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
+	c.requireUnsharded("Go (use Hosts[i].Engine().Go)")
 	return c.Eng.Go(name, fn)
 }
 

@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"fmt"
+
+	"fcc"
+	"fcc/internal/fault"
+	"fcc/internal/flit"
+	"fcc/internal/link"
+	"fcc/internal/sim"
+)
+
+// Sharded-execution equivalence: the same cluster, same seed, and same
+// workload must produce a byte-identical stats snapshot whether the
+// simulation runs on one engine or partitioned across failure-domain
+// shards (conservative PDES, see internal/sim.Coordinator and
+// DESIGN.md "Parallel execution"). This file defines the workload both
+// the equivalence test and the fccbench speedup experiment run.
+
+// ShardConfig shapes one shard-equivalence workload.
+type ShardConfig struct {
+	Hosts      int
+	Switches   int
+	FAMs       int
+	OpsPerHost int
+	// ISLPropagation is the wire propagation of every link; it is also
+	// the coordinator's lookahead window, so longer wires mean fewer
+	// barriers per simulated second.
+	ISLPropagation sim.Time
+	// Faults, when set, schedules the deterministic two-fault plan (a
+	// cut-ISL flap plus a lane degrade on the ring-closure ISL) that
+	// exercises per-side fault application across the shard boundary.
+	Faults bool
+}
+
+// ShardRingConfig is the equivalence workload on the same 4-switch ring
+// the blast-radius experiments use: one switch per failure domain.
+func ShardRingConfig() ShardConfig {
+	return ShardConfig{
+		Hosts: 8, Switches: 4, FAMs: 4, OpsPerHost: 100,
+		ISLPropagation: 10 * sim.Nanosecond,
+	}
+}
+
+// ShardWideConfig is the speedup workload: a wider ring with
+// cross-row-class optics (1us propagation, ~200m of fiber), so each
+// lookahead window holds enough per-domain work to amortize the
+// barrier.
+func ShardWideConfig() ShardConfig {
+	return ShardConfig{
+		Hosts: 64, Switches: 8, FAMs: 8, OpsPerHost: 400,
+		ISLPropagation: sim.Microsecond,
+	}
+}
+
+// shardCluster builds the ring cluster for one run. shards <= 1 builds
+// the classic serial cluster; the topology, seeds, and every device
+// config are identical either way — only the engine partitioning
+// differs.
+func shardCluster(cfg ShardConfig, shards int) *fcc.Cluster {
+	c, err := fcc.New(fcc.Config{
+		Hosts: cfg.Hosts, FAMs: cfg.FAMs, FAMCapacity: 1 << 22,
+		Switches: cfg.Switches, Ring: true, SpreadHosts: true,
+		Shards: shards,
+		LinkConfig: func() link.Config {
+			lc := link.DefaultConfig()
+			p := lc.Phys
+			p.Propagation = cfg.ISLPropagation
+			lc.Phys = p
+			return lc
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, h := range c.Hosts {
+		h.Endpoint().Timeout = 25 * sim.Microsecond
+	}
+	return c
+}
+
+// shardPlan is the deterministic fault plan: flap the ISL between the
+// first two failure domains (for any shard count >= 2 of a 4+-switch
+// ring, fs1<->fs2 is a cut link) and degrade the ring-closure ISL.
+// Every event is pinned to a virtual timestamp, so serial and sharded
+// runs see identical fault timing.
+func shardPlan(cfg ShardConfig) []fcc.FaultEvent {
+	cut := fmt.Sprintf("fs%d<->fs%d", cfg.Switches/2-1, cfg.Switches/2)
+	closure := fmt.Sprintf("fs%d<->fs0", cfg.Switches-1)
+	return []fcc.FaultEvent{
+		{At: 40 * sim.Microsecond, Link: cut, Fault: fault.Fault{Kind: fault.LinkDown}},
+		{At: 100 * sim.Microsecond, Link: cut, Fault: fault.Fault{Kind: fault.LinkDown}, Heal: true},
+		{At: 60 * sim.Microsecond, Link: closure, Fault: fault.Fault{Kind: fault.LaneDegrade, Factor: 4}},
+		{At: 160 * sim.Microsecond, Link: closure, Fault: fault.Fault{Kind: fault.LaneDegrade}, Heal: true},
+	}
+}
+
+// ShardRun executes the workload at the given shard count and returns
+// the marshalled fabric-wide stats snapshot (the equivalence witness)
+// plus the number of committed operations. Hosts stream reads and
+// writes to the FAM halfway across the ring — every operation crosses
+// at least one shard cut — with per-host start offsets staggered by a
+// prime so no two hosts' streams tick in lockstep.
+func ShardRun(seed uint64, shards int, cfg ShardConfig) (raw []byte, committed int) {
+	c := shardCluster(cfg, shards)
+	if cfg.Faults {
+		if err := c.SchedulePlan(shardPlan(cfg)); err != nil {
+			panic(err)
+		}
+	}
+
+	n := len(c.Hosts)
+	done := make([]int, n)
+	for hi, h := range c.Hosts {
+		hi, h := hi, h
+		ep := h.Endpoint()
+		rng := sim.NewRNG(seed).Fork(uint64(hi))
+		target := c.FAMs[(hi+cfg.FAMs/2)%cfg.FAMs].ID()
+		h.Engine().Go(h.Name(), func(p *sim.Proc) {
+			p.Sleep(sim.Time(1 + hi*7919)) // prime-staggered start, in ps
+			for op := 0; op < cfg.OpsPerHost; op++ {
+				pkt := &flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd, Dst: target,
+					Addr: uint64(rng.Intn(1<<16)) * 64, ReqLen: 64}
+				if op%3 == 2 {
+					pkt.Op, pkt.ReqLen, pkt.Size = flit.OpMemWr, 0, 64
+				}
+				if _, err := ep.RequestRetry(pkt, 3, 20*sim.Microsecond).Await(p); err == nil {
+					done[hi]++
+				}
+				p.Sleep(sim.Time(200+rng.Intn(800)) * sim.Nanosecond)
+			}
+		})
+	}
+	c.Run()
+
+	for _, d := range done {
+		committed += d
+	}
+	raw, err := c.Stats().Snapshot().MarshalJSONIndent()
+	if err != nil {
+		panic(err)
+	}
+	return raw, committed
+}

@@ -50,6 +50,13 @@ type Attachment struct {
 	// Switch and SwitchPort identify where the endpoint attaches.
 	Switch     *Switch
 	SwitchPort int
+	// Domain is the failure domain (shard) the endpoint belongs to —
+	// its home switch's domain. Always 0 on an unsharded builder.
+	Domain int
+	// Eng is the engine the endpoint's model code must schedule on:
+	// its domain's private engine under sharding, the shared engine
+	// otherwise.
+	Eng *sim.Engine
 }
 
 // Builder assembles a fabric topology: switches, inter-switch links, and
@@ -64,6 +71,24 @@ type Builder struct {
 	attached   []*Attachment
 	nextID     flit.PortID
 	discovered bool
+
+	// Sharded assembly (nil for the classic single-engine fabric): each
+	// switch and its attached endpoints live in one failure domain with
+	// a private engine; inter-switch links whose ends fall in different
+	// domains become cross-shard links synchronized by the coordinator.
+	shard    *Sharding
+	swDomain map[*Switch]int
+}
+
+// Sharding partitions a fabric across the failure domains of a
+// Coordinator. DomainOf maps a switch's creation index (the order of
+// AddSwitch calls) to its domain; endpoints inherit their home switch's
+// domain, which makes a domain exactly "a switch plus its attached
+// endpoints" (or a contiguous group of switches when there are more
+// switches than shards).
+type Sharding struct {
+	Coord    *sim.Coordinator
+	DomainOf func(switchIdx int) int
 }
 
 // isl is an inter-switch link record.
@@ -78,17 +103,75 @@ func NewBuilder(eng *sim.Engine) *Builder {
 	return &Builder{eng: eng}
 }
 
-// AddSwitch creates a switch.
+// NewShardedBuilder returns a topology partitioned across sh's domains.
+// The builder's base engine is domain 0's; every switch and endpoint is
+// created on its own domain's engine.
+func NewShardedBuilder(sh Sharding) *Builder {
+	return &Builder{
+		eng:      sh.Coord.Engine(0),
+		shard:    &sh,
+		swDomain: make(map[*Switch]int),
+	}
+}
+
+// Domain reports the failure domain a switch was assigned to (0 on an
+// unsharded builder).
+func (b *Builder) Domain(sw *Switch) int {
+	if b.shard == nil {
+		return 0
+	}
+	return b.swDomain[sw]
+}
+
+// engineFor returns the engine a switch's domain runs on.
+func (b *Builder) engineFor(sw *Switch) *sim.Engine {
+	if b.shard == nil {
+		return b.eng
+	}
+	return b.shard.Coord.Engine(b.swDomain[sw])
+}
+
+// AddSwitch creates a switch (on its domain's engine when sharded).
 func (b *Builder) AddSwitch(name string, cfg SwitchConfig) *Switch {
-	sw := newSwitch(b.eng, name, cfg)
+	eng := b.eng
+	var dom int
+	if b.shard != nil {
+		dom = b.shard.DomainOf(len(b.switches))
+		if dom < 0 || dom >= b.shard.Coord.Shards() {
+			panic(fmt.Sprintf("fabric: DomainOf(%d) = %d out of range [0,%d)",
+				len(b.switches), dom, b.shard.Coord.Shards()))
+		}
+		eng = b.shard.Coord.Engine(dom)
+	}
+	sw := newSwitch(eng, name, cfg)
 	b.switches = append(b.switches, sw)
+	if b.shard != nil {
+		b.swDomain[sw] = dom
+	}
 	return sw
 }
 
 // ConnectSwitches joins two switches with a link (a PBR link within a
 // domain, or an HBR link between domains — routing treats them alike).
+// When the two switches live in different failure domains the link is a
+// cross-shard link: its wire messages travel through the coordinator's
+// mailboxes, and its propagation delay must be at least the
+// coordinator's lookahead window.
 func (b *Builder) ConnectSwitches(x, y *Switch, cfg link.Config) error {
-	l, err := link.New(b.eng, fmt.Sprintf("%s<->%s", x.name, y.name), cfg)
+	name := fmt.Sprintf("%s<->%s", x.name, y.name)
+	var l *link.Link
+	var err error
+	if dx, dy := b.Domain(x), b.Domain(y); b.shard != nil && dx != dy {
+		co := b.shard.Coord
+		if cfg.Phys.Propagation < co.Window() {
+			return fmt.Errorf("fabric: cross-domain link %s propagation %v below the coordinator lookahead window %v",
+				name, cfg.Phys.Propagation, co.Window())
+		}
+		l, err = link.NewCross(name, cfg, co.Engine(dx), co.Engine(dy),
+			co.Mailbox(dx, dy), co.Mailbox(dy, dx))
+	} else {
+		l, err = link.New(b.engineFor(x), name, cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -105,7 +188,8 @@ func (b *Builder) AttachEndpoint(sw *Switch, name string, role Role, cfg link.Co
 	if b.nextID > flit.MaxPortID {
 		return nil, fmt.Errorf("fabric: PBR ID space exhausted (12-bit, max %d endpoints)", flit.MaxPortID+1)
 	}
-	l, err := link.New(b.eng, fmt.Sprintf("%s<->%s", name, sw.name), cfg)
+	eng := b.engineFor(sw)
+	l, err := link.New(eng, fmt.Sprintf("%s<->%s", name, sw.name), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -118,6 +202,8 @@ func (b *Builder) AttachEndpoint(sw *Switch, name string, role Role, cfg link.Co
 		Link:       l,
 		Switch:     sw,
 		SwitchPort: swPortIdx,
+		Domain:     b.Domain(sw),
+		Eng:        eng,
 	}
 	b.nextID++
 	b.attached = append(b.attached, att)
@@ -219,6 +305,23 @@ func (b *Builder) installRoutes(ex routeExclusions) (unreachable []*Attachment) 
 		}
 	}
 	return unreachable
+}
+
+// LinkSideDomains reports the failure domains of a link's two sides (A,
+// B). Endpoint links live wholly in their switch's domain; inter-switch
+// links may span two. ok is false for links the builder doesn't own.
+func (b *Builder) LinkSideDomains(l *link.Link) (da, db int, ok bool) {
+	for _, rec := range b.links {
+		if rec.link == l {
+			return b.Domain(rec.a), b.Domain(rec.b), true
+		}
+	}
+	for _, att := range b.attached {
+		if att.Link == l {
+			return att.Domain, att.Domain, true
+		}
+	}
+	return 0, 0, false
 }
 
 // ISLLinks lists the inter-switch links in creation order.

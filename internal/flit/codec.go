@@ -78,10 +78,17 @@ type Flit struct {
 
 	// refs and next belong to the owning Pool: refs counts the holders
 	// (replay buffer, rx assembly) that must Release the flit before it
-	// recycles; next links the pool free list. Flits built by the plain
-	// Encode path leave both zero and are garbage-collected as before.
+	// recycles; next links the pool free list. While a flit sits in the
+	// free list refs holds the poolFree sentinel, so a stale holder's
+	// Release or Retain panics immediately instead of double-inserting
+	// the flit (a silent free-list cycle). home remembers the pool that
+	// minted the flit: with per-side pools on cross-shard links, a flit
+	// released into a foreign pool would corrupt both free lists. Flits
+	// built by the plain Encode path leave all three zero and are
+	// garbage-collected as before.
 	refs int32
 	next *Flit
+	home *Pool
 }
 
 // errors returned by the codec.

@@ -37,7 +37,7 @@ func (pl *Pool) Mode() Mode { return pl.mode }
 func (pl *Pool) Get() *Flit {
 	f := pl.free
 	if f == nil {
-		f = &Flit{Payload: make([]byte, pl.mode.PayloadBytes())}
+		f = &Flit{Payload: make([]byte, pl.mode.PayloadBytes()), home: pl}
 	} else {
 		pl.free = f.next
 		f.next = nil
@@ -49,19 +49,40 @@ func (pl *Pool) Get() *Flit {
 	return f
 }
 
+// poolFree marks a flit that currently sits in its pool's free list.
+// Using a sentinel instead of 0 lets Release and Retain distinguish "a
+// stale holder touched a recycled flit" (a use-after-free that would
+// otherwise double-insert the flit and silently cycle the free list)
+// from an ordinary over-release, and panic for both — at the first
+// wrong touch, not after the corruption has propagated.
+const poolFree = int32(-1)
+
 // Retain adds a holder to a pooled flit. A no-op on non-pooled flits
 // (refs stays 0) so shared helpers can call it unconditionally.
+// Retaining a flit that is sitting in a free list panics: some holder
+// kept the pointer past its last Release.
 func (f *Flit) Retain() {
+	if f.refs == poolFree {
+		panic(fmt.Sprintf("flit: retain of a recycled flit seq=%d (use after free)", f.Seq))
+	}
 	if f.refs > 0 {
 		f.refs++
 	}
 }
 
 // Release drops one holder; the last holder's Release returns the flit
-// to the pool. Releasing a flit that was never pooled, or more times
-// than it was retained, panics — both are ownership bugs that would
-// otherwise surface as silent payload corruption much later.
+// to the pool. Releasing a flit that was never pooled, more times than
+// it was retained, after it has already been recycled, or into a pool
+// other than the one that minted it panics — all are ownership bugs
+// that would otherwise surface as silent payload or free-list
+// corruption much later.
 func (pl *Pool) Release(f *Flit) {
+	if f.refs == poolFree {
+		panic(fmt.Sprintf("flit: double release of flit seq=%d (already in the pool free list)", f.Seq))
+	}
+	if f.home != nil && f.home != pl {
+		panic(fmt.Sprintf("flit: flit seq=%d released into a foreign pool (minted by a different link side)", f.Seq))
+	}
 	f.refs--
 	if f.refs > 0 {
 		return
@@ -69,6 +90,7 @@ func (pl *Pool) Release(f *Flit) {
 	if f.refs < 0 {
 		panic(fmt.Sprintf("flit: over-released flit seq=%d (refs=%d)", f.Seq, f.refs))
 	}
+	f.refs = poolFree
 	f.next = pl.free
 	pl.free = f
 }

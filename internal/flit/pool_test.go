@@ -151,3 +151,72 @@ func TestPoolEncodeZeroAlloc(t *testing.T) {
 		t.Fatalf("pooled encode allocates %.1f per packet, want 0", n)
 	}
 }
+
+// mustPanic runs fn and fails the test unless it panics with a message
+// containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want panic containing %q", want)
+		}
+		if s, ok := r.(string); !ok || !bytes.Contains([]byte(s), []byte(want)) {
+			t.Fatalf("panic %v; want message containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+// TestPoolDoubleReleasePanics: releasing a flit that is already sitting
+// in the free list must fail immediately and say so. Pre-fix this
+// tripped the generic over-release panic only until the next Get
+// recycled the flit — after which the stale Release double-inserted it
+// and silently cycled the free list.
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	pl := NewPool(Mode68)
+	f := pl.Get()
+	pl.Release(f)
+	mustPanic(t, "double release", func() { pl.Release(f) })
+}
+
+// TestPoolRetainAfterFreePanics: a stale holder retaining a recycled
+// flit was a silent no-op pre-fix; its eventual Release then pushed a
+// live flit into the free list while another owner held it — exactly
+// the free-list corruption the refcount exists to prevent. It must
+// panic at the retain.
+func TestPoolRetainAfterFreePanics(t *testing.T) {
+	pl := NewPool(Mode68)
+	f := pl.Get()
+	pl.Release(f)
+	mustPanic(t, "use after free", func() { f.Retain() })
+}
+
+// TestPoolForeignReleasePanics: with per-side pools on cross-shard
+// links, releasing a flit into a pool that did not mint it would
+// corrupt both free lists (and can hand out wrong-sized payload
+// buffers across modes). Pre-fix this was completely silent.
+func TestPoolForeignReleasePanics(t *testing.T) {
+	a := NewPool(Mode68)
+	b := NewPool(Mode68)
+	f := a.Get()
+	mustPanic(t, "foreign pool", func() { b.Release(f) })
+}
+
+// TestPoolRecycledFlitIsReusable: the poolFree sentinel must be fully
+// reversible — a recycled flit handed out again behaves like new.
+func TestPoolRecycledFlitIsReusable(t *testing.T) {
+	pl := NewPool(Mode68)
+	f := pl.Get()
+	pl.Release(f)
+	g := pl.Get()
+	if g != f {
+		t.Fatal("expected the recycled flit back")
+	}
+	g.Retain()
+	pl.Release(g)
+	pl.Release(g)
+	if pl.free != g {
+		t.Fatal("recycled flit did not recycle again")
+	}
+}

@@ -31,18 +31,29 @@ func (l *Link) Supports(k fault.Kind) bool {
 	return false
 }
 
-// InjectFault applies a link fault.
+// InjectFault applies a link fault to both sides.
 func (l *Link) InjectFault(f fault.Fault) error {
+	if err := l.InjectFaultSide(0, f); err != nil {
+		return err
+	}
+	return l.InjectFaultSide(1, f)
+}
+
+// InjectFaultSide applies one side's share of a link fault (0 = A,
+// 1 = B). On a cross-shard link the two ports belong to different
+// engines, so a fault must be applied by each shard independently —
+// scheduled at the same virtual instant on both, which models exactly
+// how the two ends of a severed cable notice the cut on their own.
+func (l *Link) InjectFaultSide(side int, f fault.Fault) error {
+	p := l.side(side)
 	switch f.Kind {
 	case fault.LinkDown:
-		l.a.setDown(true)
-		l.b.setDown(true)
+		p.setDown(true)
 	case fault.LaneDegrade:
 		if f.Factor < 2 {
 			return fmt.Errorf("link %s: lane degrade needs Factor >= 2, got %d", l.name, f.Factor)
 		}
-		l.a.laneDiv = f.Factor
-		l.b.laneDiv = f.Factor
+		p.laneDiv = f.Factor
 	case fault.CreditLeak:
 		if f.Credits <= 0 {
 			return fmt.Errorf("link %s: credit leak needs Credits > 0, got %d", l.name, f.Credits)
@@ -50,32 +61,44 @@ func (l *Link) InjectFault(f fault.Fault) error {
 		if f.VC < 0 || f.VC >= flit.NumChannels {
 			return fmt.Errorf("link %s: credit leak VC %d out of range", l.name, f.VC)
 		}
-		l.a.leakCredits(flit.Channel(f.VC), f.Credits)
-		l.b.leakCredits(flit.Channel(f.VC), f.Credits)
+		p.leakCredits(flit.Channel(f.VC), f.Credits)
 	default:
 		return fmt.Errorf("link %s: unsupported fault %v", l.name, f.Kind)
 	}
 	return nil
 }
 
-// HealFault clears a link fault.
+// HealFault clears a link fault on both sides.
 func (l *Link) HealFault(k fault.Kind) error {
+	if err := l.HealFaultSide(0, k); err != nil {
+		return err
+	}
+	return l.HealFaultSide(1, k)
+}
+
+// HealFaultSide clears one side's share of a link fault (0 = A, 1 = B);
+// see InjectFaultSide.
+func (l *Link) HealFaultSide(side int, k fault.Kind) error {
+	p := l.side(side)
 	switch k {
 	case fault.LinkDown:
-		l.a.setDown(false)
-		l.b.setDown(false)
+		p.setDown(false)
 	case fault.LaneDegrade:
-		l.a.laneDiv = 1
-		l.b.laneDiv = 1
-		l.a.kick()
-		l.b.kick()
+		p.laneDiv = 1
+		p.kick()
 	case fault.CreditLeak:
-		l.a.restoreLeaked()
-		l.b.restoreLeaked()
+		p.restoreLeaked()
 	default:
 		return fmt.Errorf("link %s: unsupported fault %v", l.name, k)
 	}
 	return nil
+}
+
+func (l *Link) side(side int) *Port {
+	if side == 0 {
+		return l.a
+	}
+	return l.b
 }
 
 // Down reports whether the link is currently down — the signal the

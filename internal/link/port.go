@@ -96,9 +96,13 @@ func serDone(a any) {
 	p, vc, f := m.p, m.vc, m.f
 	p.putMsg(m)
 	p.sending = false
-	dm := p.getMsg()
-	dm.vc, dm.f = vc, f
-	p.eng.After2(p.cfg.Phys.Propagation, deliverFlit, dm)
+	if p.xmb != nil {
+		p.sendRemoteFlit(vc, f)
+	} else {
+		dm := p.getMsg()
+		dm.vc, dm.f = vc, f
+		p.eng.After2(p.cfg.Phys.Propagation, deliverFlit, dm)
+	}
 	if p.DrainHook != nil {
 		p.DrainHook()
 	}
@@ -146,7 +150,11 @@ type Port struct {
 	peer *Port
 	sink Sink
 	rng  *sim.RNG
-	pool *flit.Pool // shared with peer; see Link constructor
+	pool *flit.Pool // shared with peer (intra-shard) or private (cross-shard)
+	// xmb, when non-nil, marks this port as one side of a cross-shard
+	// link: peer-touching wire messages go through the mailbox instead
+	// of being scheduled directly on the peer's engine (see xlink.go).
+	xmb *sim.Mailbox
 
 	// Transmit state. txq is consumed from txqHead rather than resliced
 	// so the backing array is reused; it compacts when the dead prefix
@@ -180,6 +188,14 @@ type Port struct {
 	leaked       [flit.NumChannels]int
 	leakedShared int
 
+	// stalled marks an open transmit-stall episode (traffic queued, no
+	// usable credit). It is confirmed into StallPicks by a check event
+	// one picosecond later, so a stall relieved within the same instant
+	// never counts — which keeps the metric independent of the order
+	// same-timestamp events fire in (serial and sharded runs interleave
+	// such ties differently; see internal/sim.Coordinator).
+	stalled bool
+
 	// Receive state.
 	rxAsm    [flit.NumChannels][]*flit.Flit
 	rxUsed   [flit.NumChannels]int
@@ -203,7 +219,7 @@ type Port struct {
 	PktsRx      sim.Counter
 	CRCErrors   sim.Counter
 	Retransmits sim.Counter
-	StallPicks  sim.Counter // kicks that found traffic but no credits
+	StallPicks  sim.Counter // transmit stalls that outlived their onset instant
 	DupFlits    sim.Counter // stale duplicate retransmissions dropped
 	QueueLat    *sim.Histogram
 }
@@ -409,7 +425,7 @@ func (p *Port) pickVC() int {
 		// Locked but stalled: packet-level head-of-line blocking. This
 		// is precisely the stall StallPicks exists to expose — count it
 		// the same as a scheduler pick that found traffic but no credit.
-		p.StallPicks.Inc()
+		p.noteStall()
 		return -1
 	}
 	views := p.viewBuf[:] // scratch; schedulers read it synchronously
@@ -433,9 +449,32 @@ func (p *Port) pickVC() int {
 	}
 	idx := p.sched.Pick(views)
 	if idx < 0 && any {
-		p.StallPicks.Inc()
+		p.noteStall()
 	}
 	return idx
+}
+
+// noteStall opens a stall episode and schedules its confirmation one
+// picosecond out. A successful pick before the check fires closes the
+// episode uncounted: credits that arrive within the onset instant mean
+// the transmitter never actually waited.
+func (p *Port) noteStall() {
+	if p.stalled {
+		return
+	}
+	p.stalled = true
+	p.eng.After2(1, confirmStall, p)
+}
+
+// confirmStall counts a stall episode still open one picosecond after
+// onset and closes it, so the next failed pick opens (and counts) a
+// fresh episode.
+func confirmStall(a any) {
+	p := a.(*Port)
+	if p.stalled {
+		p.StallPicks.Inc()
+		p.stalled = false
+	}
 }
 
 func (p *Port) eligible(vc flit.Channel) bool {
@@ -454,6 +493,7 @@ func (p *Port) kick() {
 	if idx < 0 {
 		return
 	}
+	p.stalled = false // relieved before (or at) the confirm check: no stall
 	vc := flit.Channel(idx)
 	var f *flit.Flit
 	if len(p.retryq[vc]) > 0 {
@@ -517,15 +557,23 @@ func (p *Port) receiveFlit(vc flit.Channel, f *flit.Flit) {
 		if corrupted {
 			p.CRCErrors.Inc()
 			p.trace(telemetry.EvCRCError, vc, f.Seq)
-			m := p.getMsg()
-			m.vc, m.seq = vc, f.Seq
-			p.eng.After2(p.cfg.Phys.Propagation, sendNak, m)
+			if p.xmb != nil {
+				p.remote(p.cfg.Phys.Propagation, xNak, &xMsg{vc: vc, seq: f.Seq})
+			} else {
+				m := p.getMsg()
+				m.vc, m.seq = vc, f.Seq
+				p.eng.After2(p.cfg.Phys.Propagation, sendNak, m)
+			}
 			p.pool.Release(f) // wire copy discarded; sender's replay holds it
 			return
 		}
-		m := p.getMsg()
-		m.vc, m.seq = vc, f.Seq
-		p.eng.After2(p.cfg.Phys.Propagation, sendAck, m)
+		if p.xmb != nil {
+			p.remote(p.cfg.Phys.Propagation, xAck, &xMsg{vc: vc, seq: f.Seq})
+		} else {
+			m := p.getMsg()
+			m.vc, m.seq = vc, f.Seq
+			p.eng.After2(p.cfg.Phys.Propagation, sendAck, m)
+		}
 		if f.Seq != p.rxExpect[vc] {
 			if f.Seq-p.rxExpect[vc] >= 1<<31 {
 				// Stale retransmission of a flit already delivered (its
@@ -630,9 +678,13 @@ func (r *pktRelease) release() {
 		ret -= swallow
 	}
 	if ret > 0 {
-		m := p.getMsg()
-		m.vc, m.n = vc, ret
-		p.eng.After2(p.cfg.CreditReturnDelay+p.cfg.Phys.Propagation, returnCredits, m)
+		if p.xmb != nil {
+			p.remote(p.cfg.CreditReturnDelay+p.cfg.Phys.Propagation, xCredits, &xMsg{vc: vc, n: ret})
+		} else {
+			m := p.getMsg()
+			m.vc, m.n = vc, ret
+			p.eng.After2(p.cfg.CreditReturnDelay+p.cfg.Phys.Propagation, returnCredits, m)
+		}
 	}
 	r.next = p.relFree
 	p.relFree = r
@@ -692,9 +744,13 @@ func (p *Port) SetRxBuf(vc flit.Channel, n int) {
 			grant -= cancel
 		}
 		if grant > 0 {
-			m := p.getMsg()
-			m.vc, m.n = vc, grant
-			p.eng.After2(p.cfg.Phys.Propagation, returnCredits, m)
+			if p.xmb != nil {
+				p.remote(p.cfg.Phys.Propagation, xCredits, &xMsg{vc: vc, n: grant})
+			} else {
+				m := p.getMsg()
+				m.vc, m.n = vc, grant
+				p.eng.After2(p.cfg.Phys.Propagation, returnCredits, m)
+			}
 		}
 	case delta < 0:
 		p.rxDebt[vc] += -delta

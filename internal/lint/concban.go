@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Concban bans bare concurrency — go statements, channel construction,
+// channel send/receive/close, and select — in sim-facing code: package
+// fcc/internal/sim itself and any file importing it. The engine's
+// contract is one event at a time per shard; the ONLY sanctioned
+// cross-engine channel machinery is the window-barrier coordinator
+// (internal/sim/shard.go) plus the engine/proc handoff internals, which
+// opt out with a `//fcclint:conc <reason>` file tag. Anything else
+// using raw goroutines against engine state is a determinism bug
+// waiting for a -race run to find it: cross-shard traffic must go
+// through a sim.Mailbox, and in-shard code simply schedules events.
+// cmd/ binaries are exempted via .fcclint.allow (they orchestrate whole
+// private simulations per worker, never sharing one).
+func Concban() *Analyzer {
+	return &Analyzer{
+		Name: "concban",
+		Doc:  "ban bare goroutines/channels in sim-facing code (use sim.Mailbox / the coordinator)",
+		Run:  runConcban,
+	}
+}
+
+// concTagged reports whether f carries the //fcclint:conc directive.
+func concTagged(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//fcclint:conc"); ok {
+				if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// concbanApplies reports whether the file is sim-facing: it belongs to
+// the sim package or imports it.
+func concbanApplies(p *Package, f *ast.File) bool {
+	if p.Path == simPkgPath {
+		return true
+	}
+	for _, imp := range f.Imports {
+		if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == simPkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+func runConcban(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "concban",
+			Pos:      p.Fset.Position(n.Pos()),
+			Message:  msg,
+		})
+	}
+	isChan := func(e ast.Expr) bool {
+		tv, ok := p.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		_, is := tv.Type.Underlying().(*types.Chan)
+		return is
+	}
+	for _, f := range p.Files {
+		if !concbanApplies(p, f) || concTagged(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				report(n, "go statement in sim-facing code; parallelism belongs to the sim.Coordinator (tag the file //fcclint:conc if it is sanctioned engine machinery)")
+			case *ast.SelectStmt:
+				report(n, "select in sim-facing code; engine code is single-threaded per shard — schedule events instead")
+			case *ast.SendStmt:
+				report(n, "channel send in sim-facing code; cross-engine traffic must go through a sim.Mailbox")
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					report(n, "channel receive in sim-facing code; cross-engine traffic must go through a sim.Mailbox")
+				}
+			case *ast.CallExpr:
+				if b, ok := builtinCallee(p, n); ok {
+					switch b {
+					case "make":
+						if len(n.Args) > 0 && isChan(n.Args[0]) {
+							report(n, "make(chan) in sim-facing code; the sanctioned cross-engine channel machinery lives in internal/sim (tagged //fcclint:conc)")
+						}
+					case "close":
+						if len(n.Args) == 1 && isChan(n.Args[0]) {
+							report(n, "close(chan) in sim-facing code; cross-engine traffic must go through a sim.Mailbox")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -22,6 +22,10 @@
 //   - hotpath:   no map construction in files tagged //fcclint:hotpath —
 //     packet-path state lives in dense tables and free lists,
 //     not hash maps (the PR 5 dense-structure discipline).
+//   - concban:   no bare goroutines or channels in sim-facing code —
+//     cross-engine traffic goes through sim.Mailbox under the
+//     window-barrier coordinator; the sanctioned machinery
+//     itself opts out with a //fcclint:conc file tag.
 //
 // The pass is stdlib-only (go/parser + go/ast + go/types; export data
 // located by shelling out to `go list`). Suppression is explicit: either
@@ -61,7 +65,7 @@ type Analyzer struct {
 
 // Analyzers returns the full rule set in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detban(), Maporder(), Procblock(), Errcmp(), Hotpath()}
+	return []*Analyzer{Detban(), Maporder(), Procblock(), Errcmp(), Hotpath(), Concban()}
 }
 
 // Package is one typechecked target package, ready for analysis.

@@ -94,6 +94,7 @@ func TestMaporder(t *testing.T)  { checkFixture(t, "maporder", Maporder()) }
 func TestProcblock(t *testing.T) { checkFixture(t, "procblock", Procblock()) }
 func TestErrcmp(t *testing.T)    { checkFixture(t, "errcmp", Errcmp()) }
 func TestHotpath(t *testing.T)   { checkFixture(t, "hotpath", Hotpath()) }
+func TestConcban(t *testing.T)   { checkFixture(t, "concban", Concban()) }
 
 // TestAllowlistSuppresses proves the path-prefix allowlist drops every
 // diagnostic under the exempted prefix — the mechanism cmd/ relies on.

@@ -1,0 +1,19 @@
+// Package fixture seeds concban violations for the analyzer's golden
+// test: this file imports the engine package, making it sim-facing, so
+// every bare concurrency construct below is banned.
+package fixture
+
+import "fcc/internal/sim"
+
+func bare(eng *sim.Engine) {
+	ch := make(chan int, 1) // want `make\(chan\) in sim-facing code`
+	go func() {             // want `go statement in sim-facing code`
+		ch <- 1 // want `channel send in sim-facing code`
+	}()
+	<-ch     // want `channel receive in sim-facing code`
+	select { // want `select in sim-facing code`
+	default:
+	}
+	close(ch) // want `close\(chan\) in sim-facing code`
+	eng.Run()
+}

@@ -1,0 +1,11 @@
+package fixture
+
+// This file does not import the engine package, so it is not sim-facing
+// and ordinary Go concurrency is untouched.
+func plain() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	v := <-ch
+	close(ch)
+	return v
+}

@@ -1,5 +1,6 @@
 package sim
 
+//fcclint:conc engine park/wake handshake with paused proc runners
 import (
 	"fmt"
 	"math/bits"
@@ -181,14 +182,18 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+	if t > MaxTime {
+		panic(fmt.Sprintf("sim: scheduling event at %d ps, beyond MaxTime (%d ps); use SaturatingAdd for relative timers", int64(t), int64(MaxTime)))
+	}
 	e.seq++
 	ev := e.alloc()
 	ev.at, ev.seq, ev.fn, ev.kind = t, e.seq, fn, kindFn
 	e.enqueue(ev)
 }
 
-// After schedules fn to run d after the current time. Negative d panics.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+// After schedules fn to run d after the current time, saturating at
+// MaxTime (see SaturatingAdd). Negative d panics.
+func (e *Engine) After(d Time, fn func()) { e.At(SaturatingAdd(e.now, d), fn) }
 
 // At2 is the closure-free fast path: fn must be a static function (or a
 // pre-built closure reused across calls) and receives arg when the event
@@ -202,6 +207,9 @@ func (e *Engine) At2(t Time, fn func(any), arg any) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
+	if t > MaxTime {
+		panic(fmt.Sprintf("sim: scheduling event at %d ps, beyond MaxTime (%d ps); use SaturatingAdd for relative timers", int64(t), int64(MaxTime)))
+	}
 	if fn == nil {
 		panic("sim: At2 with nil fn")
 	}
@@ -212,8 +220,9 @@ func (e *Engine) At2(t Time, fn func(any), arg any) {
 }
 
 // After2 schedules fn(arg) to run d after the current time, allocation-
-// free. Negative d panics (via the past check in At2).
-func (e *Engine) After2(d Time, fn func(any), arg any) { e.At2(e.now+d, fn, arg) }
+// free and saturating at MaxTime (see SaturatingAdd). Negative d panics
+// (via the past check in At2).
+func (e *Engine) After2(d Time, fn func(any), arg any) { e.At2(SaturatingAdd(e.now, d), fn, arg) }
 
 // atProc schedules a resume of p at absolute time t. It shares the
 // (at, seq) ordering stream with At/At2, so process wake-ups keep their
@@ -221,6 +230,9 @@ func (e *Engine) After2(d Time, fn func(any), arg any) { e.At2(e.now+d, fn, arg)
 func (e *Engine) atProc(t Time, p *Proc) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if t > MaxTime {
+		panic(fmt.Sprintf("sim: scheduling event at %d ps, beyond MaxTime (%d ps); use SaturatingAdd for relative timers", int64(t), int64(MaxTime)))
 	}
 	e.seq++
 	ev := e.alloc()
@@ -468,26 +480,62 @@ func (e *Engine) runLimit(limit Time) {
 	e.running = false
 }
 
-// maxTime is the largest representable virtual time, used as Run's
-// horizon.
-const maxTime = Time(1<<63 - 1)
+// MaxTime is the largest schedulable virtual time (~107 days), used as
+// Run's horizon and as the saturation point for duration arithmetic. It
+// sits two ladder windows short of the int64 limit so the window
+// arithmetic in enqueue/refill/migrateFar (curEnd + windowSpan, slot
+// advance) can never overflow for any legal timestamp; At/At2 reject
+// anything beyond it.
+const MaxTime = Time(1<<63-1) - 2*windowSpan
+
+// SaturatingAdd returns t+d clamped to MaxTime instead of wrapping.
+// Timer arithmetic near the horizon (a "forever" timeout expressed as a
+// huge duration, an epoch timer re-armed at the end of a long run) would
+// otherwise overflow int64 and produce a timestamp in the past — which
+// At turns into a confusing "scheduling before now" panic and RunFor
+// turns into a silent no-op. A saturated event sits at MaxTime and fires
+// only if the simulation actually drains its queue all the way to the
+// horizon; for practical purposes it never fires. Negative d is returned
+// unclamped (and rejected downstream by the schedulers' past checks).
+func SaturatingAdd(t, d Time) Time {
+	if d > 0 && t > MaxTime-d {
+		return MaxTime
+	}
+	return t + d
+}
 
 // Run fires events until the queue drains or Stop is called.
-func (e *Engine) Run() { e.runLimit(maxTime) }
+func (e *Engine) Run() { e.runLimit(MaxTime) }
 
 // RunUntil fires events with timestamps <= t, then sets the clock to t.
 // The boundary check peeks the refilled dispatch list directly, so each
 // event pays one ordering operation (its bucket's sort, amortized), not
 // a heap-peek plus a heap-pop.
 func (e *Engine) RunUntil(t Time) {
+	if t > MaxTime {
+		t = MaxTime
+	}
 	e.runLimit(t)
 	if !e.stopped && t > e.now {
 		e.now = t
 	}
 }
 
-// RunFor advances the simulation by d from the current time.
-func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+// RunFor advances the simulation by d from the current time, saturating
+// at MaxTime (see SaturatingAdd).
+func (e *Engine) RunFor(d Time) { e.RunUntil(SaturatingAdd(e.now, d)) }
+
+// NextAt reports the timestamp of the earliest pending event; ok is
+// false when nothing is pending. Peeking may slide the ladder window
+// forward (the same refill Step would perform), which is observable only
+// through internal geometry, never through fire order. The shard
+// coordinator uses this to skip idle synchronization windows.
+func (e *Engine) NextAt() (at Time, ok bool) {
+	if e.curIdx == len(e.cur) && !e.refill() {
+		return 0, false
+	}
+	return e.cur[e.curIdx].at, true
+}
 
 // Stop halts Run/RunUntil after the currently firing event returns.
 func (e *Engine) Stop() { e.stopped = true }

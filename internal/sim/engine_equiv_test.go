@@ -172,6 +172,248 @@ func TestLadderMatchesHeapUnderRunUntil(t *testing.T) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Parallel-vs-serial equivalence: the conservative PDES coordinator
+// (shard.go) against a single engine running the identical model.
+// ---------------------------------------------------------------------
+
+// shardNet is a synthetic multi-domain model that can run either on one
+// Engine (all domains share it) or on a Coordinator (one engine per
+// domain, ring-topology mailboxes). Each domain runs pseudo-random
+// local event cascades and sends messages to the next domain in the
+// ring with delay >= the lookahead window. Local events land on odd
+// picoseconds and cross-domain messages on even ones, so the two
+// classes can never tie at a destination; combined with single-source
+// FIFO delivery per ring edge, that makes single-engine and sharded
+// execution provably identical (see the Coordinator doc comment), which
+// this harness then checks event by event.
+type shardNet struct {
+	domains int
+	window  Time
+	sched   []domainSched
+	rngs    []*RNG
+	budget  []int
+	nextID  []int
+	trace   [][]shardRec
+}
+
+type shardRec struct {
+	at Time
+	id int
+}
+
+// domainSched abstracts "schedule in my own domain" vs "schedule in the
+// next domain over" for the two execution modes.
+type domainSched interface {
+	now() Time
+	local(at Time, fn func(any), arg any)
+	remote(at Time, fn func(any), arg any)
+}
+
+type serialSched struct {
+	eng *Engine
+}
+
+func (s serialSched) now() Time                             { return s.eng.Now() }
+func (s serialSched) local(at Time, fn func(any), arg any)  { s.eng.At2(at, fn, arg) }
+func (s serialSched) remote(at Time, fn func(any), arg any) { s.eng.At2(at, fn, arg) }
+
+type shardSched struct {
+	eng *Engine
+	box *Mailbox
+}
+
+func (s shardSched) now() Time                             { return s.eng.Now() }
+func (s shardSched) local(at Time, fn func(any), arg any)  { s.eng.At2(at, fn, arg) }
+func (s shardSched) remote(at Time, fn func(any), arg any) { s.box.Send(at, fn, arg) }
+
+type shardEvt struct {
+	n   *shardNet
+	dom int
+	id  int
+}
+
+func shardFire(a any) {
+	ev := a.(*shardEvt)
+	ev.n.fire(ev.dom, ev.id)
+}
+
+func (n *shardNet) fire(d, id int) {
+	now := n.sched[d].now()
+	n.trace[d] = append(n.trace[d], shardRec{at: now, id: id})
+	rng := n.rngs[d]
+	kids := rng.Intn(3)
+	for k := 0; k < kids && n.budget[d] > 0; k++ {
+		n.budget[d]--
+		var delta Time
+		switch rng.Intn(4) {
+		case 0:
+			delta = Time(rng.Intn(2048)) // sub-bucket, including same-instant
+		case 1:
+			delta = Time(rng.Intn(300)) * Nanosecond
+		case 2:
+			delta = Time(1+rng.Intn(5)) * Microsecond
+		default:
+			delta = Time(1+rng.Intn(2)) * Millisecond
+		}
+		n.nextID[d]++
+		n.sched[d].local((now+delta)|1, shardFire,
+			&shardEvt{n: n, dom: d, id: n.nextID[d]})
+	}
+	if n.budget[d] > 0 && rng.Intn(3) == 0 {
+		n.budget[d]--
+		dst := (d + 1) % n.domains
+		delta := n.window + Time(rng.Intn(4096))
+		n.nextID[d]++
+		n.sched[d].remote((now+delta+1)&^1, shardFire,
+			&shardEvt{n: n, dom: dst, id: n.nextID[d]*1000 + d})
+	}
+}
+
+func newShardNet(domains int, window Time, seed uint64) *shardNet {
+	n := &shardNet{
+		domains: domains,
+		window:  window,
+		sched:   make([]domainSched, domains),
+		rngs:    make([]*RNG, domains),
+		budget:  make([]int, domains),
+		nextID:  make([]int, domains),
+		trace:   make([][]shardRec, domains),
+	}
+	for d := 0; d < domains; d++ {
+		n.rngs[d] = NewRNG(seed).Fork(uint64(d))
+		n.budget[d] = 600
+	}
+	return n
+}
+
+// start seeds each domain's initial events; must run after n.sched is
+// populated, in domain order so serial and sharded schedule identically.
+func (n *shardNet) start() {
+	for d := 0; d < n.domains; d++ {
+		for i := 0; i < 8; i++ {
+			n.nextID[d]++
+			at := Time(n.rngs[d].Intn(400))*Nanosecond | 1
+			n.sched[d].local(at, shardFire, &shardEvt{n: n, dom: d, id: n.nextID[d]})
+		}
+	}
+}
+
+func runShardNetSerial(domains int, window Time, seed uint64) *shardNet {
+	n := newShardNet(domains, window, seed)
+	eng := NewEngine()
+	for d := 0; d < domains; d++ {
+		n.sched[d] = serialSched{eng: eng}
+	}
+	n.start()
+	eng.Run()
+	return n
+}
+
+func runShardNetSharded(domains int, window Time, seed uint64, sequential bool) *shardNet {
+	n := newShardNet(domains, window, seed)
+	c := NewCoordinator(domains, window)
+	c.Sequential = sequential
+	for d := 0; d < domains; d++ {
+		n.sched[d] = shardSched{eng: c.Engine(d), box: c.Mailbox(d, (d+1)%domains)}
+	}
+	n.start()
+	c.Run()
+	return n
+}
+
+func diffShardNets(t *testing.T, label string, want, got *shardNet) {
+	t.Helper()
+	for d := 0; d < want.domains; d++ {
+		if len(want.trace[d]) != len(got.trace[d]) {
+			t.Fatalf("%s: domain %d fired %d events, want %d",
+				label, d, len(got.trace[d]), len(want.trace[d]))
+		}
+		for i, w := range want.trace[d] {
+			if g := got.trace[d][i]; g != w {
+				t.Fatalf("%s: domain %d diverges at event %d: got {at:%v id:%d}, want {at:%v id:%d}",
+					label, d, i, g.at, g.id, w.at, w.id)
+			}
+		}
+	}
+}
+
+// TestCoordinatorMatchesSerialEngine is the PDES determinism contract:
+// the same model run (a) on a single engine, (b) under the coordinator
+// with shards advanced sequentially, and (c) under the coordinator with
+// one goroutine per shard must produce the identical per-domain event
+// trace, for every seed.
+func TestCoordinatorMatchesSerialEngine(t *testing.T) {
+	const domains = 4
+	const window = 10 * Nanosecond
+	for seed := uint64(1); seed <= 12; seed++ {
+		serial := runShardNetSerial(domains, window, seed)
+		seq := runShardNetSharded(domains, window, seed, true)
+		par := runShardNetSharded(domains, window, seed, false)
+		diffShardNets(t, "sequential coordinator vs serial", serial, seq)
+		diffShardNets(t, "parallel coordinator vs serial", serial, par)
+		total := 0
+		for d := range serial.trace {
+			total += len(serial.trace[d])
+		}
+		if total < 100 {
+			t.Fatalf("seed %d: trace suspiciously small (%d events) — model not exercising the barrier", seed, total)
+		}
+	}
+}
+
+// TestCoordinatorRunUntilBoundaries drives the sharded model in fixed
+// RunUntil increments (exercising partial windows and the idle jump)
+// and requires the same final trace as one uninterrupted serial run.
+func TestCoordinatorRunUntilBoundaries(t *testing.T) {
+	const domains = 3
+	const window = 10 * Nanosecond
+	serial := runShardNetSerial(domains, window, 77)
+
+	n := newShardNet(domains, window, 77)
+	c := NewCoordinator(domains, window)
+	for d := 0; d < domains; d++ {
+		n.sched[d] = shardSched{eng: c.Engine(d), box: c.Mailbox(d, (d+1)%domains)}
+	}
+	n.start()
+	for until := 537 * Nanosecond; ; until += 3*Microsecond + 537*Nanosecond {
+		c.RunUntil(until)
+		idle := true
+		for d := 0; d < domains; d++ {
+			if c.Engine(d).Pending() > 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			break
+		}
+	}
+	diffShardNets(t, "stepped coordinator vs serial", serial, n)
+	for d := 0; d < domains; d++ {
+		if got := c.Engine(d).Now(); got != c.Now() {
+			t.Fatalf("domain %d clock %v != coordinator horizon %v", d, got, c.Now())
+		}
+	}
+}
+
+// TestMailboxLookaheadViolation pins the conservative-sync guard: a
+// cross-shard message inside the current window must panic, not
+// silently reorder time.
+func TestMailboxLookaheadViolation(t *testing.T) {
+	c := NewCoordinator(2, 100*Nanosecond)
+	box := c.Mailbox(0, 1)
+	c.Engine(0).At2(50*Nanosecond, func(any) {
+		defer func() {
+			if recover() == nil {
+				t.Error("in-window cross-shard send did not panic")
+			}
+		}()
+		box.Send(60*Nanosecond, nopEvent, nil) // violates 100ns lookahead
+	}, nil)
+	c.RunUntil(200 * Nanosecond)
+}
+
 func nopEvent(any) {}
 
 // TestEngineZeroAllocSteadyState pins the pool + closure-free contract:

@@ -198,3 +198,77 @@ func TestEngineEventLimitPanics(t *testing.T) {
 	}()
 	e.Run()
 }
+
+// TestTimeArithmeticSaturatesAtHorizon is the overflow regression for
+// the sim.Time audit: before the fix, After/After2/RunFor computed
+// now+d unchecked, so a huge "forever" duration wrapped negative —
+// After panicked with a misleading "scheduling before now" and RunFor
+// silently did nothing. They now saturate at MaxTime.
+func TestTimeArithmeticSaturatesAtHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	// Park the clock close to the horizon, then schedule relative
+	// timers whose naive sum would wrap int64.
+	e.At(MaxTime-5, func() {
+		e.After(MaxTime, func() { fired++ })            // would wrap pre-fix
+		e.After2(MaxTime-1, func(any) { fired++ }, nil) // would wrap pre-fix
+	})
+	e.Run() // drains to the horizon, so saturated events do fire
+	if fired != 2 {
+		t.Fatalf("saturated events fired %d times, want 2", fired)
+	}
+	if e.Now() != MaxTime {
+		t.Fatalf("clock %v, want MaxTime", e.Now())
+	}
+}
+
+func TestRunForSaturatesAtHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(MaxTime-100, func() { ran = true })
+	e.RunFor(1000) // within range: advances normally
+	if ran || e.Now() != 1000 {
+		t.Fatalf("RunFor(1000): now=%v ran=%v", e.Now(), ran)
+	}
+	e.RunFor(MaxTime) // would wrap pre-fix and silently no-op
+	if !ran {
+		t.Fatal("RunFor(MaxTime) did not reach an event near the horizon")
+	}
+	if e.Now() != MaxTime {
+		t.Fatalf("clock %v, want MaxTime", e.Now())
+	}
+}
+
+func TestProcSleepSaturatesAtHorizon(t *testing.T) {
+	e := NewEngine()
+	woke := false
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(MaxTime - 1) // fine
+		p.Sleep(MaxTime)     // would wrap pre-fix; saturates to the horizon
+		woke = true
+	})
+	e.Run()
+	if !woke {
+		t.Fatal("saturated Sleep never woke")
+	}
+	if e.Now() != MaxTime {
+		t.Fatalf("clock %v, want MaxTime", e.Now())
+	}
+}
+
+func TestSaturatingAdd(t *testing.T) {
+	cases := []struct{ t, d, want Time }{
+		{0, 5, 5},
+		{MaxTime, 1, MaxTime},
+		{MaxTime - 3, 3, MaxTime},
+		{MaxTime - 3, 4, MaxTime},
+		{5, -3, 2},
+		{5, 0, 5},
+		{MaxTime, MaxTime, MaxTime},
+	}
+	for _, c := range cases {
+		if got := SaturatingAdd(c.t, c.d); got != c.want {
+			t.Errorf("SaturatingAdd(%d, %d) = %d, want %d", c.t, c.d, got, c.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 //fcclint:hotpath process handoff is the hottest non-event path (PR 5)
+//fcclint:conc proc handoff rendezvous with the engine main hand
 
 import (
 	"runtime"
@@ -284,10 +285,11 @@ func (p *Proc) Now() Time { return p.eng.Now() }
 // Done reports whether the process body has returned.
 func (p *Proc) Done() bool { return p.done }
 
-// Sleep suspends the process for d of virtual time. Negative d panics
-// (via the past check in atProc).
+// Sleep suspends the process for d of virtual time, saturating at
+// MaxTime (see SaturatingAdd). Negative d panics (via the past check in
+// atProc).
 func (p *Proc) Sleep(d Time) {
-	p.eng.atProc(p.eng.now+d, p)
+	p.eng.atProc(SaturatingAdd(p.eng.now, d), p)
 	p.pause()
 }
 

@@ -1,0 +1,299 @@
+package sim
+
+//fcclint:conc shard coordinator: the sanctioned cross-engine concurrency
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Coordinator runs several Engines — one per failure domain ("shard") —
+// in parallel while preserving the determinism contract: the same seed
+// produces the same result regardless of how many OS threads execute
+// the shards, and (for models whose cross-shard interactions are
+// tie-free, see below) byte-identical results to running the whole
+// model on a single Engine.
+//
+// # Synchronization model
+//
+// This is conservative window-barrier PDES (a degenerate null-message
+// scheme where every shard's lookahead to every other shard is the same
+// constant). Virtual time is cut into windows of fixed width W, the
+// coordinator's lookahead. Within one window every shard runs its
+// private Engine independently — intra-shard traffic never
+// synchronizes. A shard communicates with another only through a
+// Mailbox: a timestamped (at, fn, arg) triple that the coordinator
+// delivers into the destination engine at the next window barrier.
+//
+// Safety requires that a message sent while executing window k can only
+// be scheduled in window k+1 or later, i.e. every cross-shard
+// interaction must carry a model delay of at least W. For the fabric
+// models this is the link propagation delay: choosing W <= the minimum
+// propagation over all cut links makes the barrier provably conservative.
+// Mailbox.Send enforces the resulting invariant (at >= the current
+// window's end) and panics on violation rather than silently
+// reordering time.
+//
+// # Why determinism is preserved
+//
+//   - Each Engine is single-threaded within a window and touched by
+//     exactly one goroutine at a time; the channel rendezvous at the
+//     barrier provides the happens-before edges between windows.
+//   - Barrier delivery is canonical: pending messages for a destination
+//     are gathered in (source shard, send order) sequence and stably
+//     sorted by timestamp, so equal-timestamp messages from one source
+//     keep their FIFO order and the injected engine sequence numbers
+//     are a pure function of model state — never of OS scheduling.
+//   - The idle-window jump is computed from engine queue state only.
+//
+// Consequently a Coordinator run is bit-reproducible across machines,
+// GOMAXPROCS settings, and the parallel/sequential execution modes.
+// Equivalence with a *single-engine* serial run additionally requires
+// that the model never generates an exact-picosecond tie between a
+// cross-shard message and an unrelated event at the same destination
+// object (the serial engine breaks such ties by global scheduling
+// order, which sharding cannot observe). Port-to-port links are
+// single-source FIFO streams, so the fabric models satisfy this for
+// the tested topologies; the equivalence suite enforces it empirically
+// (see TestCoordinatorMatchesSerialEngine and the fcc-level
+// shard-equivalence tests).
+type Coordinator struct {
+	engines []*Engine
+	window  Time
+	boxes   []*Mailbox // src*n+dst; nil until requested
+	at      Time       // next window start: all events < at have fired
+	limit   Time       // current window's delivery floor (exclusive end)
+	now     Time       // horizon reached by the last Run*/RunUntil call
+	merged  []boxMsg   // barrier merge scratch
+	// Sequential forces single-goroutine execution (windows still run,
+	// shards advance one after another). The result is byte-identical to
+	// the parallel mode; tests use it to pin exactly that.
+	Sequential bool
+}
+
+// boxMsg is one cross-shard message awaiting barrier delivery.
+type boxMsg struct {
+	at  Time
+	fn  func(any)
+	arg any
+}
+
+// Mailbox is a unidirectional cross-shard channel from one shard's
+// engine to another's. Sends are buffered locally during a window and
+// delivered — deterministically ordered — at the barrier. A Mailbox
+// must only be used from model code running on its source shard.
+type Mailbox struct {
+	c        *Coordinator
+	src, dst int
+	out      []boxMsg
+}
+
+// NewCoordinator returns a coordinator over n fresh engines with the
+// given lookahead window. The window must not exceed the minimum
+// cross-shard model delay (Mailbox.Send panics when a message violates
+// that bound).
+func NewCoordinator(n int, window Time) *Coordinator {
+	if n < 1 {
+		panic("sim: NewCoordinator needs at least one shard")
+	}
+	if window <= 0 {
+		panic("sim: NewCoordinator window must be positive")
+	}
+	c := &Coordinator{window: window}
+	for i := 0; i < n; i++ {
+		c.engines = append(c.engines, NewEngine())
+	}
+	c.boxes = make([]*Mailbox, n*n)
+	return c
+}
+
+// Shards reports the number of shards.
+func (c *Coordinator) Shards() int { return len(c.engines) }
+
+// Window reports the lookahead window width.
+func (c *Coordinator) Window() Time { return c.window }
+
+// Engine returns shard i's private engine.
+func (c *Coordinator) Engine(i int) *Engine { return c.engines[i] }
+
+// Now reports the horizon the coordinator has advanced to.
+func (c *Coordinator) Now() Time { return c.now }
+
+// Mailbox returns the src->dst mailbox, creating it on first use.
+func (c *Coordinator) Mailbox(src, dst int) *Mailbox {
+	if src == dst {
+		panic("sim: mailbox to own shard; schedule locally instead")
+	}
+	n := len(c.engines)
+	b := c.boxes[src*n+dst]
+	if b == nil {
+		b = &Mailbox{c: c, src: src, dst: dst}
+		c.boxes[src*n+dst] = b
+	}
+	return b
+}
+
+// Send queues fn(arg) for delivery into the destination shard at
+// absolute time at. It must be called from model code executing on the
+// source shard, and at must not violate the coordinator's lookahead:
+// at >= the end of the window currently executing. The message is
+// injected into the destination engine at the next barrier.
+func (m *Mailbox) Send(at Time, fn func(any), arg any) {
+	if at < m.c.limit {
+		panic(fmt.Sprintf(
+			"sim: cross-shard message %d->%d at %v violates lookahead (window ends %v); "+
+				"every cross-shard delay must be >= the coordinator window (%v)",
+			m.src, m.dst, at, m.c.limit, m.c.window))
+	}
+	if fn == nil {
+		panic("sim: Mailbox.Send with nil fn")
+	}
+	m.out = append(m.out, boxMsg{at: at, fn: fn, arg: arg})
+}
+
+// exchange drains every mailbox into its destination engine in the
+// canonical order and reports whether any message moved.
+func (c *Coordinator) exchange() bool {
+	n := len(c.engines)
+	moved := false
+	for dst := 0; dst < n; dst++ {
+		buf := c.merged[:0]
+		for src := 0; src < n; src++ {
+			b := c.boxes[src*n+dst]
+			if b == nil || len(b.out) == 0 {
+				continue
+			}
+			buf = append(buf, b.out...)
+			clear(b.out) // drop fn/arg references
+			b.out = b.out[:0]
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		moved = true
+		// Stable by timestamp: equal-at messages keep (src, send order),
+		// so injection order — and with it the destination engine's
+		// tie-break sequence — is a pure function of model state.
+		slices.SortStableFunc(buf, func(a, b boxMsg) int {
+			switch {
+			case a.at < b.at:
+				return -1
+			case a.at > b.at:
+				return 1
+			}
+			return 0
+		})
+		eng := c.engines[dst]
+		for i := range buf {
+			eng.At2(buf[i].at, buf[i].fn, buf[i].arg)
+		}
+		clear(buf)
+		c.merged = buf[:0]
+	}
+	return moved
+}
+
+// runWindows advances every shard to horizon t (inclusive), window by
+// window. When idle is true it additionally stops at the first barrier
+// where every engine is drained and no messages are in flight — the
+// multi-engine analogue of Engine.Run.
+func (c *Coordinator) runWindows(t Time, idle bool) {
+	n := len(c.engines)
+	var work []chan Time
+	var done chan struct{}
+	if !c.Sequential && n > 1 {
+		work = make([]chan Time, n)
+		done = make(chan struct{})
+		for i := range work {
+			work[i] = make(chan Time)
+			go func(e *Engine, w chan Time) {
+				for lim := range w {
+					e.RunUntil(lim)
+					done <- struct{}{}
+				}
+			}(c.engines[i], work[i])
+		}
+		defer func() {
+			for _, w := range work {
+				close(w)
+			}
+		}()
+	}
+	for c.at <= t {
+		lim := SaturatingAdd(c.at, c.window-1)
+		if lim > t {
+			lim = t
+		}
+		c.limit = SaturatingAdd(lim, 1)
+		if work != nil {
+			for _, w := range work {
+				w <- lim
+			}
+			for i := 0; i < n; i++ {
+				<-done
+			}
+		} else {
+			for _, e := range c.engines {
+				e.RunUntil(lim)
+			}
+		}
+		c.at = SaturatingAdd(lim, 1)
+		moved := c.exchange()
+		if idle && !moved {
+			drained := true
+			for _, e := range c.engines {
+				if e.Pending() > 0 {
+					drained = false
+					break
+				}
+			}
+			if drained {
+				if lim < c.now {
+					lim = c.now
+				}
+				c.now = lim
+				return
+			}
+		}
+		if lim >= t {
+			break
+		}
+		// Idle jump: if every shard's next event is beyond the next
+		// window, skip straight to the earliest one. No messages are in
+		// flight (exchange just drained them), so no shard can create
+		// work before that timestamp.
+		next := MaxTime
+		for _, e := range c.engines {
+			if at, ok := e.NextAt(); ok && at < next {
+				next = at
+			}
+		}
+		if next > t {
+			break // nothing left within the horizon
+		}
+		if next > c.at {
+			c.at = next
+		}
+	}
+	c.now = t
+}
+
+// RunUntil advances every shard to time t: all events with timestamps
+// <= t fire, then every engine's clock reads t.
+func (c *Coordinator) RunUntil(t Time) {
+	if t < c.now {
+		return
+	}
+	c.runWindows(t, false)
+	for _, e := range c.engines {
+		e.RunUntil(t) // lift shards that went idle early up to the horizon
+	}
+}
+
+// RunFor advances the coordinated simulation by d, saturating at
+// MaxTime.
+func (c *Coordinator) RunFor(d Time) { c.RunUntil(SaturatingAdd(c.now, d)) }
+
+// Run advances the coordinated simulation until every shard's queue is
+// drained and no cross-shard messages are in flight.
+func (c *Coordinator) Run() { c.runWindows(MaxTime, true) }

@@ -238,10 +238,19 @@ func (h *Histogram) Min() float64 { return h.min }
 // Quantile reports the q-quantile (0 <= q <= 1) by nearest rank over
 // the bucket counts. The result is the containing bucket's geometric
 // midpoint, clamped to the exact [Min, Max] envelope, so the relative
-// error is bounded by the bucket width.
+// error is bounded by the bucket width. Out-of-range q clamps to the
+// nearest end; a NaN q (e.g. a quantile computed from another empty
+// histogram) returns 0 rather than hitting the implementation-defined
+// float-to-int conversion.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.count == 0 {
+	if h.count == 0 || math.IsNaN(q) {
 		return 0
+	}
+	if q <= 0 {
+		return h.min // exact, not the lowest bucket's midpoint
+	}
+	if q >= 1 {
+		return h.max
 	}
 	rank := int64(math.Ceil(q * float64(h.count)))
 	if rank < 1 {

@@ -534,3 +534,67 @@ func TestPipeIdleGap(t *testing.T) {
 		t.Fatalf("second use completes at %v, want 110ns (no back-to-back across idle gap)", end)
 	}
 }
+
+// TestHistogramQuantileEdges pins the tail-quantile behaviour on the
+// degenerate shapes that show up in short experiment runs: empty,
+// single-sample, and every-sample-in-one-bucket histograms, plus
+// out-of-range and NaN q.
+func TestHistogramQuantileEdges(t *testing.T) {
+	empty := NewHistogram()
+	for _, q := range []float64{0, 0.99, 0.999, 1, -3, 7, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	single := NewHistogram()
+	single.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := single.Quantile(q); got != 42 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want exactly 42", q, got)
+		}
+	}
+
+	// All samples identical: one occupied bucket, and the [Min, Max]
+	// clamp must make every quantile exact, not the bucket midpoint.
+	flat := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		flat.Observe(17)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := flat.Quantile(q); got != 17 {
+			t.Fatalf("one-bucket Quantile(%v) = %v, want exactly 17", q, got)
+		}
+	}
+
+	// q <= 0 and q >= 1 return the exact envelope ends (not a bucket
+	// midpoint); NaN q is defined (0), never the implementation-defined
+	// int64(NaN) rank.
+	two := NewHistogram()
+	two.Observe(1)
+	two.Observe(1000)
+	for _, q := range []float64{-1, 0} {
+		if got := two.Quantile(q); got != 1 {
+			t.Fatalf("Quantile(%v) = %v, want exact Min", q, got)
+		}
+	}
+	for _, q := range []float64{1, 2} {
+		if got := two.Quantile(q); got != 1000 {
+			t.Fatalf("Quantile(%v) = %v, want exact Max", q, got)
+		}
+	}
+	if got := two.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("Quantile(NaN) = %v, want 0", got)
+	}
+
+	// All-zero samples: the zeros fast path must serve the whole range.
+	zeros := NewHistogram()
+	for i := 0; i < 5; i++ {
+		zeros.Observe(0)
+	}
+	for _, q := range []float64{0, 0.99, 0.999, 1} {
+		if got := zeros.Quantile(q); got != 0 {
+			t.Fatalf("all-zero Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
