@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet fmtcheck lint test race shard-equiv bench bench-smoke bench-diff examples-smoke
+.PHONY: ci build vet fmtcheck lint test race shard-equiv fabstore-equiv bench bench-smoke bench-diff examples-smoke
 
 # ci is the tier-1 gate: build, vet, the invariant lint pass, the full
 # suite under the race detector, the sharded-equivalence crown jewel
@@ -8,7 +8,7 @@ GO ?= go
 # every push. bench-smoke rides along non-gating (the leading `-`): a
 # crash in a benchmark prints loudly but does not fail the gate, since
 # timing noise must never block a merge.
-ci: build vet lint race shard-equiv examples-smoke
+ci: build vet lint race shard-equiv fabstore-equiv examples-smoke
 	-@$(MAKE) --no-print-directory bench-smoke || echo "bench-smoke FAILED (non-gating)"
 	-@$(MAKE) --no-print-directory bench-diff || echo "bench-diff FAILED (non-gating)"
 
@@ -44,6 +44,14 @@ race:
 shard-equiv:
 	$(GO) test -race -count=1 -run 'Coordinator|Mailbox|Window' ./internal/sim/
 	$(GO) test -race -count=1 -run 'TestSharded' ./internal/exp/
+
+# fabstore-equiv gates the E11 macro-benchmark's determinism claim: the
+# same seed must produce byte-identical stats snapshots whether FabStore
+# runs on one engine or sharded across 4 failure domains, clean and
+# under the fault plan, with zero unaccounted transactions — under the
+# race detector, like shard-equiv.
+fabstore-equiv:
+	$(GO) test -race -count=1 -run 'TestFabStoreEquiv' ./internal/exp/
 
 # bench runs every benchmark in the tree and records the perf
 # trajectory as BENCH_<date>.json (events/sec, ns/op, allocs/op — see

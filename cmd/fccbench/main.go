@@ -211,6 +211,9 @@ func main() {
 		{"shard-equiv", "E10: sharded PDES equivalence + speedup", func(seed uint64) (any, string) {
 			return shardEquiv(seed, *shards)
 		}},
+		{"fabstore", "E11: FabStore multi-tenant transactional KV macro-benchmark", func(seed uint64) (any, string) {
+			return fabStoreBench(seed, *shards)
+		}},
 		{"mimo", "E7: MIMO baseband case study", func(uint64) (any, string) {
 			clean := exp.MIMOPipeline(8, false)
 			failed := exp.MIMOPipeline(8, true)
@@ -311,6 +314,68 @@ type shardTimedRun struct {
 	WallMs  float64 `json:"-"`
 	Speedup float64 `json:"-"`
 	Match   bool    `json:"match"`
+}
+
+// fabStoreResult is the E11 result: throughput/tail tables for the
+// tenant mixes (clean and under the fault plan), the crash-recovery
+// check, and byte-equivalence of serial vs sharded runs.
+type fabStoreResult struct {
+	Seed        uint64                     `json:"seed"`
+	Shards      int                        `json:"shards"`
+	Clean       []exp.FabStoreMixRow       `json:"clean"`
+	Faulted     []exp.FabStoreMixRow       `json:"faulted"`
+	Recovery    exp.FabStoreRecoveryResult `json:"recovery"`
+	Match       bool                       `json:"match"`
+	FaultMatch  bool                       `json:"fault_match"`
+	Committed   int64                      `json:"committed"`
+	SerialMs    float64                    `json:"-"`
+	ShardedMs   float64                    `json:"-"`
+	EquivWallUp float64                    `json:"-"`
+}
+
+// fabStoreBench runs E11: the FabStore macro-benchmark. Two tenant
+// mixes run clean and under the fault plan on the full-service cluster
+// (coherent hot keys, arbiter QoS); a crashed writer's WAL intents are
+// swept and replayed by a survivor; and the same seed must produce
+// byte-identical snapshots serial vs sharded. Wall-clock timing lives
+// here in cmd/ — the exp package stays free of nondeterminism sources.
+func fabStoreBench(seed uint64, shards int) (any, string) {
+	if shards < 2 {
+		shards = 2
+	}
+	if shards > 4 {
+		shards = 4
+	}
+	r := &fabStoreResult{Seed: seed, Shards: shards}
+	r.Clean = exp.FabStoreMixes(seed, false)
+	r.Faulted = exp.FabStoreMixes(seed, true)
+	r.Recovery = exp.FabStoreRecovery(seed)
+
+	start := time.Now()
+	serial, committed := exp.FabStoreEquiv(seed, 1, false)
+	r.SerialMs = float64(time.Since(start).Microseconds()) / 1e3
+	start = time.Now()
+	sharded, _ := exp.FabStoreEquiv(seed, shards, false)
+	r.ShardedMs = float64(time.Since(start).Microseconds()) / 1e3
+	r.Committed = committed
+	r.Match = bytes.Equal(serial, sharded)
+	if r.ShardedMs > 0 {
+		r.EquivWallUp = r.SerialMs / r.ShardedMs
+	}
+	serialF, _ := exp.FabStoreEquiv(seed, 1, true)
+	shardedF, _ := exp.FabStoreEquiv(seed, shards, true)
+	r.FaultMatch = bytes.Equal(serialF, shardedF)
+
+	var b strings.Builder
+	b.WriteString("clean fabric:\n")
+	b.WriteString(exp.RenderFabStoreMixes(r.Clean))
+	b.WriteString("under fault plan (ISL down 40-100us, lanes degraded 60-160us):\n")
+	b.WriteString(exp.RenderFabStoreMixes(r.Faulted))
+	fmt.Fprintf(&b, "crash recovery: %d in-flight puts abandoned, %d WAL intents swept, %d replayed, verified %v\n",
+		r.Recovery.AbandonedPuts, r.Recovery.Pending, r.Recovery.Replayed, r.Recovery.Verified)
+	fmt.Fprintf(&b, "serial vs %d-shard equivalence: clean %v, fault plan %v (%d txns committed; wall %.1fms vs %.1fms, %.2fx)\n",
+		r.Shards, r.Match, r.FaultMatch, r.Committed, r.SerialMs, r.ShardedMs, r.EquivWallUp)
+	return r, b.String()
 }
 
 // shardEquivResult is the E10 result: byte-equivalence of serial vs

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"fcc"
+	"fcc/internal/fabstore/workload"
 	"fcc/internal/host"
 	"fcc/internal/sim"
 	"fcc/internal/uheap"
@@ -71,24 +72,20 @@ func run(migrate bool) (mean, p99 float64, promos int64) {
 	if err != nil {
 		panic(err)
 	}
-	rng := sim.NewRNG(7)
-	z := sim.NewZipf(rng, nKeys, 1.2)
+	pat := workload.NewPattern(7, nKeys, 1.2, 10) // 10% puts
 	lat := sim.NewHistogram()
 	cluster.Go("client", func(p *sim.Proc) {
-		for i := 0; i < nOps; i++ {
-			key := z.Next()
-			off := uint64(rng.Intn(valSize/8)) * 8
-			start := p.Now()
-			if rng.Intn(10) == 0 {
-				store.put(p, key, off, uint64(i))
-			} else {
-				store.get(p, key, off)
-			}
-			if i >= nOps/2 { // steady state only
-				lat.ObserveTime(p.Now() - start)
-			}
-			p.Sleep(200 * sim.Nanosecond)
-		}
+		n := 0
+		pat.Drive(p, nOps, nOps/2, 200*sim.Nanosecond, lat,
+			func(p *sim.Proc, key int, write bool) {
+				off := uint64(pat.RNG.Intn(valSize/8)) * 8
+				if write {
+					store.put(p, key, off, uint64(n))
+				} else {
+					store.get(p, key, off)
+				}
+				n++
+			})
 	})
 	cluster.Run()
 	return lat.Mean(), lat.Quantile(0.99), hp.Promotions.Value()

@@ -21,6 +21,7 @@ import (
 	"fcc/internal/etrans"
 	"fcc/internal/faa"
 	"fcc/internal/fabric"
+	"fcc/internal/fabstore"
 	"fcc/internal/fault"
 	"fcc/internal/flit"
 	"fcc/internal/host"
@@ -360,6 +361,38 @@ func (c *Cluster) NewCoherenceClient(h *host.Host, fam int, ccfg coherence.Clien
 // ArbiterClient returns an arbiter client for host h.
 func (c *Cluster) ArbiterClient(h *host.Host) *arbiter.Client {
 	return arbiter.NewClient(h.Endpoint(), c.Arbiter.ID())
+}
+
+// NewFabStore lays a FabStore (multi-tenant transactional KV, see
+// internal/fabstore) across every FAM in the cluster with one client
+// per host. When the cluster is Coherent and the store declares hot
+// keys, each client's hot-row path goes through the directories; with
+// the Arbiter attached, clients reserve bandwidth credit toward the
+// destination expander around writes and scan chunks. Both services are
+// optional — on sharded clusters (where they are refused) clients use
+// the raw retried-transaction path, which is exactly what the
+// serial-vs-sharded equivalence experiment runs.
+func (c *Cluster) NewFabStore(fcfg fabstore.Config) (*fabstore.Store, error) {
+	devs := make([]fabstore.Device, len(c.FAMs))
+	for i, f := range c.FAMs {
+		devs[i] = fabstore.Device{Port: f.ID(), Capacity: c.cfg.FAMCapacity}
+	}
+	st, err := fabstore.New(fcfg, devs, c.Hosts)
+	if err != nil {
+		return nil, err
+	}
+	for hi, h := range c.Hosts {
+		cl := st.Client(hi)
+		if len(c.Dirs) > 0 && fcfg.HotKeys > 0 {
+			for fi := range c.FAMs {
+				cl.UseCoherence(fi, c.NewCoherenceClient(h, fi, coherence.DefaultClientConfig()))
+			}
+		}
+		if c.Arbiter != nil {
+			cl.UseArbiter(c.ArbiterClient(h))
+		}
+	}
+	return st, nil
 }
 
 // Stats assembles the fabric-wide metrics tree: every switch (with all

@@ -283,6 +283,37 @@ func TestTrafficMatrix(t *testing.T) {
 	}
 }
 
+func TestTrafficMatrixRendersZeroByteDevice(t *testing.T) {
+	// A device that served nothing must still appear as an all-zero
+	// column: an idle expander is part of the traffic picture.
+	c, err := New(Config{Hosts: 1, FAMs: 2, FAMCapacity: 1 << 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := c.CollectTraffic()
+	c.Go("driver", func(p *sim.Proc) {
+		c.Hosts[0].Store64P(p, c.FAMBase(0), 7)
+		c.Hosts[0].FlushRangeP(p, c.FAMBase(0), 64)
+	})
+	c.Run()
+	if got := tm.Bytes(c.Hosts[0].ID(), c.FAMs[1].ID()); got != 0 {
+		t.Fatalf("fam1 served %d bytes, want 0", got)
+	}
+	out := tm.Render()
+	if !strings.Contains(out, "fam1") {
+		t.Fatalf("idle device missing from render:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "host0") {
+			continue
+		}
+		cols := strings.Fields(line)
+		if len(cols) != 3 || cols[2] != "0" {
+			t.Fatalf("host0 row = %q, want a trailing zero column for fam1", line)
+		}
+	}
+}
+
 func TestClusterStatsTree(t *testing.T) {
 	c, err := New(Config{
 		Hosts: 2, FAMs: 1, FAAs: 1, FAMCapacity: 1 << 26,

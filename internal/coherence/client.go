@@ -6,6 +6,7 @@ import (
 	"fcc/internal/flit"
 	"fcc/internal/host"
 	"fcc/internal/sim"
+	"fcc/internal/txn"
 )
 
 // mesi is the client-side line state.
@@ -30,6 +31,16 @@ type ClientConfig struct {
 	// AdapterLat is the processing cost added to each protocol request
 	// the client issues.
 	AdapterLat sim.Time
+	// RetryAttempts bounds protocol-request retries when the host
+	// endpoint enforces a timeout (fault experiments). The directory is
+	// duplicate-tolerant by construction — an owner re-requesting after
+	// a lost grant is re-granted from home, a stale writeback is dropped
+	// — so retrying a timed-out protocol request is always safe. Only
+	// after the attempts are exhausted (a genuine partition) does the
+	// client panic.
+	RetryAttempts int
+	// RetryBackoff is the first retry delay; it doubles per attempt.
+	RetryBackoff sim.Time
 }
 
 // DefaultClientConfig is a CXL.cache-style small coherent cache.
@@ -38,6 +49,8 @@ func DefaultClientConfig() ClientConfig {
 		CapacityLines: 512,
 		HitLat:        25 * sim.Nanosecond,
 		AdapterLat:    50 * sim.Nanosecond,
+		RetryAttempts: 4,
+		RetryBackoff:  10 * sim.Microsecond,
 	}
 }
 
@@ -118,6 +131,12 @@ type Client struct {
 	opFree   *lineOp
 	lineFree *clientLine
 
+	// prevInv/prevData continue the host's snoop dispatch chain: the
+	// handlers that were registered before this client (clients of other
+	// home directories on the same host), nil for the first client.
+	prevInv  txn.Handler
+	prevData txn.Handler
+
 	// Metrics.
 	Hits      sim.Counter
 	Misses    sim.Counter
@@ -128,6 +147,12 @@ type Client struct {
 
 // NewClient registers a coherence client for home on h's endpoint.
 func NewClient(eng *sim.Engine, h *host.Host, home flit.PortID, cfg ClientConfig) *Client {
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 4
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * sim.Microsecond
+	}
 	c := &Client{
 		eng: eng, h: h, home: home, cfg: cfg,
 		lines:     make(map[uint64]*clientLine),
@@ -135,9 +160,38 @@ func NewClient(eng *sim.Engine, h *host.Host, home flit.PortID, cfg ClientConfig
 		pending:   make(map[uint64][]func()),
 		busy:      make(map[uint64]bool),
 	}
-	h.Handle(flit.OpSnpInv, c.handleSnoop)
-	h.Handle(flit.OpSnpData, c.handleSnoop)
+	// A host may cache lines from several homes (one Client per FAM
+	// expander). Line addresses are device-local and collide across
+	// homes, so each client answers only snoops sent by its own home
+	// directory and delegates anything else to the previously registered
+	// client — a dispatch chain rather than a clobbering overwrite.
+	c.prevInv = h.Handler(flit.OpSnpInv)
+	c.prevData = h.Handler(flit.OpSnpData)
+	h.Handle(flit.OpSnpInv, c.dispatchSnoop)
+	h.Handle(flit.OpSnpData, c.dispatchSnoop)
 	return c
+}
+
+// dispatchSnoop routes a directory snoop to the client whose home sent
+// it. Snoops carry the home device's port ID as Src (the directory
+// issues them through the FAM's endpoint), which is exactly the home
+// this client registered against.
+func (c *Client) dispatchSnoop(req *flit.Packet, reply func(*flit.Packet)) {
+	if req.Src == c.home {
+		c.handleSnoop(req, reply)
+		return
+	}
+	prev := c.prevInv
+	if req.Op == flit.OpSnpData {
+		prev = c.prevData
+	}
+	if prev == nil {
+		// Sole registered client: answer regardless of home, preserving
+		// single-directory behavior for tests that snoop synthetically.
+		c.handleSnoop(req, reply)
+		return
+	}
+	prev(req, reply)
 }
 
 // Host returns the underlying host.
@@ -322,7 +376,18 @@ func clientSendFire(a any) {
 	op := a.(*lineOp)
 	req := op.req
 	op.req = nil
-	op.c.h.Endpoint().Request(req).OnComplete(op.respFn)
+	c := op.c
+	ep := c.h.Endpoint()
+	if ep.Timeout > 0 {
+		// Bounded retry rides out link-fault windows on hosts whose
+		// endpoint enforces a timeout (fault experiments).
+		ep.RequestRetry(req, c.cfg.RetryAttempts, c.cfg.RetryBackoff).OnComplete(op.respFn)
+		return
+	}
+	// Unbounded endpoint: a plain request can never time out, so skip
+	// the retry wrapper (it clones the packet and allocates a future —
+	// measurable on the read-miss hot path).
+	ep.Request(req).OnComplete(op.respFn)
 }
 
 // granted applies a directory response to the op that requested it.

@@ -9,6 +9,7 @@ import (
 	"fcc/internal/etrans"
 	"fcc/internal/faa"
 	"fcc/internal/fabric"
+	"fcc/internal/fabstore/workload"
 	"fcc/internal/flit"
 	"fcc/internal/host"
 	"fcc/internal/link"
@@ -133,19 +134,13 @@ func UHeapAblation() UHeapResult {
 			}
 			objs = append(objs, o)
 		}
-		rng := sim.NewRNG(42)
-		z := sim.NewZipf(rng, len(objs), 1.2)
+		pat := workload.NewPattern(42, len(objs), 1.2, 0) // read-only
 		lat := sim.NewHistogram()
 		c.Go("client", func(p *sim.Proc) {
-			for i := 0; i < 8000; i++ {
-				o := objs[z.Next()]
-				start := p.Now()
-				o.Read64P(p, uint64(rng.Intn(512))*8)
-				if i >= 4000 {
-					lat.ObserveTime(p.Now() - start)
-				}
-				p.Sleep(200 * sim.Nanosecond)
-			}
+			pat.Drive(p, 8000, 4000, 200*sim.Nanosecond, lat,
+				func(p *sim.Proc, key int, _ bool) {
+					objs[key].Read64P(p, uint64(pat.RNG.Intn(512))*8)
+				})
 		})
 		c.Run()
 		return lat.Mean(), hp.Promotions.Value()

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"testing"
+
+	"fcc/internal/fabstore"
+	"fcc/internal/sim"
+)
+
+// BenchmarkFabStoreOLTP is the tree's macro-benchmark: one transaction
+// end to end through the full-service E11 cluster — txn endpoint, ring
+// fabric, coherent hot keys, arbiter QoS, WAL intents. It prices the
+// whole simulator stack per committed transaction, where the micro
+// benchmarks price single layers.
+func BenchmarkFabStoreOLTP(b *testing.B) {
+	c, st := fabStoreCluster(1, true)
+	cl := st.Client(0)
+	cfg := st.Config()
+	c.Go("bench", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tenant := i % cfg.Tenants
+			key := uint64(i*7919) % uint64(cfg.KeysPerTenant)
+			if i%10 == 9 {
+				val := make([]byte, cfg.SlotSize)
+				fabstore.FillValue(val, tenant, key, uint64(i))
+				if err := cl.PutP(p, tenant, key, val); err != nil {
+					b.Errorf("put: %v", err)
+					return
+				}
+				continue
+			}
+			if _, err := cl.GetP(p, tenant, key); err != nil {
+				b.Errorf("get: %v", err)
+				return
+			}
+		}
+	})
+	c.Run()
+	if s := c.Eng.Now().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "simtxn/s")
+	}
+}

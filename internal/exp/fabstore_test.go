@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFabStoreEquiv is the fabstore-equiv gate: the same seed must
+// produce byte-identical fabric snapshots (stats tree including the
+// fabstore and per-driver subtrees) whether the store runs on one
+// engine or sharded across 4 failure domains — clean and under the
+// fault plan.
+func TestFabStoreEquiv(t *testing.T) {
+	for _, faults := range []bool{false, true} {
+		name := "clean"
+		if faults {
+			name = "faulted"
+		}
+		serial, committed := FabStoreEquiv(11, 1, faults)
+		sharded, committedS := FabStoreEquiv(11, 4, faults)
+		if committed == 0 {
+			t.Fatalf("%s: nothing committed", name)
+		}
+		if committed != committedS {
+			t.Errorf("%s: serial committed %d, sharded %d", name, committed, committedS)
+		}
+		if !bytes.Equal(serial, sharded) {
+			t.Errorf("%s: serial and 4-shard snapshots differ (%d vs %d bytes)",
+				name, len(serial), len(sharded))
+		}
+	}
+}
+
+func TestFabStoreMixesAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro-benchmark")
+	}
+	for _, faults := range []bool{false, true} {
+		for _, r := range FabStoreMixes(3, faults) {
+			if r.Committed == 0 {
+				t.Errorf("mix %s (faults=%v): nothing committed", r.Mix, faults)
+			}
+			if r.Unaccounted != 0 {
+				t.Errorf("mix %s (faults=%v): %d unaccounted", r.Mix, faults, r.Unaccounted)
+			}
+			if r.P999Us < r.P99Us || r.P99Us < r.P50Us {
+				t.Errorf("mix %s: tail not monotone: p50=%v p99=%v p999=%v",
+					r.Mix, r.P50Us, r.P99Us, r.P999Us)
+			}
+		}
+	}
+}
+
+func TestFabStoreRecoveryVerified(t *testing.T) {
+	r := FabStoreRecovery(5)
+	if r.AbandonedPuts == 0 || r.Pending == 0 {
+		t.Fatalf("crash left nothing to recover: %+v", r)
+	}
+	if !r.Verified {
+		t.Fatalf("recovery not verified: %+v", r)
+	}
+}

@@ -61,6 +61,20 @@ type Switch struct {
 	// packet costs no closure allocation per hop.
 	hopFree *xbarHop
 
+	// pending gathers every crossbar traversal that completes at the
+	// current instant; a single arbitration event (scheduled 0 ps later,
+	// so it runs after the whole same-instant cohort has been collected)
+	// resolves them in input-port order. Routing and output-space
+	// decisions are therefore a function of the cohort, never of the
+	// engine's tie-break order among same-picosecond deliveries — the
+	// switch-level analogue of the link port's stall-episode deferral
+	// (see DESIGN.md, "Tie discipline"). Without this, a cross-shard
+	// delivery and a local delivery landing on the same picosecond could
+	// contend for the last output slot in either order, and serial vs
+	// sharded runs would legally — but observably — diverge.
+	pending  []*xbarHop
+	arbArmed bool
+
 	// rr rotates tie-breaking among equal-cost adaptive candidates.
 	rr int
 
@@ -169,6 +183,7 @@ type xbarHop struct {
 	pkt     *flit.Packet
 	release func()
 	arrived sim.Time
+	in      int // input port index: the canonical same-instant sort key
 	next    *xbarHop
 }
 
@@ -187,42 +202,102 @@ func (sp *swPort) Arrive(pkt *flit.Packet, release func()) {
 	} else {
 		s.hopFree = h.next
 	}
-	h.pkt, h.release, h.arrived = pkt, release, s.eng.Now()
+	h.pkt, h.release, h.arrived, h.in = pkt, release, s.eng.Now(), sp.idx
 	// Crossbar traversal, then output enqueue (or hold under backpressure).
-	// The route lookup happens after traversal so a table the manager
+	// The route lookup happens at arbitration so a table the manager
 	// re-filled mid-flight steers even packets already inside the switch.
 	s.eng.After2(s.cfg.Latency, xbarTraverse, h)
 }
 
+// xbarTraverse completes one packet's crossbar traversal: it joins the
+// instant's pending cohort and arms the arbitration pass. All routing
+// and output-space decisions are deferred to xbarArbitrate so they
+// cannot depend on the engine's ordering of same-picosecond traversals.
 func xbarTraverse(a any) {
 	h := a.(*xbarHop)
 	s := h.sw
-	pkt, release, arrived := h.pkt, h.release, h.arrived
+	if s.down {
+		s.PktsDropped.Inc()
+		s.recycle(h)()
+		return
+	}
+	s.pending = append(s.pending, h)
+	s.armArb()
+}
+
+// armArb schedules the per-instant arbitration event once. A 0 ps delay
+// keeps the forwarding timestamp identical to the traversal completion;
+// the event merely runs after every same-instant traversal (and every
+// same-instant drain trigger) has been collected — those were all
+// scheduled at strictly earlier instants, so they carry lower sequence
+// numbers in serial and sharded runs alike.
+func (s *Switch) armArb() {
+	if s.arbArmed {
+		return
+	}
+	s.arbArmed = true
+	s.eng.After2(0, xbarArbitrate, s)
+}
+
+// recycle detaches a hop's packet state and returns its release
+// closure, putting the hop back on the free list.
+func (s *Switch) recycle(h *xbarHop) func() {
+	release := h.release
 	h.pkt, h.release = nil, nil
 	h.next = s.hopFree
 	s.hopFree = h
+	return release
+}
+
+// xbarArbitrate resolves the instant's forwarding decisions in
+// canonical order: packets already held under backpressure drain first
+// (output-port order — they are the oldest), then the newly traversed
+// cohort in input-port order. One packet per input port can complete
+// traversal per instant (links serialize), so the input index is a
+// total order on the cohort.
+func xbarArbitrate(a any) {
+	s := a.(*Switch)
+	s.arbArmed = false
 	if s.down {
-		s.PktsDropped.Inc()
-		release()
-		return
-	}
-	outs := s.routeFor(pkt.Dst)
-	if len(outs) == 0 {
-		if s.dropUnroutable {
-			s.NoRoute.Inc()
-			release()
-			return
+		for _, h := range s.pending {
+			s.PktsDropped.Inc()
+			s.recycle(h)()
 		}
-		panic(fmt.Sprintf("fabric: switch %s has no route to %d (packet %v)", s.name, pkt.Dst, pkt))
-	}
-	out := s.pickOutput(outs, pkt)
-	op := s.ports[out]
-	if s.spaceFor(op, pkt) {
-		s.forward(op, pkt, release, arrived)
+		s.pending = s.pending[:0]
 		return
 	}
-	s.HolStalls.Inc()
-	op.waiting = append(op.waiting, heldPacket{pkt: pkt, release: release})
+	for _, sp := range s.ports {
+		sp.drainWaiting()
+	}
+	// Insertion sort by input port: the cohort is tiny (bounded by the
+	// port count) and almost always length 1.
+	for i := 1; i < len(s.pending); i++ {
+		for j := i; j > 0 && s.pending[j].in < s.pending[j-1].in; j-- {
+			s.pending[j], s.pending[j-1] = s.pending[j-1], s.pending[j]
+		}
+	}
+	for _, h := range s.pending {
+		pkt, arrived := h.pkt, h.arrived
+		release := s.recycle(h)
+		outs := s.routeFor(pkt.Dst)
+		if len(outs) == 0 {
+			if s.dropUnroutable {
+				s.NoRoute.Inc()
+				release()
+				continue
+			}
+			panic(fmt.Sprintf("fabric: switch %s has no route to %d (packet %v)", s.name, pkt.Dst, pkt))
+		}
+		out := s.pickOutput(outs, pkt)
+		op := s.ports[out]
+		if s.spaceFor(op, pkt) {
+			s.forward(op, pkt, release, arrived)
+			continue
+		}
+		s.HolStalls.Inc()
+		op.waiting = append(op.waiting, heldPacket{pkt: pkt, release: release})
+	}
+	s.pending = s.pending[:0]
 }
 
 // pickOutput selects among equal-cost candidates.
@@ -275,6 +350,11 @@ func (s *Switch) Fail() {
 		}
 		sp.waiting = nil
 	}
+	for _, h := range s.pending {
+		s.PktsDropped.Inc()
+		s.recycle(h)()
+	}
+	s.pending = s.pending[:0]
 }
 
 // Recover restores a crashed switch.
@@ -322,12 +402,20 @@ func (s *Switch) ClearRoutes() {
 	s.nroutes = 0
 }
 
-// tryDrain moves held packets into the output queue as space frees.
+// tryDrain is the link port's DrainHook: output space freed up. The
+// actual drain is deferred to the arbitration pass so that held packets
+// and same-instant traversals resolve in one canonical order.
 func (sp *swPort) tryDrain() {
 	s := sp.sw
-	if s.down {
+	if s.down || len(sp.waiting) == 0 {
 		return
 	}
+	s.armArb()
+}
+
+// drainWaiting moves held packets into the output queue as space frees.
+func (sp *swPort) drainWaiting() {
+	s := sp.sw
 	for len(sp.waiting) > 0 {
 		h := sp.waiting[0]
 		if !s.spaceFor(sp, h.pkt) {

@@ -1,0 +1,53 @@
+package fabstore
+
+import (
+	"errors"
+	"fmt"
+
+	"fcc/internal/etrans"
+	"fcc/internal/sim"
+)
+
+// Staging returns shard si's ingest staging window as an etrans
+// segment (zero Size when the store was built without StagingBytes).
+// Callers land raw row images there (BulkWrite, or a feed from another
+// expander) and then IngestP moves them into place.
+func (s *Store) Staging(si int) etrans.Segment {
+	sh := &s.shards[si]
+	return etrans.Segment{Port: sh.Dev.Port, Addr: sh.StagingBase, Size: s.cfg.StagingBytes}
+}
+
+// IngestP bulk-loads rows [startKey, startKey+n) of tenant from src —
+// n*SlotSize contiguous row images already staged in fabric memory —
+// using one elastic transaction. The destination list is the key
+// range's shard runs, so a single etrans request scatters across every
+// expander the range touches; with migration agents attached the hosts
+// never touch the bytes (Principle #3's managed data movement).
+func (s *Store) IngestP(p *sim.Proc, et *etrans.Engine, tenant int, startKey, n uint64, src etrans.Segment) error {
+	if n == 0 {
+		return nil
+	}
+	if startKey+n > s.cfg.KeysPerTenant {
+		return errors.New("fabstore: ingest range exceeds tenant key space")
+	}
+	total := n * s.cfg.SlotSize
+	if src.Size != total {
+		return fmt.Errorf("fabstore: staged %d bytes for %d rows of %d", src.Size, n, s.cfg.SlotSize)
+	}
+	var dst []etrans.Segment
+	row := s.Row(tenant, startKey)
+	remaining := n
+	for remaining > 0 {
+		si, port, addr := s.rowAddr(row)
+		sh := &s.shards[si]
+		run := sh.FirstRow + sh.Rows - row
+		if run > remaining {
+			run = remaining
+		}
+		dst = append(dst, etrans.Segment{Port: port, Addr: addr, Size: run * s.cfg.SlotSize})
+		row += run
+		remaining -= run
+	}
+	_, err := et.Submit(&etrans.Request{Src: []etrans.Segment{src}, Dst: dst}).Await(p)
+	return err
+}

@@ -1,0 +1,100 @@
+package fabstore
+
+import (
+	"testing"
+
+	"fcc/internal/host"
+	"fcc/internal/sim"
+)
+
+// Layout tests exercise the shard map arithmetic directly — they need
+// no fabric, so hosts are only placeholders for client construction.
+func layoutStore(t *testing.T, cfg Config, devs []Device) *Store {
+	t.Helper()
+	// One throwaway host: enough for New to size the intent region.
+	eng := sim.NewEngine()
+	_ = eng
+	s, err := New(cfg, devs, []*host.Host{nil}) // clients unused here
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShardMapRangePartitioning(t *testing.T) {
+	cfg := Config{Tenants: 3, KeysPerTenant: 100, SlotSize: 64}
+	devs := []Device{{Port: 10, Capacity: 1 << 20}, {Port: 11, Capacity: 1 << 20}}
+	s, err := New(cfg, devs, nil)
+	if err == nil {
+		t.Fatal("no hosts accepted")
+	}
+	_ = s
+
+	st := layoutStore(t, cfg, devs)
+	if got := len(st.Shards()); got != 2 {
+		t.Fatalf("shards = %d", got)
+	}
+	// 300 rows over 2 devices: 150 each, contiguous.
+	if sh := st.Shards()[0]; sh.FirstRow != 0 || sh.Rows != 150 {
+		t.Fatalf("shard0 = %+v", sh)
+	}
+	if sh := st.Shards()[1]; sh.FirstRow != 150 || sh.Rows != 150 {
+		t.Fatalf("shard1 = %+v", sh)
+	}
+	// Row addressing: row 150 is shard 1's first slot.
+	si, port, addr := st.rowAddr(150)
+	if si != 1 || port != 11 || addr != st.Shards()[1].DataBase {
+		t.Fatalf("row 150 -> shard %d port %d addr %#x", si, port, addr)
+	}
+	// Tenant 2, key 99 is the last row.
+	if r := st.Row(2, 99); r != 299 {
+		t.Fatalf("Row(2,99) = %d", r)
+	}
+	// Intent regions sit above data + staging and never overlap rows.
+	sh := &st.shards[0]
+	if sh.IntentBase < sh.Rows*64 {
+		t.Fatalf("intents overlap data: %+v", sh)
+	}
+	a0 := st.intentAddr(sh, 0, 0)
+	a1 := st.intentAddr(sh, 0, 1)
+	if a1-a0 != st.recSize {
+		t.Fatalf("intent stride %d, want %d", a1-a0, st.recSize)
+	}
+}
+
+func TestLayoutCapacityCheck(t *testing.T) {
+	cfg := Config{Tenants: 16, KeysPerTenant: 1 << 12, SlotSize: 64}
+	_, err := New(cfg, []Device{{Port: 1, Capacity: 1 << 12}}, []*host.Host{nil})
+	if err == nil {
+		t.Fatal("oversized store accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	devs := []Device{{Port: 1, Capacity: 1 << 20}}
+	hosts := []*host.Host{nil}
+	for _, bad := range []Config{
+		{Tenants: 0, KeysPerTenant: 1},
+		{Tenants: 1, KeysPerTenant: 0},
+		{Tenants: 1, KeysPerTenant: 1, SlotSize: 63},
+		{Tenants: 1, KeysPerTenant: 1, SlotSize: 456},
+		{Tenants: 1, KeysPerTenant: 1, SlotSize: 128, HotKeys: 1},
+	} {
+		if _, err := New(bad, devs, hosts); err == nil {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestFillValueDeterministic(t *testing.T) {
+	a, b := make([]byte, 64), make([]byte, 64)
+	FillValue(a, 3, 17, 5)
+	FillValue(b, 3, 17, 5)
+	if string(a) != string(b) {
+		t.Fatal("FillValue not deterministic")
+	}
+	FillValue(b, 3, 17, 6)
+	if string(a) == string(b) {
+		t.Fatal("FillValue ignores stamp")
+	}
+}

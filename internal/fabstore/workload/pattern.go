@@ -1,0 +1,55 @@
+// Package workload generates deterministic key-value traffic for
+// FabStore and the other KV-shaped experiments. Everything is seeded
+// through sim.RNG — never math/rand — so two runs at the same seed draw
+// identical streams regardless of host platform or map iteration order.
+package workload
+
+import "fcc/internal/sim"
+
+// Pattern is the shared seeded Zipf access sampler. It used to be
+// copy-pasted (with slight drift) across examples/farmem, the uheap
+// ablation behind fccbench, and every new workload; one copy lives here
+// now, and the FabStore generator composes two of them (tenants, keys).
+type Pattern struct {
+	// RNG is the pattern's private stream; callers may draw from it for
+	// auxiliary choices (offsets, value bytes) so the whole access
+	// sequence stays a function of the one seed.
+	RNG *sim.RNG
+
+	keys       *sim.Zipf
+	writeEvery int // one op in writeEvery is a write (0 = read-only)
+}
+
+// NewPattern builds a Zipf(skew) sampler over nKeys keys. writeEvery
+// picks writes at rate 1/writeEvery (0 disables writes). skew 0 is
+// uniform.
+func NewPattern(seed uint64, nKeys int, skew float64, writeEvery int) *Pattern {
+	rng := sim.NewRNG(seed)
+	return &Pattern{RNG: rng, keys: sim.NewZipf(rng, nKeys, skew), writeEvery: writeEvery}
+}
+
+// Next draws the next access: which key, and whether it is a write.
+func (pat *Pattern) Next() (key int, write bool) {
+	key = pat.keys.Next()
+	if pat.writeEvery > 0 {
+		write = pat.RNG.Intn(pat.writeEvery) == 0
+	}
+	return key, write
+}
+
+// Drive runs the classic closed-loop sweep the examples and ablations
+// share: ops accesses with a fixed think time between them, recording
+// per-op latency into lat only once i >= warmup (steady state). The
+// callback performs the actual access.
+func (pat *Pattern) Drive(p *sim.Proc, ops, warmup int, think sim.Time,
+	lat *sim.Histogram, do func(p *sim.Proc, key int, write bool)) {
+	for i := 0; i < ops; i++ {
+		key, write := pat.Next()
+		start := p.Now()
+		do(p, key, write)
+		if i >= warmup {
+			lat.ObserveTime(p.Now() - start)
+		}
+		p.Sleep(think)
+	}
+}

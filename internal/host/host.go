@@ -213,6 +213,12 @@ func (h *Host) MapRemote(name string, base, size uint64, devPort flit.PortID, de
 // (snoops from coherence directories, task shipping, migration control).
 func (h *Host) Handle(op flit.Op, fn txn.Handler) { h.handlers[op] = fn }
 
+// Handler returns the currently registered handler for op (nil when
+// none). Services that multiplex one opcode — a host caching lines from
+// several coherence directories, say — capture it to chain dispatch
+// instead of silently clobbering the previous registration.
+func (h *Host) Handler(op flit.Op) txn.Handler { return h.handlers[op] }
+
 func (h *Host) dispatch(req *flit.Packet, reply func(*flit.Packet)) {
 	if fn, ok := h.handlers[req.Op]; ok {
 		fn(req, reply)

@@ -9,7 +9,13 @@ import "encoding/json"
 //
 // v2: cluster exports grew the "fault" (injector blast-radius counters)
 // and "manager" (failure detection / route-around) subtrees.
-const SnapshotSchemaVersion = 2
+//
+// v3: histograms export "p999" (FabStore's tail-latency contract is
+// stated at p99/p999), and cluster exports may carry a "fabstore"
+// subtree (per-client committed/typed-error counters, per-endpoint
+// retries/timeouts feeding the zero-unaccounted audit, latency
+// histograms).
+const SnapshotSchemaVersion = 3
 
 // StatsSnapshot is the machine-readable form of a Stats tree at one
 // instant. Maps marshal with sorted keys, and children preserve
@@ -37,6 +43,7 @@ type HistSnapshot struct {
 	P50    float64 `json:"p50"`
 	P90    float64 `json:"p90"`
 	P99    float64 `json:"p99"`
+	P999   float64 `json:"p999"`
 }
 
 // SnapshotHistogram captures a histogram's summary.
@@ -51,6 +58,7 @@ func SnapshotHistogram(h *Histogram) HistSnapshot {
 		P50:    h.Quantile(0.50),
 		P90:    h.Quantile(0.90),
 		P99:    h.Quantile(0.99),
+		P999:   h.Quantile(0.999),
 	}
 }
 

@@ -211,6 +211,37 @@ func (h *Histogram) Observe(v float64) {
 // ObserveTime records a duration sample in nanoseconds.
 func (h *Histogram) ObserveTime(t Time) { h.Observe(t.Nanoseconds()) }
 
+// Merge folds every sample of o into h (o is unchanged). Buckets add
+// exactly, so quantiles of the merged histogram equal those of a
+// histogram that observed both sample streams directly — this is how
+// per-shard latency histograms (which must stay engine-private for
+// determinism) combine into one fabric-wide tail after the run. Bucket
+// keys are visited in sorted order, so the merge itself is
+// deterministic.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	h.sumSq += o.sumSq
+	h.zeros += o.zeros
+	o.ensureSorted()
+	for _, i := range o.posKeys {
+		h.pos[i] += o.pos[i]
+	}
+	for _, i := range o.negKeys {
+		h.neg[i] += o.neg[i]
+	}
+	h.sorted = false
+}
+
 // Count reports the number of samples.
 func (h *Histogram) Count() int { return int(h.count) }
 

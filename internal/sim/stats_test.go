@@ -248,13 +248,28 @@ func buildSnapshotFixture() *Stats {
 	fh.Observe(20000)
 	fh.Observe(50000)
 	fh.Observe(80000)
+	// v3: the FabStore subtree — per-client transaction accounting plus
+	// the endpoint retry/timeout counters the zero-unaccounted audit
+	// (issued == committed + typed errors) consumes.
+	fs := root.Child("fabstore")
+	cl := fs.Child("host0")
+	cl.Counter("issued").Add(500)
+	cl.Counter("committed").Add(498)
+	cl.Counter("typed_errors").Add(2)
+	cl.Counter("quota_stalls").Add(7)
+	cl.Counter("retries").Add(3)
+	cl.Counter("timeouts").Add(2)
+	pl := cl.Histogram("put_lat_ns")
+	for i := 1; i <= 1000; i++ {
+		pl.Observe(float64(i))
+	}
 	return root
 }
 
 func TestSnapshotGoldenJSON(t *testing.T) {
 	// The JSON export is an interface: BENCH_*.json trajectories and any
 	// external tooling parse it. Byte-compare against the checked-in
-	// schema-v2 golden so accidental schema drift fails loudly.
+	// golden for the current schema so accidental drift fails loudly.
 	got, err := buildSnapshotFixture().Snapshot().MarshalJSONIndent()
 	if err != nil {
 		t.Fatal(err)
@@ -293,7 +308,7 @@ func TestSnapshotRoundTrips(t *testing.T) {
 	if back.Counters["pkts_routed"] != 12 || back.Gauges["endpoints"] != 3 {
 		t.Fatalf("root metrics lost: %+v", back)
 	}
-	if len(back.Children) != 4 || back.Children[0].Name != "port0" {
+	if len(back.Children) != 5 || back.Children[0].Name != "port0" {
 		t.Fatalf("children lost: %+v", back.Children)
 	}
 	ft := back.Children[3]
@@ -312,6 +327,57 @@ func TestSnapshotRoundTrips(t *testing.T) {
 	}
 	if _, ok := back.Children[1].Counters["hol_stalls"]; !ok {
 		t.Fatal("zero counters must still be exported")
+	}
+	fs := back.Children[4]
+	if fs.Name != "fabstore" || len(fs.Children) != 1 {
+		t.Fatalf("fabstore subtree lost: %+v", fs)
+	}
+	cl := fs.Children[0]
+	if cl.Counters["issued"] != 500 || cl.Counters["retries"] != 3 || cl.Counters["timeouts"] != 2 {
+		t.Fatalf("fabstore client audit counters lost: %+v", cl)
+	}
+	if pl := cl.Histograms["put_lat_ns"]; pl.P999 < pl.P99 || pl.P999 > pl.Max || pl.P999 == 0 {
+		t.Fatalf("p999 not exported sanely: %+v", pl)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	// Merging per-shard histograms must equal observing the union
+	// directly — that is what makes post-run tail aggregation legal.
+	direct, a, b := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := NewRNG(99)
+	for i := 0; i < 5000; i++ {
+		v := rng.Float64()*1e6 - 1e3 // include negatives and ~0
+		direct.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != direct.Count() || a.Min() != direct.Min() || a.Max() != direct.Max() {
+		t.Fatalf("moments diverged: merged n=%d, direct n=%d", a.Count(), direct.Count())
+	}
+	// Sums accumulate in a different order, so allow float rounding.
+	if d := math.Abs(a.Sum()-direct.Sum()) / math.Abs(direct.Sum()); d > 1e-12 {
+		t.Fatalf("sum diverged beyond rounding: merged %g direct %g", a.Sum(), direct.Sum())
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if a.Quantile(q) != direct.Quantile(q) {
+			t.Fatalf("q=%g: merged %g != direct %g", q, a.Quantile(q), direct.Quantile(q))
+		}
+	}
+	// Merging an empty histogram is a no-op; merging into empty copies.
+	empty := NewHistogram()
+	empty.Merge(direct)
+	if empty.Count() != direct.Count() || empty.Quantile(0.999) != direct.Quantile(0.999) {
+		t.Fatal("merge into empty lost samples")
+	}
+	before := direct.Count()
+	direct.Merge(NewHistogram())
+	if direct.Count() != before {
+		t.Fatal("merging empty changed the receiver")
 	}
 }
 

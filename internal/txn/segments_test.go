@@ -1,0 +1,48 @@
+package txn
+
+import (
+	"math"
+	"testing"
+
+	"fcc/internal/link"
+)
+
+// TestSegmentsEdges pins the bulk-transfer segmentation at its
+// boundaries: empty transfers produce no packets, an exact-MTU transfer
+// produces exactly one, one byte over spills into a second, and the
+// largest expressible transfer conserves every byte.
+func TestSegmentsEdges(t *testing.T) {
+	if got := segments(0); len(got) != 0 {
+		t.Errorf("segments(0) = %v, want none", got)
+	}
+
+	one := segments(link.MaxPacketPayload)
+	if len(one) != 1 || one[0] != link.MaxPacketPayload {
+		t.Errorf("segments(MTU) = %v, want one full chunk", one)
+	}
+
+	spill := segments(link.MaxPacketPayload + 1)
+	if len(spill) != 2 || spill[0] != link.MaxPacketPayload || spill[1] != 1 {
+		t.Errorf("segments(MTU+1) = %v, want [MTU 1]", spill)
+	}
+
+	const max = math.MaxUint32
+	chunks := segments(max)
+	var sum uint64
+	for i, c := range chunks {
+		if c == 0 || c > link.MaxPacketPayload {
+			t.Fatalf("chunk %d has size %d, outside (0, MTU]", i, c)
+		}
+		if c < link.MaxPacketPayload && i != len(chunks)-1 {
+			t.Fatalf("short chunk %d (%d bytes) before the tail", i, c)
+		}
+		sum += uint64(c)
+	}
+	if sum != max {
+		t.Errorf("segments(MaxUint32) sums to %d, want %d", sum, uint64(max))
+	}
+	wantChunks := (max + link.MaxPacketPayload - 1) / link.MaxPacketPayload
+	if len(chunks) != wantChunks {
+		t.Errorf("segments(MaxUint32) = %d chunks, want %d", len(chunks), wantChunks)
+	}
+}

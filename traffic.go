@@ -18,6 +18,10 @@ type TrafficMatrix struct {
 	// cells[src][dev] = bytes served by dev for initiator src.
 	cells map[flit.PortID]map[flit.PortID]uint64
 	ops   map[flit.PortID]map[flit.PortID]uint64
+	// devIDs lists every observed device in attach order, so a device
+	// that served no traffic still renders as an all-zero column — an
+	// idle expander is information, not noise.
+	devIDs []flit.PortID
 }
 
 // CollectTraffic installs access observers on every FAM and returns the
@@ -33,6 +37,7 @@ func (c *Cluster) CollectTraffic() *TrafficMatrix {
 	}
 	for _, f := range c.FAMs {
 		dev := f.ID()
+		tm.devIDs = append(tm.devIDs, dev)
 		f.OnAccess = func(pkt *flit.Packet) {
 			n := uint64(pkt.Size)
 			if n == 0 {
@@ -57,6 +62,9 @@ func (tm *TrafficMatrix) Bytes(src, dev flit.PortID) uint64 { return tm.cells[sr
 func (tm *TrafficMatrix) Render() string {
 	var srcs, devs []flit.PortID
 	devSet := map[flit.PortID]bool{}
+	for _, d := range tm.devIDs {
+		devSet[d] = true
+	}
 	for s, row := range tm.cells {
 		srcs = append(srcs, s)
 		for d := range row {
