@@ -25,11 +25,14 @@ fmtcheck:
 
 # lint is the determinism/engine-invariant gate: gofmt drift, go vet,
 # and fcclint's analyzers (detban, maporder, procblock, errcmp,
-# hotpath, concban — see DESIGN.md "Simulator invariants"). fcclint
-# also runs standalone:
-#   go run ./cmd/fcclint ./...
+# hotpath, concban, plus the interprocedural detflow, poolref and
+# tiesort — see DESIGN.md "Simulator invariants"). -timing prints the
+# load/analyze wall time and the per-analyzer breakdown on stderr, so a
+# slow analyzer shows up in every CI log. fcclint also runs standalone:
+#   go run ./cmd/fcclint ./...            # plain
+#   go run ./cmd/fcclint -json ./...      # machine-readable findings
 lint: fmtcheck vet
-	$(GO) run ./cmd/fcclint ./...
+	$(GO) run ./cmd/fcclint -timing ./...
 
 test:
 	$(GO) test ./...

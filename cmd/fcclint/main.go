@@ -6,6 +6,8 @@
 //
 //	go run ./cmd/fcclint ./...          # what `make lint` runs
 //	go run ./cmd/fcclint -list          # describe the analyzers
+//	go run ./cmd/fcclint -json ./...    # machine-readable findings
+//	go run ./cmd/fcclint -timing ./...  # per-analyzer wall time
 //	go run ./cmd/fcclint -allow my.allow ./internal/...
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 load/usage error.
@@ -15,17 +17,34 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"time"
 
 	"fcc/internal/lint"
 )
 
+// jsonDiag is the machine-readable finding shape. Fields are chosen so
+// downstream tooling can key on (file, line, analyzer) stably: file is
+// module-root relative with forward slashes on every platform.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	allowPath := flag.String("allow", "", "allowlist file (default: .fcclint.allow at the module root)")
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (stable order) instead of text")
+	timing := flag.Bool("timing", false, "report per-analyzer wall time on stderr")
+	workers := flag.Int("workers", 0, "analysis parallelism (0 = min(GOMAXPROCS, 8))")
 	flag.Parse()
 
 	if *list {
@@ -39,14 +58,20 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(".", patterns...)
+	t0 := time.Now()
+	pkgs, err := lint.LoadWorkers(".", *workers, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fcclint:", err)
 		os.Exit(2)
 	}
+	loadDur := time.Since(t0)
 	path := *allowPath
-	if path == "" && len(pkgs) > 0 && pkgs[0].ModuleDir != "" {
-		path = filepath.Join(pkgs[0].ModuleDir, ".fcclint.allow")
+	moduleDir := ""
+	if len(pkgs) > 0 {
+		moduleDir = pkgs[0].ModuleDir
+	}
+	if path == "" && moduleDir != "" {
+		path = filepath.Join(moduleDir, ".fcclint.allow")
 	}
 	allow, err := lint.ParseAllowlist(path)
 	if err != nil {
@@ -54,16 +79,60 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := lint.Run(pkgs, lint.Analyzers(), allow)
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if wd, err := os.Getwd(); err == nil {
-			if r, err := filepath.Rel(wd, rel); err == nil {
-				rel = r
+	t1 := time.Now()
+	diags, perAnalyzer := lint.RunOpts(pkgs, lint.Analyzers(), allow,
+		lint.Options{Workers: *workers, Timing: *timing})
+	runDur := time.Since(t1)
+
+	rel := func(p string) string {
+		base := moduleDir
+		if base == "" {
+			base, _ = os.Getwd()
+		}
+		if base != "" {
+			if r, err := filepath.Rel(base, p); err == nil {
+				p = r
 			}
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		return filepath.ToSlash(p)
 	}
+
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     rel(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "fcclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+
+	if *timing {
+		names := make([]string, 0, len(perAnalyzer))
+		for name := range perAnalyzer {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return perAnalyzer[names[i]] > perAnalyzer[names[j]] })
+		fmt.Fprintf(os.Stderr, "fcclint: load %v, analyze %v (%d packages, %d analyzers)\n",
+			loadDur.Round(time.Millisecond), runDur.Round(time.Millisecond), len(pkgs), len(perAnalyzer))
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "  %-10s %v\n", name, perAnalyzer[name].Round(10*time.Microsecond))
+		}
+	}
+
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "fcclint: %d violation(s) across %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)

@@ -65,9 +65,26 @@ func (al *Allowlist) Allows(analyzer, relPath string) bool {
 		return false
 	}
 	for _, r := range al.rules {
-		if (r.analyzer == "*" || r.analyzer == analyzer) && strings.HasPrefix(relPath, r.prefix) {
+		if (r.analyzer == "*" || r.analyzer == analyzer) && prefixMatch(r.prefix, relPath) {
 			return true
 		}
 	}
 	return false
+}
+
+// prefixMatch matches a slash-separated path prefix on segment
+// boundaries: `internal/sim` (with or without a trailing slash) covers
+// `internal/sim/engine.go` and nested directories, but NOT
+// `internal/simx/...` — a naive string prefix would, and an allowlist
+// rule silently widening to a sibling package is exactly the kind of
+// hole a lint gate must not have.
+func prefixMatch(prefix, relPath string) bool {
+	prefix = strings.TrimSuffix(prefix, "/")
+	if prefix == "" {
+		return true
+	}
+	if !strings.HasPrefix(relPath, prefix) {
+		return false
+	}
+	return len(relPath) == len(prefix) || relPath[len(prefix)] == '/'
 }

@@ -20,11 +20,57 @@ import (
 // cmd/ binaries are exempted via .fcclint.allow (they orchestrate whole
 // private simulations per worker, never sharing one).
 func Concban() *Analyzer {
-	return &Analyzer{
+	a := &Analyzer{
 		Name: "concban",
 		Doc:  "ban bare goroutines/channels in sim-facing code (use sim.Mailbox / the coordinator)",
-		Run:  runConcban,
 	}
+	a.Run = func(pass *Pass) {
+		p := pass.Pkg
+		active := map[*ast.File]bool{}
+		pass.OnFile(func(f *ast.File) {
+			active[f] = concbanApplies(p, f) && !concTagged(f)
+		})
+		isChan := func(e ast.Expr) bool {
+			tv, ok := p.Info.Types[e]
+			if !ok || tv.Type == nil {
+				return false
+			}
+			_, is := tv.Type.Underlying().(*types.Chan)
+			return is
+		}
+		pass.Inspect(func(c *Cursor) {
+			if !active[c.File] {
+				return
+			}
+			switch n := c.Node.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in sim-facing code; parallelism belongs to the sim.Coordinator (tag the file //fcclint:conc if it is sanctioned engine machinery)")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select in sim-facing code; engine code is single-threaded per shard — schedule events instead")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in sim-facing code; cross-engine traffic must go through a sim.Mailbox")
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" {
+					pass.Reportf(n.Pos(), "channel receive in sim-facing code; cross-engine traffic must go through a sim.Mailbox")
+				}
+			case *ast.CallExpr:
+				if b, ok := builtinCallee(p, n); ok {
+					switch b {
+					case "make":
+						if len(n.Args) > 0 && isChan(n.Args[0]) {
+							pass.Reportf(n.Pos(), "make(chan) in sim-facing code; the sanctioned cross-engine channel machinery lives in internal/sim (tagged //fcclint:conc)")
+						}
+					case "close":
+						if len(n.Args) == 1 && isChan(n.Args[0]) {
+							pass.Reportf(n.Pos(), "close(chan) in sim-facing code; cross-engine traffic must go through a sim.Mailbox")
+						}
+					}
+				}
+			}
+		}, (*ast.GoStmt)(nil), (*ast.SelectStmt)(nil), (*ast.SendStmt)(nil),
+			(*ast.UnaryExpr)(nil), (*ast.CallExpr)(nil))
+	}
+	return a
 }
 
 // concTagged reports whether f carries the //fcclint:conc directive.
@@ -53,57 +99,4 @@ func concbanApplies(p *Package, f *ast.File) bool {
 		}
 	}
 	return false
-}
-
-func runConcban(p *Package) []Diagnostic {
-	var diags []Diagnostic
-	report := func(n ast.Node, msg string) {
-		diags = append(diags, Diagnostic{
-			Analyzer: "concban",
-			Pos:      p.Fset.Position(n.Pos()),
-			Message:  msg,
-		})
-	}
-	isChan := func(e ast.Expr) bool {
-		tv, ok := p.Info.Types[e]
-		if !ok || tv.Type == nil {
-			return false
-		}
-		_, is := tv.Type.Underlying().(*types.Chan)
-		return is
-	}
-	for _, f := range p.Files {
-		if !concbanApplies(p, f) || concTagged(f) {
-			continue
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.GoStmt:
-				report(n, "go statement in sim-facing code; parallelism belongs to the sim.Coordinator (tag the file //fcclint:conc if it is sanctioned engine machinery)")
-			case *ast.SelectStmt:
-				report(n, "select in sim-facing code; engine code is single-threaded per shard — schedule events instead")
-			case *ast.SendStmt:
-				report(n, "channel send in sim-facing code; cross-engine traffic must go through a sim.Mailbox")
-			case *ast.UnaryExpr:
-				if n.Op.String() == "<-" {
-					report(n, "channel receive in sim-facing code; cross-engine traffic must go through a sim.Mailbox")
-				}
-			case *ast.CallExpr:
-				if b, ok := builtinCallee(p, n); ok {
-					switch b {
-					case "make":
-						if len(n.Args) > 0 && isChan(n.Args[0]) {
-							report(n, "make(chan) in sim-facing code; the sanctioned cross-engine channel machinery lives in internal/sim (tagged //fcclint:conc)")
-						}
-					case "close":
-						if len(n.Args) == 1 && isChan(n.Args[0]) {
-							report(n, "close(chan) in sim-facing code; cross-engine traffic must go through a sim.Mailbox")
-						}
-					}
-				}
-			}
-			return true
-		})
-	}
-	return diags
 }

@@ -1,7 +1,6 @@
 package lint
 
 import (
-	"fmt"
 	"go/ast"
 	"strconv"
 )
@@ -51,52 +50,37 @@ var detbanImports = map[string]string{
 // breaks it. Virtual time comes from sim.Engine, randomness from a
 // seeded *sim.RNG. cmd/ binaries are exempted via .fcclint.allow.
 func Detban() *Analyzer {
-	return &Analyzer{
+	a := &Analyzer{
 		Name: "detban",
 		Doc:  "ban wall-clock time, global randomness, and env reads in simulation code",
-		Run:  runDetban,
 	}
-}
-
-func runDetban(p *Package) []Diagnostic {
-	var diags []Diagnostic
-	for _, f := range p.Files {
-		for _, imp := range f.Imports {
-			path, err := strconv.Unquote(imp.Path.Value)
-			if err != nil {
-				continue
+	a.Run = func(pass *Pass) {
+		pass.OnFile(func(f *ast.File) {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if why, ok := detbanImports[path]; ok {
+					pass.Reportf(imp.Pos(), "import of %s is banned in simulation code: %s", path, why)
+				}
 			}
-			if why, ok := detbanImports[path]; ok {
-				diags = append(diags, Diagnostic{
-					Analyzer: "detban",
-					Pos:      p.Fset.Position(imp.Pos()),
-					Message:  fmt.Sprintf("import of %s is banned in simulation code: %s", path, why),
-				})
-			}
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			obj := p.Info.Uses[sel.Sel]
+		})
+		pass.Inspect(func(c *Cursor) {
+			sel := c.Node.(*ast.SelectorExpr)
+			obj := pass.Pkg.Info.Uses[sel.Sel]
 			if obj == nil {
-				return true
+				return
 			}
 			byName, ok := detbanFuncs[pkgPathOf(obj)]
 			if !ok {
-				return true
+				return
 			}
 			if why, ok := byName[obj.Name()]; ok {
-				diags = append(diags, Diagnostic{
-					Analyzer: "detban",
-					Pos:      p.Fset.Position(sel.Pos()),
-					Message: fmt.Sprintf("%s.%s is banned in simulation code: %s",
-						pkgPathOf(obj), obj.Name(), why),
-				})
+				pass.Reportf(sel.Pos(), "%s.%s is banned in simulation code: %s",
+					pkgPathOf(obj), obj.Name(), why)
 			}
-			return true
-		})
+		}, (*ast.SelectorExpr)(nil))
 	}
-	return diags
+	return a
 }

@@ -1,0 +1,752 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Detflow is the interprocedural generalization of maporder: it tracks
+// nondeterminism-tainted VALUES from their sources, through
+// assignments, calls, and returns — across function and package
+// boundaries via exported function summaries — into snapshot-observable
+// sinks. maporder catches `for k := range m { eng.After(m[k], …) }`;
+// detflow catches the same flow after the loop has been refactored into
+// a helper in another package, which is exactly how the PR 6
+// (StallPicks) and PR 7 (crossbar arbitration) determinism bugs hid
+// from the single-function analyzers.
+//
+// Sources of taint:
+//   - collections assembled in map-iteration order (append/concat of
+//     range-over-map keys or values) that are not canonically sorted
+//   - pointer-formatted strings (fmt.Sprintf("%p", …), fmt.Sprint of a
+//     pointer/chan/func value)
+//   - unsafe.Pointer → uintptr conversions (addresses as integers)
+//   - calls to functions whose summary says the result is tainted
+//
+// Sinks (all observable in the stats snapshot or the engine's event
+// sequence):
+//   - sim.Stats registration names (Counter/Register/Histogram/
+//     RegisterHistogram/Gauge/Child) — the registry preserves
+//     registration order in Dump and Snapshot
+//   - sim.Histogram.Observe/ObserveTime and sim.Counter.Add values
+//   - sim.Engine.At/After/At2/After2 schedule times — same-instant
+//     insertion order assigns event sequence numbers
+//   - fmt output and encoding/json encoding
+//   - calls to functions whose summary says the parameter reaches one
+//     of the above
+//
+// Canonicalization clears taint: passing a collection through
+// sort.*/slices.* restores determinism, so the canonical
+// collect-sort-use sweep passes here exactly as it does in maporder.
+//
+// Order-only taint (a bare map key/value, deterministic as a set but
+// not as a sequence) triggers only order-sensitive sinks (scheduling,
+// registration, output); concrete taint (addresses, order-assembled
+// collections) triggers value sinks too. The sim package itself — the
+// machinery being protected — is exempt, as are test files (never
+// loaded) and function literals (analyzed only as part of their
+// enclosing function's effects, not summarized).
+func Detflow() *Analyzer {
+	a := &Analyzer{
+		Name: "detflow",
+		Doc:  "interprocedural taint tracking from nondeterministic sources into snapshot-observable sinks",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Path == simPkgPath {
+			return
+		}
+		var decls []*ast.FuncDecl
+		pass.Inspect(func(c *Cursor) {
+			fd := c.Node.(*ast.FuncDecl)
+			if fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}, (*ast.FuncDecl)(nil))
+		pass.OnFinish(func() {
+			// Two fact-only rounds reach a fixpoint for same-package
+			// call chains regardless of declaration order (facts from
+			// imported packages are already final); the third round
+			// reports.
+			for round := 0; round < 3; round++ {
+				report := round == 2
+				for _, fd := range decls {
+					analyzeDetflow(pass, fd, report)
+				}
+			}
+		})
+	}
+	return a
+}
+
+// detflowFact is the exported summary of one function.
+type detflowFact struct {
+	// SinkParams maps a parameter slot (receiver first, if any) to the
+	// sink a value passed there eventually reaches.
+	SinkParams map[int]detflowSink
+	// ReturnTaint is the concrete nondeterminism the result carries
+	// ("" = clean result).
+	ReturnTaint string
+	// ReturnParams are the parameter slots the result derives from.
+	ReturnParams uint32
+}
+
+// detflowSink describes a snapshot-observable sink.
+type detflowSink struct {
+	Desc string
+	// OrderOnly sinks fire even for order-only taint (bare map keys):
+	// scheduling, registration, and output observe the SEQUENCE of
+	// values, not just each value. Value sinks (histogram observations,
+	// counter increments) are commutative and need concrete taint.
+	OrderOnly bool
+}
+
+// detflowTaint is the abstract value of one expression or variable.
+type detflowTaint struct {
+	reason  string // concrete nondeterminism source, "" if none
+	mapIter bool   // order-only: a map-iteration key/value
+	params  uint32 // derives from these parameter slots
+}
+
+func (t detflowTaint) concrete() bool { return t.reason != "" }
+func (t detflowTaint) any() bool      { return t.reason != "" || t.mapIter || t.params != 0 }
+
+func mergeTaint(a, b detflowTaint) detflowTaint {
+	out := a
+	if out.reason == "" {
+		out.reason = b.reason
+	}
+	out.mapIter = out.mapIter || b.mapIter
+	out.params |= b.params
+	return out
+}
+
+// detflowSimSinks are the known sinks in fcc/internal/sim, keyed by
+// "(Recv).Method"; the value names the sink and gives the order-only
+// classification plus which call argument is sensitive.
+var detflowSimSinks = map[string]struct {
+	arg       int
+	desc      string
+	orderOnly bool
+}{
+	"(Stats).Counter":           {0, "a stats registration name (registration order is snapshot-observable)", true},
+	"(Stats).Register":          {0, "a stats registration name (registration order is snapshot-observable)", true},
+	"(Stats).Histogram":         {0, "a stats registration name (registration order is snapshot-observable)", true},
+	"(Stats).RegisterHistogram": {0, "a stats registration name (registration order is snapshot-observable)", true},
+	"(Stats).Gauge":             {0, "a stats registration name (registration order is snapshot-observable)", true},
+	"(Stats).Child":             {0, "a stats registry name (registration order is snapshot-observable)", true},
+	"(Histogram).Observe":       {0, "a histogram observation", false},
+	"(Histogram).ObserveTime":   {0, "a histogram observation", false},
+	"(Counter).Add":             {0, "a counter increment", false},
+	"(Engine).At":               {0, "an event schedule time (insertion order assigns event sequence numbers)", true},
+	"(Engine).After":            {0, "an event schedule time (insertion order assigns event sequence numbers)", true},
+	"(Engine).At2":              {0, "an event schedule time (insertion order assigns event sequence numbers)", true},
+	"(Engine).After2":           {0, "an event schedule time (insertion order assigns event sequence numbers)", true},
+}
+
+// detflowFmtSinks are output functions: anything they format becomes
+// externally visible in argument order.
+var detflowFmtSinks = map[string]map[string]bool{
+	"fmt":           {"Print": true, "Printf": true, "Println": true, "Fprint": true, "Fprintf": true, "Fprintln": true},
+	"encoding/json": {"Marshal": true, "MarshalIndent": true},
+}
+
+// detflowAnalysis holds the per-function walk state.
+type detflowAnalysis struct {
+	pass   *Pass
+	report bool
+	state  map[types.Object]detflowTaint
+	slots  map[types.Object]int // param object -> slot index
+	fact   *detflowFact
+	seen   map[string]bool // report dedup (loop bodies walk twice)
+}
+
+func analyzeDetflow(pass *Pass, fd *ast.FuncDecl, report bool) {
+	fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	da := &detflowAnalysis{
+		pass:   pass,
+		report: report,
+		state:  map[types.Object]detflowTaint{},
+		slots:  map[types.Object]int{},
+		fact:   &detflowFact{SinkParams: map[int]detflowSink{}},
+		seen:   map[string]bool{},
+	}
+	// Parameter slots: receiver first, then parameters, each tainted
+	// symbolically with its own slot bit so sink reachability can be
+	// summarized for callers.
+	slot := 0
+	bind := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.Pkg.Info.Defs[name]; obj != nil && slot < 32 {
+					da.slots[obj] = slot
+					da.state[obj] = detflowTaint{params: 1 << slot}
+					slot++
+				}
+			}
+		}
+	}
+	bind(fd.Recv)
+	bind(fd.Type.Params)
+	da.block(fd.Body.List)
+	// Export the summary (merge with a prior round's: rounds only add).
+	if len(da.fact.SinkParams) > 0 || da.fact.ReturnTaint != "" || da.fact.ReturnParams != 0 {
+		pass.ExportFact(fn, da.fact)
+	}
+}
+
+func (da *detflowAnalysis) info() *types.Info { return da.pass.Pkg.Info }
+
+func (da *detflowAnalysis) reportf(pos token.Pos, format string, args ...any) {
+	if !da.report {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if da.seen[key] {
+		return
+	}
+	da.seen[key] = true
+	da.pass.Reportf(pos, "%s", msg)
+}
+
+// rootObj returns the variable at the base of an lvalue/expression
+// chain (x, x.f, x[i], *x, …), or nil.
+func (da *detflowAnalysis) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return da.info().Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// taintOf evaluates an expression's abstract taint.
+func (da *detflowAnalysis) taintOf(e ast.Expr) detflowTaint {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := da.info().Uses[e]; obj != nil {
+			return da.state[obj]
+		}
+	case *ast.SelectorExpr:
+		// Field read of a tainted value stays tainted; a qualified
+		// package identifier carries nothing.
+		if _, isPkg := da.info().Uses[e.Sel].(*types.PkgName); isPkg {
+			return detflowTaint{}
+		}
+		return da.taintOf(e.X)
+	case *ast.BinaryExpr:
+		return mergeTaint(da.taintOf(e.X), da.taintOf(e.Y))
+	case *ast.UnaryExpr:
+		return da.taintOf(e.X)
+	case *ast.StarExpr:
+		return da.taintOf(e.X)
+	case *ast.IndexExpr:
+		return da.taintOf(e.X)
+	case *ast.SliceExpr:
+		return da.taintOf(e.X)
+	case *ast.TypeAssertExpr:
+		return da.taintOf(e.X)
+	case *ast.CompositeLit:
+		var t detflowTaint
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			t = mergeTaint(t, da.taintOf(el))
+		}
+		return t
+	case *ast.CallExpr:
+		return da.taintOfCall(e)
+	}
+	return detflowTaint{}
+}
+
+// taintOfCall evaluates a call's result taint, reports tainted
+// arguments reaching sinks, and accumulates sink-parameter facts.
+func (da *detflowAnalysis) taintOfCall(call *ast.CallExpr) detflowTaint {
+	info := da.info()
+
+	// Builtins.
+	if b, ok := builtinCallee(da.pass.Pkg, call); ok {
+		switch b {
+		case "append":
+			var t detflowTaint
+			for i, arg := range call.Args {
+				at := da.taintOf(arg)
+				if i > 0 && at.mapIter {
+					// Appending a map-iteration value fixes the
+					// iteration order into a sequence: concrete taint.
+					at.reason = "a collection assembled in map-iteration order"
+					at.mapIter = false
+				}
+				t = mergeTaint(t, at)
+			}
+			return t
+		case "len", "cap":
+			return detflowTaint{} // cardinality is order-free
+		default:
+			var t detflowTaint
+			for _, arg := range call.Args {
+				t = mergeTaint(t, da.taintOf(arg))
+			}
+			return t
+		}
+	}
+
+	// Conversions: unsafe.Pointer -> uintptr mints an address.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Kind() == types.Uintptr {
+			if at, ok := info.Types[call.Args[0]]; ok {
+				if ab, ok := at.Type.Underlying().(*types.Basic); ok && ab.Kind() == types.UnsafePointer {
+					return detflowTaint{reason: "an unsafe.Pointer address converted to uintptr"}
+				}
+			}
+		}
+		return da.taintOf(call.Args[0])
+	}
+
+	obj := calleeObj(info, call)
+
+	// fmt.Sprint* sources: pointer formatting bakes an address into a
+	// string.
+	if pkgPathOf(obj) == "fmt" && strings.HasPrefix(obj.Name(), "Sprint") {
+		t := detflowTaint{}
+		args := call.Args
+		if obj.Name() == "Sprintf" && len(args) > 0 {
+			if lit, ok := ast.Unparen(args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING && formatHasPointerVerb(lit.Value) {
+				t.reason = "a pointer-formatted string (%p)"
+			}
+			args = args[1:]
+		} else {
+			for _, arg := range args {
+				if tv, ok := info.Types[arg]; ok && isAddressKind(tv.Type) {
+					t.reason = "a pointer value formatted as text (its address)"
+					break
+				}
+			}
+		}
+		for _, arg := range args {
+			t = mergeTaint(t, da.taintOf(arg))
+		}
+		return t
+	}
+
+	// Canonicalization: sort.* / slices.* clears the sorted argument.
+	if path := pkgPathOf(obj); path == "sort" || path == "slices" {
+		for _, arg := range call.Args {
+			if root := da.rootObj(arg); root != nil {
+				if t, ok := da.state[root]; ok && t.any() {
+					da.state[root] = detflowTaint{}
+				}
+			}
+		}
+		return detflowTaint{}
+	}
+
+	// Known sim sinks. The receiver and non-sink arguments still get
+	// walked: `st.Counter(name).Inc()` reaches Inc first, and the sink
+	// call is the receiver expression underneath.
+	if obj != nil && pkgPathOf(obj) == simPkgPath {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			da.taintOf(sel.X)
+		}
+		sinkArg := -1
+		if sink, ok := detflowSimSinks[objKey(obj)]; ok && sink.arg < len(call.Args) {
+			da.sinkCheck(call.Args[sink.arg], detflowSink{Desc: fmt.Sprintf("%s (sim.%s)", sink.desc, objKey(obj)), OrderOnly: sink.orderOnly})
+			sinkArg = sink.arg
+		}
+		for i, arg := range call.Args {
+			if i != sinkArg {
+				da.taintOf(arg)
+			}
+		}
+		return detflowTaint{}
+	}
+
+	// Output/encoder sinks.
+	if byName, ok := detflowFmtSinks[pkgPathOf(obj)]; ok && byName[obj.Name()] {
+		for _, arg := range call.Args {
+			da.sinkCheck(arg, detflowSink{Desc: fmt.Sprintf("externally visible output (%s.%s)", pkgPathOf(obj), obj.Name()), OrderOnly: true})
+		}
+		return detflowTaint{}
+	}
+
+	// Summarized callees: check sink parameters, compute result taint.
+	var result detflowTaint
+	if obj != nil {
+		if f, ok := da.pass.ImportFact(obj); ok {
+			ff := f.(*detflowFact)
+			slotArgs := da.callSlotArgs(call, obj)
+			slots := make([]int, 0, len(slotArgs))
+			for s := range slotArgs {
+				slots = append(slots, s)
+			}
+			sort.Ints(slots)
+			for _, slot := range slots {
+				arg := slotArgs[slot]
+				if arg == nil {
+					continue
+				}
+				if sink, ok := ff.SinkParams[slot]; ok {
+					da.sinkCheck(arg, detflowSink{
+						Desc:      fmt.Sprintf("%s by way of %s", sink.Desc, obj.Name()),
+						OrderOnly: sink.OrderOnly,
+					})
+				} else if ff.ReturnParams&(1<<uint(slot)) == 0 {
+					// Not a sink, not flowing to the result — still walk
+					// it, a nested call may be a sink itself.
+					da.taintOf(arg)
+				}
+				if ff.ReturnParams&(1<<uint(slot)) != 0 {
+					result = mergeTaint(result, da.taintOf(arg))
+				}
+			}
+			if ff.ReturnTaint != "" {
+				result = mergeTaint(result, detflowTaint{reason: ff.ReturnTaint})
+			}
+			return result
+		}
+	}
+
+	// Unknown callee: the result conservatively carries the receiver's
+	// and arguments' taint (a getter over tainted state returns tainted
+	// data), but nothing is reported — summaries, not guesses, decide
+	// sinks.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isPkg := info.Uses[sel.Sel].(*types.PkgName); !isPkg {
+			if _, isSelection := info.Selections[sel]; isSelection {
+				result = mergeTaint(result, da.taintOf(sel.X))
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		result = mergeTaint(result, da.taintOf(arg))
+	}
+	return result
+}
+
+// callSlotArgs maps parameter slots (receiver first) to the call's
+// argument expressions. A nil entry means the slot has no syntactic
+// argument here (e.g. a method value call).
+func (da *detflowAnalysis) callSlotArgs(call *ast.CallExpr, obj types.Object) map[int]ast.Expr {
+	out := map[int]ast.Expr{}
+	base := 0
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			base = 1
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if _, isPkg := da.info().Uses[sel.Sel].(*types.PkgName); !isPkg {
+					out[0] = sel.X
+				}
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		out[base+i] = arg
+	}
+	return out
+}
+
+// sinkCheck handles a (possibly tainted) value arriving at a sink:
+// concrete taint reports; order-only taint reports at order-sensitive
+// sinks; parameter-derived taint exports a sink-parameter fact so the
+// caller's caller gets checked.
+func (da *detflowAnalysis) sinkCheck(arg ast.Expr, sink detflowSink) {
+	t := da.taintOf(arg)
+	if !t.any() {
+		return
+	}
+	if t.concrete() || (t.mapIter && sink.OrderOnly) {
+		reason := t.reason
+		if reason == "" {
+			reason = "a map-iteration key/value (iteration order is randomized per run)"
+		}
+		da.reportf(arg.Pos(), "nondeterministic value (%s) flows into %s; pass canonically ordered, address-free values to snapshot-observable sinks", reason, sink.Desc)
+	}
+	if t.params != 0 {
+		for slot := 0; slot < 32; slot++ {
+			if t.params&(1<<uint(slot)) == 0 {
+				continue
+			}
+			if _, dup := da.fact.SinkParams[slot]; !dup {
+				da.fact.SinkParams[slot] = sink
+			}
+		}
+	}
+}
+
+// block walks statements in order, updating taint state.
+func (da *detflowAnalysis) block(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		da.stmt(s)
+	}
+}
+
+func (da *detflowAnalysis) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		da.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						if obj := da.info().Defs[name]; obj != nil {
+							da.setState(obj, da.taintOf(vs.Values[i]))
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		da.taintOf(s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			t := da.taintOf(r)
+			if t.reason != "" && da.fact.ReturnTaint == "" {
+				da.fact.ReturnTaint = t.reason
+			}
+			if t.mapIter && da.fact.ReturnTaint == "" {
+				// Returning a bare map key is order-only for the
+				// caller too; approximate as concrete order taint
+				// only when it is a collection — a scalar key alone
+				// is a legitimate "pick any element".
+				if tv, ok := da.info().Types[r]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice, *types.Array:
+						da.fact.ReturnTaint = "a collection assembled in map-iteration order"
+					}
+				}
+			}
+			da.fact.ReturnParams |= t.params
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			da.stmt(s.Init)
+		}
+		da.taintOf(s.Cond)
+		da.block(s.Body.List)
+		if s.Else != nil {
+			da.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		da.block(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			da.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			da.taintOf(s.Cond)
+		}
+		// Twice: taint introduced late in the body feeds uses at the
+		// top on the next iteration.
+		da.block(s.Body.List)
+		da.block(s.Body.List)
+		if s.Post != nil {
+			da.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		da.rangeStmt(s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			da.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			da.taintOf(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				da.block(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			da.stmt(s.Init)
+		}
+		da.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				da.block(cc.Body)
+			}
+		}
+	case *ast.DeferStmt:
+		da.taintOfCall(s.Call)
+	case *ast.GoStmt:
+		da.taintOfCall(s.Call)
+	case *ast.LabeledStmt:
+		da.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		da.taintOf(s.X)
+	case *ast.SendStmt:
+		da.taintOf(s.Value)
+	}
+}
+
+func (da *detflowAnalysis) setState(obj types.Object, t detflowTaint) {
+	if t.any() {
+		da.state[obj] = t
+	} else {
+		delete(da.state, obj)
+	}
+}
+
+func (da *detflowAnalysis) assign(s *ast.AssignStmt) {
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0] // multi-value call: every lhs gets the call's taint
+		}
+		if rhs == nil {
+			continue
+		}
+		t := da.taintOf(rhs)
+		if s.Tok == token.ADD_ASSIGN || s.Tok == token.OR_ASSIGN {
+			// Accumulating a map-iteration value into a running
+			// string/slice fixes the order, like append does.
+			if t.mapIter {
+				t.reason = "a collection assembled in map-iteration order"
+				t.mapIter = false
+			}
+			t = mergeTaint(t, da.taintOf(lhs))
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue
+			}
+			obj := da.info().Defs[id]
+			if obj == nil {
+				obj = da.info().Uses[id]
+			}
+			if obj != nil {
+				if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+					da.setState(obj, t)
+				} else {
+					da.setState(obj, mergeTaint(da.state[obj], t))
+				}
+			}
+			continue
+		}
+		// Compound lvalue (field, index): weak-update the root. A map
+		// index target absorbs order (the map re-randomizes iteration),
+		// so order-only taint stops there; concrete taint persists.
+		if root := da.rootObj(lhs); root != nil {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if tv, ok := da.info().Types[ix.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						t.mapIter = false
+					} else if t.mapIter {
+						// Positional store into a slice in map order.
+						t.reason = "a collection assembled in map-iteration order"
+						t.mapIter = false
+					}
+				}
+			}
+			if t.any() {
+				da.setState(root, mergeTaint(da.state[root], t))
+			}
+		}
+	}
+}
+
+func (da *detflowAnalysis) rangeStmt(s *ast.RangeStmt) {
+	xt := da.taintOf(s.X)
+	tv, _ := da.info().Types[s.X]
+	isMap := false
+	if tv.Type != nil {
+		_, isMap = tv.Type.Underlying().(*types.Map)
+	}
+	bindVar := func(e ast.Expr, t detflowTaint) {
+		if e == nil {
+			return
+		}
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := da.info().Defs[id]; obj != nil {
+				da.setState(obj, t)
+			}
+		}
+	}
+	elemTaint := xt
+	if isMap {
+		elemTaint.mapIter = true
+	} else if xt.concrete() {
+		// Ranging a map-order-assembled slice: elements are both
+		// concretely tainted and positionally unstable.
+		elemTaint.mapIter = true
+	}
+	bindVar(s.Key, elemTaint)
+	bindVar(s.Value, elemTaint)
+	da.block(s.Body.List)
+	da.block(s.Body.List)
+}
+
+// formatHasPointerVerb scans a quoted format-string literal for a %p
+// verb (skipping flags/width and %% escapes) — substring matching would
+// trip over literal text like "addr%pageSize".
+func formatHasPointerVerb(quoted string) bool {
+	s := quoted
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(s) && strings.ContainsRune("+-# 0123456789.*", rune(s[i])) {
+			i++
+		}
+		if i < len(s) && s[i] == 'p' {
+			return true
+		}
+	}
+	return false
+}
+
+// isAddressKind reports whether formatting a value of type t prints an
+// address: pointers, channels, funcs, and unsafe.Pointer do; strings,
+// numbers, structs, slices, and maps print contents.
+func isAddressKind(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// sortedDetflowSlots is a test/debug helper: the slots of a fact in
+// stable order.
+func sortedDetflowSlots(f *detflowFact) []int {
+	out := make([]int, 0, len(f.SinkParams))
+	for s := range f.SinkParams {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

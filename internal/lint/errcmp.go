@@ -1,7 +1,6 @@
 package lint
 
 import (
-	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -17,55 +16,47 @@ import (
 // unhandled one. Only fcc-module sentinels are enforced; stdlib
 // sentinels like io.EOF keep their conventional comparisons.
 func Errcmp() *Analyzer {
-	return &Analyzer{
+	a := &Analyzer{
 		Name: "errcmp",
 		Doc:  "require errors.Is over == for the module's sentinel errors",
-		Run:  runErrcmp,
 	}
-}
-
-func runErrcmp(p *Package) []Diagnostic {
-	var diags []Diagnostic
-	report := func(n ast.Node, obj types.Object) {
-		diags = append(diags, Diagnostic{
-			Analyzer: "errcmp",
-			Pos:      p.Fset.Position(n.Pos()),
-			Message: fmt.Sprintf("comparing against sentinel %s.%s with ==/switch never matches its wrapped forms; use errors.Is",
-				pkgPathOf(obj), obj.Name()),
-		})
-	}
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.BinaryExpr:
-				if n.Op != token.EQL && n.Op != token.NEQ {
-					return true
+	a.Run = func(pass *Pass) {
+		p := pass.Pkg
+		report := func(n ast.Node, obj types.Object) {
+			pass.Reportf(n.Pos(),
+				"comparing against sentinel %s.%s with ==/switch never matches its wrapped forms; use errors.Is",
+				pkgPathOf(obj), obj.Name())
+		}
+		pass.Inspect(func(c *Cursor) {
+			n := c.Node.(*ast.BinaryExpr)
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return
+			}
+			if obj := sentinelErrObj(p, n.X); obj != nil && isErrorOperand(p, n.Y) {
+				report(n, obj)
+			} else if obj := sentinelErrObj(p, n.Y); obj != nil && isErrorOperand(p, n.X) {
+				report(n, obj)
+			}
+		}, (*ast.BinaryExpr)(nil))
+		pass.Inspect(func(c *Cursor) {
+			n := c.Node.(*ast.SwitchStmt)
+			if n.Tag == nil || !isErrorOperand(p, n.Tag) {
+				return
+			}
+			for _, cl := range n.Body.List {
+				cc, ok := cl.(*ast.CaseClause)
+				if !ok {
+					continue
 				}
-				if obj := sentinelErrObj(p, n.X); obj != nil && isErrorOperand(p, n.Y) {
-					report(n, obj)
-				} else if obj := sentinelErrObj(p, n.Y); obj != nil && isErrorOperand(p, n.X) {
-					report(n, obj)
-				}
-			case *ast.SwitchStmt:
-				if n.Tag == nil || !isErrorOperand(p, n.Tag) {
-					return true
-				}
-				for _, c := range n.Body.List {
-					cc, ok := c.(*ast.CaseClause)
-					if !ok {
-						continue
-					}
-					for _, e := range cc.List {
-						if obj := sentinelErrObj(p, e); obj != nil {
-							report(e, obj)
-						}
+				for _, e := range cc.List {
+					if obj := sentinelErrObj(p, e); obj != nil {
+						report(e, obj)
 					}
 				}
 			}
-			return true
-		})
+		}, (*ast.SwitchStmt)(nil))
 	}
-	return diags
+	return a
 }
 
 // sentinelErrObj reports the package-level error variable e refers to,

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+)
+
+// FactStore holds per-package analysis facts: function summaries an
+// analyzer computes while visiting one package and consumes while
+// visiting the packages that import it. Facts are keyed by a stable
+// textual object key rather than by types.Object identity, because a
+// dependent package typechecks its imports from export data and so
+// sees *different* object instances for the same function.
+//
+// The store is pre-populated with one bucket per target package before
+// any analysis starts; during the (possibly parallel) analysis phase a
+// bucket is written only by the workers analyzing its own package and
+// read only by dependents, which the dependency-ordered scheduler runs
+// strictly afterwards. No locking is needed.
+type FactStore struct {
+	byPkg map[string]*pkgFacts
+}
+
+type pkgFacts struct {
+	m map[factKey]any
+}
+
+type factKey struct {
+	analyzer string
+	obj      string
+}
+
+// newFactStore pre-creates a bucket per target package.
+func newFactStore(pkgs []*Package) *FactStore {
+	fs := &FactStore{byPkg: make(map[string]*pkgFacts, len(pkgs))}
+	for _, p := range pkgs {
+		fs.byPkg[p.Path] = &pkgFacts{m: map[factKey]any{}}
+	}
+	return fs
+}
+
+func (fs *FactStore) export(analyzer string, obj types.Object, fact any) {
+	if fs == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	b, ok := fs.byPkg[obj.Pkg().Path()]
+	if !ok {
+		return
+	}
+	b.m[factKey{analyzer, objKey(obj)}] = fact
+}
+
+func (fs *FactStore) lookup(analyzer string, obj types.Object) (any, bool) {
+	if fs == nil || obj == nil || obj.Pkg() == nil {
+		return nil, false
+	}
+	b, ok := fs.byPkg[obj.Pkg().Path()]
+	if !ok {
+		return nil, false
+	}
+	f, ok := b.m[factKey{analyzer, objKey(obj)}]
+	return f, ok
+}
+
+// objKey builds the stable cross-package key for a function or method:
+// "Name" for package-level functions, "(Recv).Name" for methods. The
+// package path lives in the bucket, not the key.
+func objKey(obj types.Object) string {
+	if f, ok := obj.(*types.Func); ok {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				return "(" + n.Obj().Name() + ")." + f.Name()
+			}
+		}
+	}
+	return obj.Name()
+}
+
+// depOrder returns the indices of pkgs in dependency order (imports
+// before importers) together with the in-target-set dependent edges,
+// for the fact-respecting parallel scheduler. Packages arrive from
+// `go list -deps` already dependency-first, but the scheduler needs
+// the explicit edges anyway, so the order is recomputed here and does
+// not rely on that.
+func depOrder(pkgs []*Package) (order []int, dependents [][]int, indegree []int) {
+	idx := make(map[string]int, len(pkgs))
+	for i, p := range pkgs {
+		idx[p.Path] = i
+	}
+	dependents = make([][]int, len(pkgs))
+	indegree = make([]int, len(pkgs))
+	for i, p := range pkgs {
+		for _, imp := range p.Imports {
+			if j, ok := idx[imp]; ok && j != i {
+				dependents[j] = append(dependents[j], i)
+				indegree[i]++
+			}
+		}
+	}
+	// Kahn's algorithm with a sorted frontier for a deterministic order.
+	ready := []int{}
+	deg := append([]int(nil), indegree...)
+	for i, d := range deg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, d := range dependents[n] {
+			deg[d]--
+			if deg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	// An import cycle cannot happen in compiled Go; if it somehow does,
+	// append the leftovers so every package is still analyzed.
+	if len(order) < len(pkgs) {
+		seen := make([]bool, len(pkgs))
+		for _, i := range order {
+			seen[i] = true
+		}
+		for i := range pkgs {
+			if !seen[i] {
+				order = append(order, i)
+			}
+		}
+	}
+	return order, dependents, indegree
+}

@@ -8,21 +8,64 @@ import (
 
 // Hotpath enforces the dense-structure discipline on packet-path hot
 // code. A file that opts in with a `//fcclint:hotpath` directive
-// comment must not construct maps — neither `make(map[...])` nor a map
-// composite literal. Hash maps on the per-flit/per-transaction path
-// cost a hash + probe per touch and (worse) invite order-sensitive
-// iteration; the repo's hot structures are dense tables indexed by
-// port/tag/hash slot with free-listed entries (see DESIGN.md,
-// "Upper-stack data structures"). The directive is deliberately
-// per-file: cold setup code keeps its maps by simply living in an
-// untagged file, and a justified exception inside a tagged file uses
-// the ordinary inline `//fcclint:allow hotpath <reason>`.
+// comment must not construct maps — not `make(map[...])`, not a map
+// composite literal (including through struct fields and nested
+// composite literals), and not the stdlib map constructors
+// `maps.Clone`/`maps.Collect` (the blind spot the v1 analyzer had:
+// a `maps` call allocates a brand-new hash table without either
+// syntactic construction form appearing). Hash maps on the
+// per-flit/per-transaction path cost a hash + probe per touch and
+// (worse) invite order-sensitive iteration; the repo's hot structures
+// are dense tables indexed by port/tag/hash slot with free-listed
+// entries (see DESIGN.md, "Upper-stack data structures"). The
+// directive is deliberately per-file: cold setup code keeps its maps
+// by simply living in an untagged file, and a justified exception
+// inside a tagged file uses the ordinary inline
+// `//fcclint:allow hotpath <reason>`.
 func Hotpath() *Analyzer {
-	return &Analyzer{
+	a := &Analyzer{
 		Name: "hotpath",
 		Doc:  "ban map construction in files tagged //fcclint:hotpath (dense-structure discipline)",
-		Run:  runHotpath,
 	}
+	a.Run = func(pass *Pass) {
+		p := pass.Pkg
+		tagged := map[*ast.File]bool{}
+		pass.OnFile(func(f *ast.File) {
+			tagged[f] = hotpathTagged(f)
+		})
+		pass.Inspect(func(c *Cursor) {
+			if !tagged[c.File] {
+				return
+			}
+			n := c.Node.(*ast.CallExpr)
+			if b, ok := builtinCallee(p, n); ok && b == "make" {
+				if tv, ok := p.Info.Types[n]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "make(map) in a //fcclint:hotpath file; hot-path state must use a dense table or free list (see DESIGN.md \"Upper-stack data structures\")")
+					}
+				}
+				return
+			}
+			// maps.Clone / maps.Collect construct a fresh hash table
+			// behind a call; they escaped the make/literal checks.
+			obj := calleeObj(p.Info, n)
+			if pkgPathOf(obj) == "maps" && (obj.Name() == "Clone" || obj.Name() == "Collect") {
+				pass.Reportf(n.Pos(), "maps.%s constructs a map in a //fcclint:hotpath file; hot-path state must use a dense table or free list (see DESIGN.md \"Upper-stack data structures\")", obj.Name())
+			}
+		}, (*ast.CallExpr)(nil))
+		pass.Inspect(func(c *Cursor) {
+			if !tagged[c.File] {
+				return
+			}
+			n := c.Node.(*ast.CompositeLit)
+			if tv, ok := p.Info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map literal in a //fcclint:hotpath file; hot-path state must use a dense table or free list (see DESIGN.md \"Upper-stack data structures\")")
+				}
+			}
+		}, (*ast.CompositeLit)(nil))
+	}
+	return a
 }
 
 // hotpathTagged reports whether f carries the //fcclint:hotpath
@@ -38,42 +81,4 @@ func hotpathTagged(f *ast.File) bool {
 		}
 	}
 	return false
-}
-
-func runHotpath(p *Package) []Diagnostic {
-	var diags []Diagnostic
-	for _, f := range p.Files {
-		if !hotpathTagged(f) {
-			continue
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				if b, ok := builtinCallee(p, n); !ok || b != "make" {
-					return true
-				}
-				if tv, ok := p.Info.Types[n]; ok {
-					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-						diags = append(diags, Diagnostic{
-							Analyzer: "hotpath",
-							Pos:      p.Fset.Position(n.Pos()),
-							Message:  "make(map) in a //fcclint:hotpath file; hot-path state must use a dense table or free list (see DESIGN.md \"Upper-stack data structures\")",
-						})
-					}
-				}
-			case *ast.CompositeLit:
-				if tv, ok := p.Info.Types[n]; ok {
-					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-						diags = append(diags, Diagnostic{
-							Analyzer: "hotpath",
-							Pos:      p.Fset.Position(n.Pos()),
-							Message:  "map literal in a //fcclint:hotpath file; hot-path state must use a dense table or free list (see DESIGN.md \"Upper-stack data structures\")",
-						})
-					}
-				}
-			}
-			return true
-		})
-	}
-	return diags
 }

@@ -51,20 +51,30 @@ func fixtureExpectations(t *testing.T, p *Package) []*expectation {
 	return wants
 }
 
-// checkFixture loads testdata/src/<name>, runs exactly one analyzer,
-// and verifies the diagnostics are precisely the `// want` markers: a
+// checkFixture loads the given package patterns (default:
+// testdata/src/<analyzer-name>), runs exactly one analyzer, and
+// verifies the diagnostics are precisely the `// want` markers: a
 // missing diagnostic fails (so a disabled or broken rule cannot pass),
 // and an extra diagnostic fails (so the rule cannot overreach).
-func checkFixture(t *testing.T, name string, a *Analyzer) {
+// Multi-package patterns exercise the cross-package fact path — the
+// dependency package is analyzed first and its summaries feed the
+// dependent's reports.
+func checkFixture(t *testing.T, a *Analyzer, patterns ...string) {
 	t.Helper()
-	pkgs, err := Load(".", "./testdata/src/"+name)
+	if len(patterns) == 0 {
+		patterns = []string{"./testdata/src/" + a.Name}
+	}
+	pkgs, err := Load(".", patterns...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	if len(pkgs) == 0 {
+		t.Fatal("patterns matched no packages")
 	}
-	wants := fixtureExpectations(t, pkgs[0])
+	var wants []*expectation
+	for _, p := range pkgs {
+		wants = append(wants, fixtureExpectations(t, p)...)
+	}
 	if len(wants) == 0 {
 		t.Fatal("fixture has no // want expectations — the rule would be untested")
 	}
@@ -89,12 +99,75 @@ func checkFixture(t *testing.T, name string, a *Analyzer) {
 	}
 }
 
-func TestDetban(t *testing.T)    { checkFixture(t, "detban", Detban()) }
-func TestMaporder(t *testing.T)  { checkFixture(t, "maporder", Maporder()) }
-func TestProcblock(t *testing.T) { checkFixture(t, "procblock", Procblock()) }
-func TestErrcmp(t *testing.T)    { checkFixture(t, "errcmp", Errcmp()) }
-func TestHotpath(t *testing.T)   { checkFixture(t, "hotpath", Hotpath()) }
-func TestConcban(t *testing.T)   { checkFixture(t, "concban", Concban()) }
+func TestDetban(t *testing.T)    { checkFixture(t, Detban()) }
+func TestMaporder(t *testing.T)  { checkFixture(t, Maporder()) }
+func TestProcblock(t *testing.T) { checkFixture(t, Procblock()) }
+func TestErrcmp(t *testing.T)    { checkFixture(t, Errcmp()) }
+func TestHotpath(t *testing.T)   { checkFixture(t, Hotpath()) }
+func TestConcban(t *testing.T)   { checkFixture(t, Concban()) }
+func TestPoolref(t *testing.T)   { checkFixture(t, Poolref()) }
+func TestTiesort(t *testing.T)   { checkFixture(t, Tiesort()) }
+
+// TestDetflow loads the fixture AND its sub-package so the
+// cross-package summaries (sub.Register's sink parameter, sub.Mangle's
+// tainted return) are exercised, not just same-package ones.
+func TestDetflow(t *testing.T) {
+	checkFixture(t, Detflow(), "./testdata/src/detflow", "./testdata/src/detflow/sub")
+}
+
+// TestDirectivePlacement pins the inline-suppression scope end to end:
+// same-line and line-above directives suppress, two-lines-above and
+// wrong-analyzer directives do not, and comma lists work.
+func TestDirectivePlacement(t *testing.T) {
+	checkFixture(t, Detban(), "./testdata/src/directives")
+}
+
+// TestEveryAnalyzerHasFixture is the CI regression gate: an analyzer
+// without a golden fixture is an analyzer whose regressions nothing
+// would catch.
+func TestEveryAnalyzerHasFixture(t *testing.T) {
+	for _, a := range Analyzers() {
+		dir := filepath.Join("testdata", "src", a.Name)
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			t.Errorf("analyzer %q has no golden fixture directory %s", a.Name, dir)
+		}
+	}
+}
+
+// TestParallelRunDeterministic: the dependency-ordered worker pool must
+// produce byte-identical output at any worker count — determinism is
+// the repo's whole shtick, and its lint tooling is held to it too.
+func TestParallelRunDeterministic(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/detflow", "./testdata/src/detflow/sub",
+		"./testdata/src/poolref", "./testdata/src/tiesort", "./testdata/src/detban")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(ds []Diagnostic) string {
+		var b strings.Builder
+		for _, d := range ds {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	serial, _ := RunOpts(pkgs, Analyzers(), nil, Options{Workers: 1})
+	if len(serial) == 0 {
+		t.Fatal("fixtures produced no diagnostics — nothing to compare")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, timing := RunOpts(pkgs, Analyzers(), nil, Options{Workers: workers, Timing: true})
+		if got, want := render(par), render(serial); got != want {
+			t.Errorf("workers=%d: output differs from serial run:\n--- serial ---\n%s--- parallel ---\n%s", workers, want, got)
+		}
+		for _, a := range Analyzers() {
+			if _, ok := timing[a.Name]; !ok {
+				t.Errorf("workers=%d: timing map missing analyzer %q", workers, a.Name)
+			}
+		}
+	}
+}
 
 // TestAllowlistSuppresses proves the path-prefix allowlist drops every
 // diagnostic under the exempted prefix — the mechanism cmd/ relies on.
@@ -140,6 +213,46 @@ func TestMissingAllowlistIsEmpty(t *testing.T) {
 	}
 	if allow.Allows("detban", "cmd/x/main.go") {
 		t.Fatal("empty allowlist allowed something")
+	}
+}
+
+// TestAllowlistPrefixEdgeCases pins the path-matching contract:
+// trailing slashes are optional, prefixes cover nested directories, and
+// matching stops at path-segment boundaries (`internal/sim` must NOT
+// bleed into `internal/simx` — an allowlist rule silently widening to a
+// sibling package is a hole in the lint gate).
+func TestAllowlistPrefixEdgeCases(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(path, []byte(
+		"detban internal/sim no trailing slash\n"+
+			"maporder internal/fabric/ trailing slash\n"+
+			"* internal/lint/testdata/ wildcard analyzer\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	allow, err := ParseAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		analyzer, rel string
+		want          bool
+	}{
+		{"detban", "internal/sim/engine.go", true},
+		{"detban", "internal/sim/deep/nested/file.go", true},
+		{"detban", "internal/sim", true},             // exact prefix, no separator needed
+		{"detban", "internal/simx/engine.go", false}, // segment boundary
+		{"detban", "internal/si/engine.go", false},
+		{"maporder", "internal/fabric/switch.go", true}, // trailing slash in rule
+		{"maporder", "internal/fabric", true},           // rule slash trimmed for exact match
+		{"maporder", "internal/fabricx/switch.go", false},
+		{"detban", "internal/fabric/switch.go", false},          // analyzer-scoped
+		{"anything", "internal/lint/testdata/src/x/x.go", true}, // wildcard analyzer
+		{"anything", "internal/lint/other.go", false},
+	}
+	for _, c := range cases {
+		if got := allow.Allows(c.analyzer, c.rel); got != c.want {
+			t.Errorf("Allows(%q, %q) = %v, want %v", c.analyzer, c.rel, got, c.want)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 )
 
 // listPackage is the subset of `go list -json` output the loader needs.
@@ -21,6 +22,7 @@ type listPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 	Module     *struct{ Dir string }
@@ -37,12 +39,23 @@ type listPackage struct {
 // the gc importer's lookup hook. Test files never appear: `go list`
 // reports them separately from GoFiles and the analyzers' invariants
 // apply to model code, not tests.
+//
+// Because every target imports its dependencies from export data —
+// never from another target's in-progress typecheck — the targets are
+// independent, and Load parses and typechecks them on a bounded worker
+// pool (DefaultWorkers). The returned slice preserves `go list` order
+// (dependencies first) regardless of worker interleaving.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadWorkers(dir, DefaultWorkers(), patterns...)
+}
+
+// LoadWorkers is Load with an explicit worker bound (<= 1 is serial).
+func LoadWorkers(dir string, workers int, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	args := append([]string{"list", "-deps", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Module,Error", "--"}, patterns...)
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,DepOnly,Module,Error", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -68,11 +81,22 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.Standard && !p.DepOnly {
+		if !p.Standard && !p.DepOnly && len(p.GoFiles) > 0 {
 			targets = append(targets, p)
 		}
 	}
 
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(targets) && len(targets) > 0 {
+		workers = len(targets)
+	}
+
+	// One FileSet shared by every worker (its methods are synchronized);
+	// one gc importer per worker, because the importer caches packages
+	// in an unsynchronized map. The export-data map itself is read-only
+	// by now.
 	fset := token.NewFileSet()
 	lookup := func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
@@ -81,18 +105,17 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 		return os.Open(f)
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
 
-	var pkgs []*Package
-	for _, lp := range targets {
-		if len(lp.GoFiles) == 0 {
-			continue
-		}
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	checkOne := func(imp types.Importer, i int) {
+		lp := targets[i]
 		var files []*ast.File
 		for _, gf := range lp.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, gf), nil, parser.ParseComments)
 			if err != nil {
-				return nil, fmt.Errorf("lint: %v", err)
+				errs[i] = fmt.Errorf("lint: %v", err)
+				return
 			}
 			files = append(files, f)
 		}
@@ -105,21 +128,56 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("lint: typecheck %s: %v", lp.ImportPath, err)
+			errs[i] = fmt.Errorf("lint: typecheck %s: %v", lp.ImportPath, err)
+			return
 		}
 		moduleDir := ""
 		if lp.Module != nil {
 			moduleDir = lp.Module.Dir
 		}
-		pkgs = append(pkgs, &Package{
+		pkgs[i] = &Package{
 			Path:      lp.ImportPath,
 			Dir:       lp.Dir,
 			Fset:      fset,
 			Files:     files,
 			Types:     tpkg,
 			Info:      info,
+			Imports:   lp.Imports,
 			ModuleDir: moduleDir,
-		})
+		}
 	}
-	return pkgs, nil
+
+	if workers <= 1 {
+		imp := importer.ForCompiler(fset, "gc", lookup)
+		for i := range targets {
+			checkOne(imp, i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				imp := importer.ForCompiler(fset, "gc", lookup)
+				for i := range next {
+					checkOne(imp, i)
+				}
+			}()
+		}
+		for i := range targets {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	var result []*Package
+	for i := range targets {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		result = append(result, pkgs[i])
+	}
+	return result, nil
 }

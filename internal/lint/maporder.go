@@ -20,47 +20,40 @@ import (
 // sorted-sweep pattern also passes: appending keys to a slice that a
 // later `sort.*`/`slices.*` call in the same function orders before
 // use is exactly how a map is iterated deterministically.
+//
+// Maporder is the intra-function rule; its interprocedural
+// generalization — a map-ordered value escaping through calls and
+// returns into a snapshot-observable sink — is detflow.
 func Maporder() *Analyzer {
-	return &Analyzer{
+	a := &Analyzer{
 		Name: "maporder",
 		Doc:  "flag order-sensitive work driven off randomized map iteration order",
-		Run:  runMaporder,
 	}
-}
-
-func runMaporder(p *Package) []Diagnostic {
-	var diags []Diagnostic
-	for _, f := range p.Files {
-		f := f
-		ast.Inspect(f, func(n ast.Node) bool {
-			rs, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return true
-			}
+	a.Run = func(pass *Pass) {
+		pass.Inspect(func(c *Cursor) {
+			rs := c.Node.(*ast.RangeStmt)
+			p := pass.Pkg
 			tv, ok := p.Info.Types[rs.X]
 			if !ok {
-				return true
+				return
 			}
 			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-				return true
+				return
 			}
-			if reasons := mapRangeReasons(p, f, rs); len(reasons) > 0 {
-				diags = append(diags, Diagnostic{
-					Analyzer: "maporder",
-					Pos:      p.Fset.Position(rs.Pos()),
-					Message: fmt.Sprintf("map iteration order is randomized, but the loop body is order-sensitive (%s); iterate a sorted key slice instead",
-						strings.Join(reasons, "; ")),
-				})
+			if reasons := mapRangeReasons(p, c.EnclosingFunc(), rs); len(reasons) > 0 {
+				pass.Reportf(rs.Pos(),
+					"map iteration order is randomized, but the loop body is order-sensitive (%s); iterate a sorted key slice instead",
+					strings.Join(reasons, "; "))
 			}
-			return true
-		})
+		}, (*ast.RangeStmt)(nil))
 	}
-	return diags
+	return a
 }
 
 // mapRangeReasons collects the distinct order-sensitive effects in the
-// body of a map range statement.
-func mapRangeReasons(p *Package, file *ast.File, rs *ast.RangeStmt) []string {
+// body of a map range statement. fn is the enclosing function (used to
+// recognise the collect-then-sort sweep), or nil at file scope.
+func mapRangeReasons(p *Package, fn ast.Node, rs *ast.RangeStmt) []string {
 	seen := map[string]bool{}
 	add := func(r string) {
 		seen[r] = true
@@ -73,7 +66,7 @@ func mapRangeReasons(p *Package, file *ast.File, rs *ast.RangeStmt) []string {
 			if b, ok := builtinCallee(p, n); ok && b == "append" {
 				// Builtin append: fine iff the destination is sorted
 				// later in the same function, before anyone reads it.
-				if len(n.Args) > 0 && !sortedLater(p, file, rs, n.Args[0]) {
+				if len(n.Args) > 0 && !sortedLater(p, fn, rs, n.Args[0]) {
 					add(fmt.Sprintf("append to %s in map order with no later sort", types.ExprString(n.Args[0])))
 				}
 				return true
@@ -111,9 +104,8 @@ func builtinCallee(p *Package, call *ast.CallExpr) (string, bool) {
 
 // sortedLater reports whether dest (the first argument of an append
 // inside rs's body) is passed to a sort.* / slices.* call after the
-// range statement, inside the same enclosing function.
-func sortedLater(p *Package, file *ast.File, rs *ast.RangeStmt, dest ast.Expr) bool {
-	fn := enclosingFunc(file, rs.Pos())
+// range statement, inside the same enclosing function fn.
+func sortedLater(p *Package, fn ast.Node, rs *ast.RangeStmt, dest ast.Expr) bool {
 	if fn == nil {
 		return false
 	}

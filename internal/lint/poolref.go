@@ -1,0 +1,699 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Poolref checks the flit.Pool ownership contract statically: every
+// reference obtained from Pool.Get (or from a function summarized as
+// returning an owned reference) must be released exactly once per
+// holder — Retain adds a holder — or handed off (returned, stored, or
+// passed to a consumer). The runtime half of this contract already
+// panics on double release and use-after-free (flit.Pool's poolFree
+// sentinel, added after PR 6 spent its hardest debugging hours there);
+// poolref moves the three bug shapes to lint time:
+//
+//   - leak on early return: an owned flit not released on some path
+//   - double release: more releases than references on some path
+//   - use after release: touching a flit after its last Release
+//
+// The analysis is path-sensitive over the function's block structure:
+// branches are walked with cloned states and conservatively merged
+// (a reference released on one arm and live on the other becomes
+// untracked — conditional ownership is reported only when a path
+// provably misbehaves). Function boundaries are crossed with
+// summaries: a callee that unconditionally releases a parameter
+// (fcc/internal/flit.(*Pool).Release itself, or any wrapper) counts as
+// a release at the call site; a function returning a fresh Get counts
+// as an acquisition. Unknown callees are assumed to take ownership, so
+// the analyzer under-reports rather than second-guesses.
+//
+// The flit package itself (the pool implementation) is exempt.
+func Poolref() *Analyzer {
+	a := &Analyzer{
+		Name: "poolref",
+		Doc:  "check pooled-flit ownership: leaks on early return, double release, use after release",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Path == flitPkgPath {
+			return
+		}
+		var decls []*ast.FuncDecl
+		pass.Inspect(func(c *Cursor) {
+			fd := c.Node.(*ast.FuncDecl)
+			if fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}, (*ast.FuncDecl)(nil))
+		pass.OnFinish(func() {
+			for round := 0; round < 3; round++ {
+				report := round == 2
+				for _, fd := range decls {
+					analyzePoolref(pass, fd, report)
+				}
+			}
+		})
+	}
+	return a
+}
+
+// poolrefFact summarizes a function's effect on *flit.Flit arguments
+// and results. Slots count the receiver first, like detflow.
+type poolrefFact struct {
+	Releases     uint32 // slots released on every path
+	Retains      uint32 // slots retained on every path
+	Consumes     uint32 // slots stored away / ownership taken
+	ReturnsOwned bool   // result carries a fresh reference the caller must release
+}
+
+// refState tracks one owned reference cell.
+type refState struct {
+	refs     int  // references this function currently holds
+	released bool // reached zero at least once (for use-after checks)
+	escaped  bool // handed off; no longer this function's problem
+	origin   token.Pos
+}
+
+type poolrefAnalysis struct {
+	pass   *Pass
+	report bool
+	fact   *poolrefFact
+	slots  map[types.Object]int
+	seen   map[string]bool
+	// deferred releases: objects released by defer statements, applied
+	// at every exit before leak checking.
+	deferred map[types.Object]int
+}
+
+// prState is the per-path map from tracked variable to cell state.
+type prState map[types.Object]*refState
+
+func (st prState) clone() prState {
+	out := make(prState, len(st))
+	for k, v := range st {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+func analyzePoolref(pass *Pass, fd *ast.FuncDecl, report bool) {
+	fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	pa := &poolrefAnalysis{
+		pass:     pass,
+		report:   report,
+		fact:     &poolrefFact{},
+		slots:    map[types.Object]int{},
+		seen:     map[string]bool{},
+		deferred: map[types.Object]int{},
+	}
+	st := prState{}
+	slot := 0
+	bind := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				obj := pass.Pkg.Info.Defs[name]
+				if obj == nil || slot >= 32 {
+					continue
+				}
+				if isFlitPtr(obj.Type()) {
+					pa.slots[obj] = slot
+					// Parameters arrive owned by the caller: refs 0
+					// here, but release/retain effects are recorded
+					// into the summary.
+					st[obj] = &refState{refs: 0, origin: name.Pos()}
+				}
+				slot++
+			}
+		}
+	}
+	bind(fd.Recv)
+	bind(fd.Type.Params)
+	terminated := pa.walkBlock(fd.Body.List, st)
+	if !terminated {
+		pa.exitCheck(st, fd.Body.Rbrace, nil)
+	}
+	if pa.fact.Releases != 0 || pa.fact.Retains != 0 || pa.fact.Consumes != 0 || pa.fact.ReturnsOwned {
+		pass.ExportFact(fn, pa.fact)
+	}
+}
+
+func (pa *poolrefAnalysis) info() *types.Info { return pa.pass.Pkg.Info }
+
+func (pa *poolrefAnalysis) reportf(pos token.Pos, format string, args ...any) {
+	if !pa.report {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if pa.seen[key] {
+		return
+	}
+	pa.seen[key] = true
+	pa.pass.Reportf(pos, "%s", msg)
+}
+
+// isFlitPtr reports whether t is *fcc/internal/flit.Flit.
+func isFlitPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Flit" && obj.Pkg() != nil && obj.Pkg().Path() == flitPkgPath
+}
+
+// identObj resolves a plain identifier expression to its variable.
+func (pa *poolrefAnalysis) identObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pa.info().Uses[id]; obj != nil {
+		return obj
+	}
+	return pa.info().Defs[id]
+}
+
+// walkBlock walks statements with state st; returns true if the block
+// definitely terminates (return/panic) before falling off the end.
+func (pa *poolrefAnalysis) walkBlock(stmts []ast.Stmt, st prState) bool {
+	for _, s := range stmts {
+		if pa.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (pa *poolrefAnalysis) walkStmt(s ast.Stmt, st prState) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		pa.assign(s, st)
+	case *ast.ExprStmt:
+		pa.expr(s.X, st)
+	case *ast.ReturnStmt:
+		var returned []types.Object
+		for _, r := range s.Results {
+			pa.expr(r, st)
+			if obj := pa.identObj(r); obj != nil {
+				if cell, ok := st[obj]; ok && cell.refs > 0 {
+					returned = append(returned, obj)
+					if _, isParam := pa.slots[obj]; !isParam {
+						pa.fact.ReturnsOwned = true
+					}
+				}
+			}
+		}
+		pa.exitCheck(st, s.Pos(), returned)
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			pa.walkStmt(s.Init, st)
+		}
+		pa.expr(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := pa.walkBlock(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseTerm = pa.walkBlock(e.List, elseSt)
+			default:
+				elseTerm = pa.walkStmt(e, elseSt)
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replace(st, elseSt)
+		case elseTerm:
+			replace(st, thenSt)
+		default:
+			mergeStates(st, thenSt, elseSt)
+		}
+	case *ast.BlockStmt:
+		return pa.walkBlock(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			pa.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			pa.expr(s.Cond, st)
+		}
+		bodySt := st.clone()
+		pa.walkBlock(s.Body.List, bodySt)
+		if s.Post != nil {
+			pa.walkStmt(s.Post, bodySt)
+		}
+		mergeStates(st, st.clone(), bodySt)
+	case *ast.RangeStmt:
+		pa.expr(s.X, st)
+		bodySt := st.clone()
+		pa.walkBlock(s.Body.List, bodySt)
+		mergeStates(st, st.clone(), bodySt)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			pa.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			pa.expr(s.Tag, st)
+		}
+		pa.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			pa.walkStmt(s.Init, st)
+		}
+		pa.caseClauses(s.Body, st)
+	case *ast.DeferStmt:
+		// defer pool.Release(f): applied at every exit.
+		if obj, kind := pa.releaseTarget(s.Call, st); obj != nil && kind == "release" {
+			pa.deferred[obj]++
+			return false
+		}
+		pa.expr(s.Call, st)
+	case *ast.GoStmt:
+		pa.expr(s.Call, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						pa.expr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		return pa.walkStmt(s.Stmt, st)
+	case *ast.IncDecStmt:
+		pa.expr(s.X, st)
+	case *ast.SendStmt:
+		pa.escape(s.Value, st)
+	}
+	return false
+}
+
+// caseClauses walks each case body on a clone of the pre-switch state
+// and merges the fallthrough results.
+func (pa *poolrefAnalysis) caseClauses(body *ast.BlockStmt, st prState) {
+	merged := st.clone()
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		caseSt := st.clone()
+		if !pa.walkBlock(cc.Body, caseSt) {
+			mergeStates(merged, merged.clone(), caseSt)
+		}
+	}
+	replace(st, merged)
+}
+
+// replace overwrites dst's contents with src's.
+func replace(dst, src prState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// mergeStates joins two fallthrough states into dst: agreeing cells
+// stay; disagreeing cells (conditionally released/escaped) become
+// untracked so later paths are not second-guessed.
+func mergeStates(dst, a, b prState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			continue
+		}
+		if av.refs == bv.refs && av.released == bv.released && av.escaped == bv.escaped {
+			c := *av
+			dst[k] = &c
+		} else {
+			dst[k] = &refState{escaped: true, origin: av.origin}
+		}
+	}
+}
+
+// exitCheck fires leak diagnostics for owned, unescaped cells at an
+// exit point, after applying deferred releases. returned lists cells
+// whose ownership the return statement hands to the caller.
+func (pa *poolrefAnalysis) exitCheck(st prState, pos token.Pos, returned []types.Object) {
+	isReturned := func(obj types.Object) bool {
+		for _, r := range returned {
+			if r == obj {
+				return true
+			}
+		}
+		return false
+	}
+	// Record summary facts for parameters at this exit: a parameter
+	// whose cell shows a net release at every exit is summarized as
+	// released-by-callee. (Facts only accumulate when consistent: the
+	// merge logic untracks disagreeing cells, so a conditional release
+	// never becomes a summary.)
+	for obj, slot := range pa.slots {
+		if cell, ok := st[obj]; ok && !cell.escaped {
+			if cell.released && cell.refs < 0 {
+				pa.fact.Releases |= 1 << uint(slot)
+			}
+			if cell.refs > 0 {
+				pa.fact.Retains |= 1 << uint(slot)
+			}
+		}
+	}
+	// Iterate cells in acquisition order so reports never depend on map
+	// iteration order (reportf dedups by position+message, but the
+	// analyzer should satisfy its own sibling's rule on principle).
+	cells := make([]types.Object, 0, len(st))
+	for obj := range st {
+		cells = append(cells, obj)
+	}
+	sort.Slice(cells, func(i, j int) bool { return st[cells[i]].origin < st[cells[j]].origin })
+	for _, obj := range cells {
+		cell := st[obj]
+		if cell.escaped || isReturned(obj) {
+			continue
+		}
+		refs := cell.refs - pa.deferred[obj]
+		if _, isParam := pa.slots[obj]; isParam {
+			continue // caller owns parameters; net effects go to facts
+		}
+		if refs > 0 {
+			line := pa.pass.Pkg.Fset.Position(pos).Line
+			pa.reportf(cell.origin, "pooled flit acquired here leaks: the exit at line %d returns without releasing it (call Release or hand ownership off)", line)
+		}
+	}
+}
+
+// releaseTarget recognizes pool.Release(f) / wrapper(f) calls; returns
+// the released variable and "release", or Retain's target and
+// "retain", or (nil, "").
+func (pa *poolrefAnalysis) releaseTarget(call *ast.CallExpr, st prState) (types.Object, string) {
+	obj := calleeObj(pa.info(), call)
+	if obj == nil {
+		return nil, ""
+	}
+	if isMethodOf(obj, flitPkgPath, "Pool", "Release") && len(call.Args) == 1 {
+		if t := pa.identObj(call.Args[0]); t != nil {
+			return t, "release"
+		}
+	}
+	if isMethodOf(obj, flitPkgPath, "Flit", "Retain") {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if t := pa.identObj(sel.X); t != nil {
+				return t, "retain"
+			}
+		}
+	}
+	return nil, ""
+}
+
+// expr walks an expression: recognizes acquisitions, releases,
+// retains, escapes, and use-after-release.
+func (pa *poolrefAnalysis) expr(e ast.Expr, st prState) {
+	switch e := ast.Unparen(e).(type) {
+	case nil:
+	case *ast.CallExpr:
+		pa.call(e, st)
+	case *ast.Ident:
+		pa.useCheck(e, st)
+	case *ast.SelectorExpr:
+		// f.Seq etc: a use of f.
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			pa.useCheck(id, st)
+		} else {
+			pa.expr(e.X, st)
+		}
+	case *ast.BinaryExpr:
+		pa.expr(e.X, st)
+		pa.expr(e.Y, st)
+	case *ast.UnaryExpr:
+		pa.expr(e.X, st)
+	case *ast.StarExpr:
+		pa.expr(e.X, st)
+	case *ast.IndexExpr:
+		pa.expr(e.X, st)
+		pa.expr(e.Index, st)
+	case *ast.SliceExpr:
+		pa.expr(e.X, st)
+	case *ast.TypeAssertExpr:
+		pa.expr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			// A flit stored in a composite literal escapes.
+			pa.escape(el, st)
+		}
+	case *ast.FuncLit:
+		// A closure capturing a tracked flit takes shared ownership;
+		// stop tracking anything it mentions.
+		ast.Inspect(e.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pa.info().Uses[id]; obj != nil {
+					if cell, ok := st[obj]; ok {
+						cell.escaped = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// useCheck flags touching a released reference.
+func (pa *poolrefAnalysis) useCheck(id *ast.Ident, st prState) {
+	obj := pa.info().Uses[id]
+	if obj == nil {
+		return
+	}
+	if cell, ok := st[obj]; ok && !cell.escaped && cell.released && cell.refs <= 0 {
+		pa.reportf(id.Pos(), "use of pooled flit %s after its last Release; the pool may already have recycled it (use-after-free)", id.Name)
+	}
+}
+
+// call handles acquisition/release/retain/handoff semantics.
+func (pa *poolrefAnalysis) call(call *ast.CallExpr, st prState) {
+	info := pa.info()
+	obj := calleeObj(info, call)
+
+	// pool.Release(f)
+	if target, kind := pa.releaseTarget(call, st); target != nil {
+		cell, tracked := st[target]
+		switch kind {
+		case "release":
+			if tracked && !cell.escaped {
+				if cell.released && cell.refs <= 0 {
+					pa.reportf(call.Pos(), "double release of pooled flit %s: its reference count already reached zero (the pool panics on this at run time)", target.Name())
+				}
+				cell.refs--
+				if cell.refs <= 0 {
+					cell.released = true
+				}
+			}
+		case "retain":
+			if tracked && !cell.escaped {
+				if cell.released && cell.refs <= 0 {
+					pa.reportf(call.Pos(), "retain of pooled flit %s after its last Release (use-after-free; the pool panics on this at run time)", target.Name())
+				}
+				cell.refs++
+			}
+		}
+		return
+	}
+
+	// Summarized callees: apply per-slot effects.
+	if obj != nil {
+		if f, ok := pa.pass.ImportFact(obj); ok {
+			ff := f.(*poolrefFact)
+			slotArgs := poolrefCallSlotArgs(info, call, obj)
+			slots := make([]int, 0, len(slotArgs))
+			for s := range slotArgs {
+				slots = append(slots, s)
+			}
+			sort.Ints(slots)
+			for _, slot := range slots {
+				arg := slotArgs[slot]
+				t := pa.identObj(arg)
+				if t == nil {
+					pa.expr(arg, st)
+					continue
+				}
+				cell, tracked := st[t]
+				if !tracked || cell.escaped {
+					continue
+				}
+				bit := uint32(1) << uint(slot)
+				switch {
+				case ff.Releases&bit != 0:
+					if cell.released && cell.refs <= 0 {
+						pa.reportf(call.Pos(), "double release of pooled flit %s: %s releases it, but its reference count already reached zero", t.Name(), obj.Name())
+					}
+					cell.refs--
+					if cell.refs <= 0 {
+						cell.released = true
+					}
+				case ff.Retains&bit != 0:
+					cell.refs++
+				case ff.Consumes&bit != 0:
+					cell.escaped = true
+				}
+			}
+			return
+		}
+	}
+
+	// flit.Pool.Get and summarized owned-returning functions are
+	// handled by assign (the result must be bound to be tracked).
+	// Any other call taking a tracked flit is an ownership handoff.
+	for _, arg := range call.Args {
+		pa.escape(arg, st)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Method call on a flit (f.Foo()): a use, not an escape.
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			pa.useCheck(id, st)
+		} else {
+			pa.expr(sel.X, st)
+		}
+	}
+}
+
+// escape stops tracking a reference handed to unknown code, after a
+// use-after-release check.
+func (pa *poolrefAnalysis) escape(e ast.Expr, st prState) {
+	if e == nil {
+		return
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		pa.useCheck(id, st)
+		if obj := pa.info().Uses[id]; obj != nil {
+			if cell, ok := st[obj]; ok {
+				cell.escaped = true
+				if slot, isParam := pa.slots[obj]; isParam {
+					pa.fact.Consumes |= 1 << uint(slot)
+				}
+			}
+		}
+		return
+	}
+	pa.expr(e, st)
+}
+
+// isGetCall reports whether call is flit.(*Pool).Get or a summarized
+// owned-returning function.
+func (pa *poolrefAnalysis) isGetCall(call *ast.CallExpr) bool {
+	obj := calleeObj(pa.info(), call)
+	if obj == nil {
+		return false
+	}
+	if isMethodOf(obj, flitPkgPath, "Pool", "Get") {
+		return true
+	}
+	if f, ok := pa.pass.ImportFact(obj); ok {
+		return f.(*poolrefFact).ReturnsOwned
+	}
+	return false
+}
+
+func (pa *poolrefAnalysis) assign(s *ast.AssignStmt, st prState) {
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 && i == 0 {
+			rhs = s.Rhs[0]
+		}
+		if rhs == nil {
+			continue
+		}
+		// f := pl.Get() — start tracking a fresh owned reference.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && pa.isGetCall(call) {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				obj := pa.info().Defs[id]
+				if obj == nil {
+					obj = pa.info().Uses[id]
+				}
+				if obj != nil && isFlitPtr(obj.Type()) {
+					st[obj] = &refState{refs: 1, origin: call.Pos()}
+					continue
+				}
+			}
+			// Owned result not bound to a trackable variable: escaped.
+			continue
+		}
+		// Aliasing or storing a tracked flit: stop tracking it.
+		if pa.identObj(rhs) != nil {
+			if _, tracked := st[pa.identObj(rhs)]; tracked {
+				pa.escape(rhs, st)
+			}
+		} else {
+			pa.expr(rhs, st)
+		}
+		// Storing INTO a field/slot is an escape of the value, handled
+		// above; the lvalue itself needs no tracking update unless it
+		// shadows a tracked cell.
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			obj := pa.info().Defs[id]
+			if obj == nil {
+				obj = pa.info().Uses[id]
+			}
+			if obj != nil {
+				if cell, ok := st[obj]; ok && s.Tok == token.ASSIGN {
+					// Overwriting a variable that held an owned ref:
+					// if it was the last holder, that's a leak.
+					if cell.refs > 0 && !cell.escaped {
+						pa.reportf(s.Pos(), "pooled flit held by %s is overwritten while still owned (leak); release or hand it off first", id.Name)
+					}
+					delete(st, obj)
+				}
+			}
+		}
+	}
+}
+
+// poolrefCallSlotArgs maps parameter slots (receiver first) to call
+// argument expressions, like detflow's.
+func poolrefCallSlotArgs(info *types.Info, call *ast.CallExpr, obj types.Object) map[int]ast.Expr {
+	out := map[int]ast.Expr{}
+	base := 0
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			base = 1
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if _, isPkg := info.Uses[sel.Sel].(*types.PkgName); !isPkg {
+					out[0] = sel.X
+				}
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		out[base+i] = arg
+	}
+	return out
+}

@@ -18,23 +18,19 @@ import (
 // package itself — which implements the yield machinery out of real
 // channels — is exempt.
 func Procblock() *Analyzer {
-	return &Analyzer{
+	a := &Analyzer{
 		Name: "procblock",
 		Doc:  "flag real blocking operations inside *sim.Proc process bodies",
-		Run:  runProcblock,
 	}
-}
-
-func runProcblock(p *Package) []Diagnostic {
-	if p.Path == simPkgPath {
-		return nil
-	}
-	var diags []Diagnostic
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Path == simPkgPath {
+			return
+		}
+		check := func(c *Cursor) {
+			p := pass.Pkg
 			var sig *types.Signature
 			var body *ast.BlockStmt
-			switch fn := n.(type) {
+			switch fn := c.Node.(type) {
 			case *ast.FuncDecl:
 				if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
 					sig, _ = obj.Type().(*types.Signature)
@@ -45,17 +41,17 @@ func runProcblock(p *Package) []Diagnostic {
 					sig, _ = tv.Type.(*types.Signature)
 				}
 				body = fn.Body
-			default:
-				return true
 			}
 			if sig == nil || body == nil || !hasProcParam(sig) {
-				return true
+				return
 			}
-			diags = append(diags, blockingOps(p, body)...)
-			return true
-		})
+			for _, d := range blockingOps(p, body) {
+				*pass.diags = append(*pass.diags, d)
+			}
+		}
+		pass.Inspect(check, (*ast.FuncDecl)(nil), (*ast.FuncLit)(nil))
 	}
-	return diags
+	return a
 }
 
 // hasProcParam reports whether any parameter is a *sim.Proc.

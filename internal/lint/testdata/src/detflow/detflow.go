@@ -1,0 +1,118 @@
+// Package fixture seeds detflow violations for the analyzer's golden
+// test: nondeterministic values (map-iteration order, formatted
+// addresses, unsafe pointer arithmetic) flowing into snapshot-visible
+// sinks, directly and through function summaries.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"unsafe"
+
+	"fcc/internal/lint/testdata/src/detflow/sub"
+	"fcc/internal/sim"
+)
+
+type link struct{ id int }
+
+// direct: a map-iteration key becomes a stats registration name.
+// Registration order is snapshot-observable (Stats.Dump preserves it),
+// so the per-run random iteration order leaks into output.
+func registerAll(st *sim.Stats, m map[string]int) {
+	for name := range m {
+		st.Counter(name).Inc() // want `nondeterministic value \(a map-iteration key/value.*\) flows into a stats registration name`
+	}
+}
+
+// Value sinks are commutative: observing histogram samples in map order
+// is fine — the merged distribution is order-independent.
+func observeAll(h *sim.Histogram, m map[string]int) {
+	for _, v := range m {
+		h.Observe(float64(v)) // ok: value sink, order-only taint
+	}
+}
+
+// Sorting first launders the taint: the canonical pattern.
+func registerSorted(st *sim.Stats, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st.Counter(k).Inc() // ok: canonically ordered
+	}
+}
+
+// Without the sort, the assembled slice carries concrete taint — its
+// element ORDER is nondeterministic even though each element is fine.
+func registerUnsorted(st *sim.Stats, m map[string]int) {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	for _, k := range names {
+		st.Counter(k).Inc() // want `a collection assembled in map-iteration order`
+	}
+}
+
+// Pointer formatting bakes an ASLR-randomized address into a name.
+func registerByAddr(st *sim.Stats, l *link) {
+	name := fmt.Sprintf("link-%p", l)
+	st.Counter(name).Inc() // want `a pointer-formatted string`
+}
+
+// The modulo operator is not a formatting verb: this must NOT trip the
+// %p detector (a naive substring match would).
+func registerModulo(st *sim.Stats, addr, pageSize int) {
+	name := fmt.Sprintf("page-%d", addr%pageSize)
+	st.Counter(name).Inc() // ok: %d with modulo arithmetic
+}
+
+// unsafe.Pointer -> uintptr turns an address into arithmetic; feeding
+// it to any sink publishes allocator layout.
+func observeAddr(h *sim.Histogram, l *link) {
+	addr := uintptr(unsafe.Pointer(l))
+	h.Observe(float64(addr)) // want `an unsafe.Pointer address converted to uintptr`
+}
+
+// intra-package summary: the helper's parameter is a sink.
+func register(st *sim.Stats, name string) {
+	st.Counter(name).Inc()
+}
+
+func registerViaHelper(st *sim.Stats, m map[string]int) {
+	for k := range m {
+		register(st, k) // want `by way of register`
+	}
+}
+
+// cross-package summaries: sub.Register's sink parameter and
+// sub.Mangle's tainted return are imported facts.
+func registerViaSub(st *sim.Stats, m map[string]int) {
+	for k := range m {
+		sub.Register(st, k) // want `by way of Register`
+	}
+}
+
+func registerMangled(st *sim.Stats, x *int) {
+	name := sub.Mangle(x)
+	st.Counter(name).Inc() // want `a pointer-formatted string`
+}
+
+// Event schedule times are order-sensitive (insertion order assigns
+// sequence numbers); deriving a delay from map iteration is the PR 6
+// bug shape.
+func scheduleFromMap(eng *sim.Engine, m map[int]sim.Time) {
+	for _, d := range m {
+		eng.After(d, func() {}) // want `an event schedule time`
+	}
+}
+
+// Plain literals and loop counters stay clean.
+func fixedNames(st *sim.Stats) {
+	st.Counter("flits.sent").Inc() // ok
+	for i := 0; i < 4; i++ {
+		st.Child("port").Counter("x").Inc() // ok
+	}
+}

@@ -1,0 +1,22 @@
+// Package sub exists to prove detflow facts cross package boundaries:
+// the parent fixture package calls these helpers and must still see
+// their sink parameters and tainted returns.
+package sub
+
+import (
+	"fmt"
+
+	"fcc/internal/sim"
+)
+
+// Register forwards its name argument into a snapshot-observable sink;
+// detflow summarizes the parameter so callers are checked.
+func Register(st *sim.Stats, name string) {
+	st.Counter(name).Inc()
+}
+
+// Mangle returns a pointer-formatted string; the taint travels back to
+// the caller through the return-value summary.
+func Mangle(x *int) string {
+	return fmt.Sprintf("%p", x)
+}

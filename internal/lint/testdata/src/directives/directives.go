@@ -1,0 +1,36 @@
+// Package fixture pins the inline suppression contract: a
+// //fcclint:allow directive covers its own line and the following
+// line, names specific analyzers (comma-separated), and nothing else.
+package fixture
+
+import "time"
+
+// Same-line placement: the directive rides the violating statement.
+func sameLine() time.Time {
+	return time.Now() //fcclint:allow detban fixture: same-line placement
+}
+
+// Line-above placement: the directive covers the next line.
+func lineAbove() time.Time {
+	//fcclint:allow detban fixture: line-above placement
+	return time.Now()
+}
+
+// Two lines above is out of scope — the suppression must not leak
+// downward past the adjacent line.
+func tooFarAbove() time.Time {
+	//fcclint:allow detban fixture: separated by a blank line
+
+	return time.Now() // want `time.Now is banned`
+}
+
+// One directive can name several analyzers with a comma list.
+func commaList() time.Time {
+	return time.Now() //fcclint:allow detban,maporder fixture: comma list
+}
+
+// Naming a different analyzer does not suppress this one.
+func wrongAnalyzer() time.Time {
+	t := time.Now() //fcclint:allow maporder wrong analyzer // want `time.Now is banned`
+	return t
+}

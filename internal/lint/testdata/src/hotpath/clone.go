@@ -1,0 +1,22 @@
+package fixture
+
+//fcclint:hotpath packet-path fixture (maps.Clone/Collect blind spot)
+
+import "maps"
+
+// maps.Clone and maps.Collect construct a fresh hash table behind a
+// call — no make, no literal — which is exactly how the original
+// checker was blind-sided.
+func cloneTable(m map[uint16]int) map[uint16]int {
+	return maps.Clone(m) // want `maps\.Clone constructs a map in a //fcclint:hotpath file`
+}
+
+func collectTable(m map[uint16]int) map[uint16]int {
+	return maps.Collect(maps.All(m)) // want `maps\.Collect constructs a map in a //fcclint:hotpath file`
+}
+
+// maps helpers that do NOT construct (iterators, in-place ops) stay
+// legal: only fresh hash tables are the banned allocation.
+func copyInto(dst, src map[uint16]int) {
+	maps.Copy(dst, src)
+}

@@ -39,3 +39,28 @@ func allowedException() map[int]int {
 	//fcclint:allow hotpath cold one-time diagnostics table
 	return make(map[int]int)
 }
+
+// Map construction hidden behind struct fields and nested composite
+// literals is still construction — the checker keys on the expression
+// type, not the statement shape.
+type routeState struct {
+	byID map[uint32]int
+}
+
+func structField() routeState {
+	var rs routeState
+	rs.byID = make(map[uint32]int) // want `make\(map\) in a //fcclint:hotpath file`
+	return rs
+}
+
+func compositeField() routeState {
+	return routeState{
+		byID: map[uint32]int{1: 1}, // want `map literal in a //fcclint:hotpath file`
+	}
+}
+
+func nestedElided() []routeState {
+	return []routeState{
+		{byID: map[uint32]int{}}, // want `map literal in a //fcclint:hotpath file`
+	}
+}

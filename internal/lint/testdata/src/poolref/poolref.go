@@ -1,0 +1,127 @@
+// Package fixture seeds poolref violations for the analyzer's golden
+// test: the three flit-ownership bug shapes (leak on early return,
+// double release, use after release) plus the sanctioned patterns that
+// must stay silent.
+package fixture
+
+import "fcc/internal/flit"
+
+// Leak on early return: the error path forgets the flit it owns.
+func leakEarlyReturn(pl *flit.Pool, drop bool) {
+	f := pl.Get() // want `pooled flit acquired here leaks`
+	if drop {
+		return
+	}
+	pl.Release(f)
+}
+
+// Straight-line leak: acquired, used, never released.
+func leakStraight(pl *flit.Pool) uint32 {
+	f := pl.Get() // want `pooled flit acquired here leaks`
+	return f.Seq
+}
+
+// Double release: the pool panics at run time; poolref catches it
+// before the simulation ever runs.
+func doubleRelease(pl *flit.Pool) {
+	f := pl.Get()
+	pl.Release(f)
+	pl.Release(f) // want `double release of pooled flit f`
+}
+
+// Use after release: the pool may already have recycled the flit.
+func useAfterRelease(pl *flit.Pool) uint32 {
+	f := pl.Get()
+	pl.Release(f)
+	return f.Seq // want `use of pooled flit f after its last Release`
+}
+
+// Retain after the last release is the same bug through the other door.
+func retainAfterRelease(pl *flit.Pool) {
+	f := pl.Get()
+	pl.Release(f)
+	f.Retain() // want `retain of pooled flit f after its last Release`
+	pl.Release(f)
+}
+
+// Retain balances an extra Release: two holders, two releases — clean.
+func retainBalances(pl *flit.Pool) {
+	f := pl.Get()
+	f.Retain()
+	pl.Release(f)
+	pl.Release(f) // ok: second holder's release
+}
+
+// Deferred release covers every exit — clean.
+func deferRelease(pl *flit.Pool, early bool) uint32 {
+	f := pl.Get()
+	defer pl.Release(f)
+	if early {
+		return 0
+	}
+	return f.Seq
+}
+
+// Returning the flit hands ownership to the caller — clean here, and
+// the returns-owned summary makes careless callers accountable.
+func mint(pl *flit.Pool) *flit.Flit {
+	f := pl.Get()
+	f.Seq = 7
+	return f // ok: ownership transfers out
+}
+
+// The summarized acquisition leaks exactly like a direct Get would.
+func mintAndDrop(pl *flit.Pool) uint32 {
+	f := mint(pl) // want `pooled flit acquired here leaks`
+	return f.Seq
+}
+
+func mintAndRelease(pl *flit.Pool) {
+	f := mint(pl)
+	pl.Release(f) // ok
+}
+
+// consume releases its parameter on every path; the summary turns the
+// call into a release at every call site.
+func consume(pl *flit.Pool, f *flit.Flit) {
+	pl.Release(f)
+}
+
+func doubleViaHelper(pl *flit.Pool) {
+	f := pl.Get()
+	consume(pl, f)
+	pl.Release(f) // want `double release of pooled flit f`
+}
+
+func helperAfterRelease(pl *flit.Pool) {
+	f := pl.Get()
+	pl.Release(f)
+	consume(pl, f) // want `consume releases it`
+}
+
+func consumeProperly(pl *flit.Pool) {
+	f := pl.Get()
+	f.Seq = 1
+	consume(pl, f) // ok: exactly one release
+}
+
+// Storing the flit hands ownership to the store — the replay-buffer
+// pattern. poolref stops tracking rather than guessing.
+var replay []*flit.Flit
+
+func stash(pl *flit.Pool) {
+	f := pl.Get()
+	replay = append(replay, f) // ok: escaped to the replay buffer
+}
+
+// Conditional release merges to "untracked": poolref only reports
+// paths that provably misbehave, so this stays silent even though one
+// arm releases and the other stores.
+func conditional(pl *flit.Pool, keep bool) {
+	f := pl.Get()
+	if keep {
+		replay = append(replay, f)
+	} else {
+		pl.Release(f)
+	}
+}

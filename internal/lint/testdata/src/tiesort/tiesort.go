@@ -1,0 +1,97 @@
+// Package fixture seeds tiesort violations for the analyzer's golden
+// test: zero-delay events that drain a same-instant cohort accumulator
+// without first imposing a canonical order, plus the repaired shapes
+// (library sort, manual insertion sort, nonzero delay) that must stay
+// silent.
+package fixture
+
+import (
+	"sort"
+
+	"fcc/internal/sim"
+)
+
+type xbar struct {
+	eng     *sim.Engine
+	pending []int
+	granted []int
+}
+
+// The bug shape: arrivals during one instant accumulate into pending,
+// and the zero-delay drain iterates in arrival order. The result
+// depends on event insertion order.
+func (s *xbar) arrive(v int) {
+	s.pending = append(s.pending, v)
+	s.eng.After2(0, drainUnsorted, s) // want `zero-delay event drains same-instant cohort "s.pending" without a canonical sort`
+}
+
+func drainUnsorted(arg any) {
+	s := arg.(*xbar)
+	for _, v := range s.pending {
+		s.granted = append(s.granted, v)
+	}
+	s.pending = s.pending[:0]
+}
+
+// The repaired shape: sort by a stable key before draining.
+func (s *xbar) arriveSorted(v int) {
+	s.pending = append(s.pending, v)
+	s.eng.After2(0, drainSorted, s) // ok: drain sorts first
+}
+
+func drainSorted(arg any) {
+	s := arg.(*xbar)
+	sort.Ints(s.pending)
+	for _, v := range s.pending {
+		s.granted = append(s.granted, v)
+	}
+	s.pending = s.pending[:0]
+}
+
+// A manual insertion sort (the fabric/switch.go xbarArbitrate idiom)
+// also counts as imposing an order: indexed stores into the
+// accumulator are how swap-based sorts look.
+func (s *xbar) arriveManual(v int) {
+	s.pending = append(s.pending, v)
+	s.eng.After2(0, drainManual, s) // ok: manual insertion sort
+}
+
+func drainManual(arg any) {
+	s := arg.(*xbar)
+	for i := 1; i < len(s.pending); i++ {
+		for j := i; j > 0 && s.pending[j] < s.pending[j-1]; j-- {
+			s.pending[j], s.pending[j-1] = s.pending[j-1], s.pending[j]
+		}
+	}
+	for _, v := range s.pending {
+		s.granted = append(s.granted, v)
+	}
+	s.pending = s.pending[:0]
+}
+
+// A nonzero delay is a different instant: no tie cohort, no report.
+func (s *xbar) arriveLater(v int) {
+	s.pending = append(s.pending, v)
+	s.eng.After2(1, drainUnsorted, s) // ok: not a same-instant drain
+}
+
+// Function literals are checked directly, without a summary.
+func (s *xbar) arriveLit(v int) {
+	s.pending = append(s.pending, v)
+	s.eng.After(0, func() { // want `zero-delay event drains same-instant cohort "s.pending" without a canonical sort`
+		for _, x := range s.pending {
+			s.granted = append(s.granted, x)
+		}
+		s.pending = s.pending[:0]
+	})
+}
+
+// Draining without resetting is not the cohort pattern (the slice is a
+// stable table, not an accumulator).
+func (s *xbar) arriveTable(v int) {
+	s.eng.After(0, func() { // ok: no reset, not an accumulator drain
+		for _, x := range s.granted {
+			_ = x
+		}
+	})
+}

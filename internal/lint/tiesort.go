@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Tiesort targets the same-instant cohort bug shape that bit PR 6
+// (StallPicks) and PR 7 (crossbar arbitration): events that fire in the
+// same simulated instant accumulate work into a slice, and a zero-delay
+// follow-up event drains the cohort. If the drain iterates in arrival
+// order without first imposing a canonical order, the result depends on
+// event insertion order — deterministic per run, but it silently
+// encodes scheduling history into model state, and any refactor of the
+// schedule reorders the physics. The repaired pattern (fabric/switch.go
+// xbarArbitrate) sorts the cohort by a stable key before draining.
+//
+// The analyzer works in two steps. Per function it detects the
+// "drain" shape — a range over a slice-valued accumulator that the
+// same function also resets (x = x[:0] or x = nil) — and whether the
+// function ever orders that accumulator (a sort.*/slices.* call naming
+// it, or a manual reordering via indexed assignment, which is how
+// xbarArbitrate's insertion sort looks). Unsorted drains are exported
+// as facts. Then every Engine.After/After2 call with a constant zero
+// delay is checked: scheduling a summarized unsorted drainer at delay 0
+// is the bug. The schedule site is the report anchor because that is
+// where "same instant" is decided; ranging over an accumulator is fine
+// in functions that never run inside a tie cohort.
+func Tiesort() *Analyzer {
+	a := &Analyzer{
+		Name: "tiesort",
+		Doc:  "flag zero-delay events that drain a cohort accumulator without a canonical sort",
+	}
+	a.Run = func(pass *Pass) {
+		if pass.Pkg.Path == simPkgPath {
+			return
+		}
+		var decls []*ast.FuncDecl
+		var schedules []*ast.CallExpr
+		pass.Inspect(func(c *Cursor) {
+			fd := c.Node.(*ast.FuncDecl)
+			if fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}, (*ast.FuncDecl)(nil))
+		pass.Inspect(func(c *Cursor) {
+			call := c.Node.(*ast.CallExpr)
+			if fnArg := zeroDelaySchedule(pass.Pkg, call); fnArg != nil {
+				schedules = append(schedules, call)
+			}
+		}, (*ast.CallExpr)(nil))
+		pass.OnFinish(func() {
+			// Round 1: summarize every function's drain behavior.
+			for _, fd := range decls {
+				fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if accum, ok := unsortedDrain(pass.Pkg, fd.Body); ok {
+					pass.ExportFact(fn, &tiesortFact{Accum: accum})
+				}
+			}
+			// Round 2: check zero-delay schedule sites.
+			for _, call := range schedules {
+				fnArg := zeroDelaySchedule(pass.Pkg, call)
+				checkScheduledFn(pass, call, fnArg)
+			}
+		})
+	}
+	return a
+}
+
+// tiesortFact marks a function that drains a cohort accumulator
+// without imposing a canonical order first.
+type tiesortFact struct {
+	Accum string // source text-ish name of the drained accumulator
+}
+
+// zeroDelaySchedule returns the scheduled-function argument if call is
+// Engine.After/After2 with a constant zero delay, else nil.
+func zeroDelaySchedule(p *Package, call *ast.CallExpr) ast.Expr {
+	obj := calleeObj(p.Info, call)
+	if obj == nil {
+		return nil
+	}
+	if !isMethodOf(obj, simPkgPath, "Engine", "After") && !isMethodOf(obj, simPkgPath, "Engine", "After2") {
+		return nil
+	}
+	if len(call.Args) < 2 {
+		return nil
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.String() != "0" {
+		return nil
+	}
+	return call.Args[1]
+}
+
+// checkScheduledFn resolves the function value passed to a zero-delay
+// schedule and reports if it (per summary fact, or direct body
+// inspection for function literals) drains unsorted.
+func checkScheduledFn(pass *Pass, call *ast.CallExpr, fnArg ast.Expr) {
+	report := func(accum string) {
+		pass.Reportf(call.Pos(), "zero-delay event drains same-instant cohort %q without a canonical sort; the drain order is event insertion order — sort the cohort by a stable key first (see fabric/switch.go xbarArbitrate)", accum)
+	}
+	switch fe := ast.Unparen(fnArg).(type) {
+	case *ast.FuncLit:
+		if accum, ok := unsortedDrain(pass.Pkg, fe.Body); ok {
+			report(accum)
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		var obj types.Object
+		switch fe := fe.(type) {
+		case *ast.Ident:
+			obj = pass.Pkg.Info.Uses[fe]
+		case *ast.SelectorExpr:
+			obj = pass.Pkg.Info.Uses[fe.Sel]
+		}
+		if obj == nil {
+			return
+		}
+		if f, ok := pass.ImportFact(obj); ok {
+			report(f.(*tiesortFact).Accum)
+		}
+	}
+}
+
+// unsortedDrain reports whether body contains the cohort-drain shape —
+// a range over a slice-valued expression that the body also resets —
+// with no ordering of that expression anywhere in the body.
+func unsortedDrain(p *Package, body *ast.BlockStmt) (string, bool) {
+	// Collect candidate drains: range statements over slice-typed
+	// expressions that are either struct-field selectors or plain
+	// variables.
+	type drain struct {
+		expr ast.Expr
+		name string
+	}
+	var drains []drain
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		x := ast.Unparen(rs.X)
+		tv, ok := p.Info.Types[x]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+			return true
+		}
+		switch x.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			drains = append(drains, drain{expr: x, name: exprName(x)})
+		}
+		return true
+	})
+	if len(drains) == 0 {
+		return "", false
+	}
+	for _, d := range drains {
+		reset := false
+		ordered := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					lhs = ast.Unparen(lhs)
+					// Reset: x = x[:0] or x = nil.
+					if sameExpr(p, lhs, d.expr) && i < len(n.Rhs) {
+						rhs := ast.Unparen(n.Rhs[i])
+						if se, ok := rhs.(*ast.SliceExpr); ok && sameExpr(p, se.X, d.expr) {
+							reset = true
+						}
+						if id, ok := rhs.(*ast.Ident); ok && id.Name == "nil" {
+							reset = true
+						}
+					}
+					// Manual reorder: an indexed store into the
+					// accumulator (insertion-sort style swaps).
+					if ie, ok := lhs.(*ast.IndexExpr); ok && sameExpr(p, ie.X, d.expr) {
+						ordered = true
+					}
+				}
+			case *ast.CallExpr:
+				// sort.Foo(x...) / slices.Foo(x...) naming the
+				// accumulator imposes an order.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					obj := p.Info.Uses[sel.Sel]
+					if pkg := pkgPathOf(obj); obj != nil && (pkg == "sort" || pkg == "slices") {
+						for _, arg := range n.Args {
+							mention := false
+							ast.Inspect(arg, func(an ast.Node) bool {
+								if ae, ok := an.(ast.Expr); ok && sameExpr(p, ae, d.expr) {
+									mention = true
+									return false
+								}
+								return true
+							})
+							if mention {
+								ordered = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+		if reset && !ordered {
+			return d.name, true
+		}
+	}
+	return "", false
+}
+
+// sameExpr reports structural identity of two simple expressions:
+// identifiers resolving to the same object, or selectors with the same
+// field and structurally identical bases.
+func sameExpr(p *Package, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		bID, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao := p.Info.Uses[a]
+		bo := p.Info.Uses[bID]
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		bSel, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		ao := p.Info.Uses[a.Sel]
+		bo := p.Info.Uses[bSel.Sel]
+		return ao != nil && ao == bo && sameExpr(p, a.X, bSel.X)
+	}
+	return false
+}
+
+// exprName renders a simple expression for diagnostics.
+func exprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	}
+	return "accumulator"
+}
