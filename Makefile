@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet fmtcheck lint test race shard-equiv fabstore-equiv bench bench-smoke bench-diff examples-smoke
+.PHONY: ci build vet fmtcheck lint test race shard-equiv fabstore-equiv shard-speedup bench bench-smoke bench-diff examples-smoke
 
 # ci is the tier-1 gate: build, vet, the invariant lint pass, the full
 # suite under the race detector, the sharded-equivalence crown jewel
@@ -10,6 +10,7 @@ GO ?= go
 # timing noise must never block a merge.
 ci: build vet lint race shard-equiv fabstore-equiv examples-smoke
 	-@$(MAKE) --no-print-directory bench-smoke || echo "bench-smoke FAILED (non-gating)"
+	-@$(MAKE) --no-print-directory shard-speedup || echo "shard-speedup FAILED (non-gating)"
 	-@$(MAKE) --no-print-directory bench-diff || echo "bench-diff FAILED (non-gating)"
 
 build:
@@ -43,10 +44,13 @@ race:
 # shard-equiv is the parallel-determinism gate: the coordinator/mailbox
 # unit tests plus the serial-vs-sharded byte-identical-snapshot suite,
 # run under the race detector with -count=1 so a cached pass never
-# masks a fresh data race in the window-barrier machinery.
+# masks a fresh data race in the window-barrier machinery. The exp leg
+# pins GOMAXPROCS=4 so the worker-barrier path actually runs (on a
+# single-P runtime the coordinator falls back to sequential execution)
+# and the race detector sees real cross-goroutine traffic.
 shard-equiv:
 	$(GO) test -race -count=1 -run 'Coordinator|Mailbox|Window' ./internal/sim/
-	$(GO) test -race -count=1 -run 'TestSharded' ./internal/exp/
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run 'TestSharded' ./internal/exp/
 
 # fabstore-equiv gates the E11 macro-benchmark's determinism claim: the
 # same seed must produce byte-identical stats snapshots whether FabStore
@@ -69,6 +73,13 @@ bench:
 # but a REGRESSED line in its output is worth reading before pushing.
 bench-diff:
 	@$(GO) run ./cmd/benchdiff
+
+# shard-speedup smoke-runs E12, the multi-pod scaling experiment: wall
+# clock at 1/2/4/8 shards with the serial-vs-sharded equivalence check
+# inline. Non-gating in ci (timing noise must never block a merge), but
+# a `match false` line in its output is a determinism bug — report it.
+shard-speedup:
+	$(GO) run ./cmd/fccbench -exp shard-speedup -seed 1
 
 # bench-smoke compiles and executes every benchmark for 100 iterations —
 # just enough to catch panics and broken invariants, cheap enough for ci.

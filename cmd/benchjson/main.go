@@ -30,19 +30,32 @@ type benchResult struct {
 	OpsPerSec  float64 `json:"ops_per_sec,omitempty"`
 	BytesPerOp float64 `json:"bytes_per_op"`
 	AllocsOp   float64 `json:"allocs_per_op"`
+	// Cpus is the GOMAXPROCS the benchmark ran under, parsed from the
+	// name's -N suffix (go test's -cpu encoding). Serial and parallel
+	// results are not comparable, so the trajectory needs this recorded.
+	Cpus int `json:"cpus,omitempty"`
+	// Shards is the coordinator shard count, parsed from a "shards=N"
+	// sub-benchmark component (see BenchmarkCoordinatorScaling).
+	Shards int `json:"shards,omitempty"`
 	// Metrics holds b.ReportMetric extras (events/sec, flits/sec, ...).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type doc struct {
-	Schema     int           `json:"schema"`
-	Date       string        `json:"date"`
-	GoVersion  string        `json:"go"`
-	CPU        string        `json:"cpu,omitempty"`
+	Schema    int    `json:"schema"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go"`
+	CPU       string `json:"cpu,omitempty"`
+	// GoMaxProcs is the converting process's GOMAXPROCS — the default
+	// every benchmark without an explicit -cpu flag ran under.
+	GoMaxProcs int           `json:"gomaxprocs"`
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
-var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+var (
+	gomaxprocsSuffix = regexp.MustCompile(`-(\d+)$`)
+	shardsComponent  = regexp.MustCompile(`(?:^|/)shards=(\d+)(?:/|$)`)
+)
 
 func main() {
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
@@ -53,9 +66,10 @@ func main() {
 	}
 
 	d := doc{
-		Schema:    1,
-		Date:      time.Now().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
+		Schema:     1,
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -112,6 +126,12 @@ func parseBenchLine(line, pkg string) (benchResult, bool) {
 		Name:       gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
 		Package:    pkg,
 		Iterations: iters,
+	}
+	if m := gomaxprocsSuffix.FindStringSubmatch(fields[0]); m != nil {
+		r.Cpus, _ = strconv.Atoi(m[1])
+	}
+	if m := shardsComponent.FindStringSubmatch(r.Name); m != nil {
+		r.Shards, _ = strconv.Atoi(m[1])
 	}
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, err := strconv.ParseFloat(fields[i], 64)

@@ -65,6 +65,22 @@ type Config struct {
 	// blast-radius experiments meaningful: each switch is one failure
 	// domain holding a known slice of hosts and devices.
 	SpreadHosts bool
+	// Pods arranges the switches into Pods equal contiguous blocks —
+	// pods of racks. Switches within a pod form a line over ordinary
+	// (short, LinkConfig) links; pod i's last switch connects to pod
+	// i+1's first switch over a long-haul PodLinkConfig link, closing a
+	// pod-level ring. Requires Switches % Pods == 0; mutually exclusive
+	// with Ring (pods bring their own ring). With Shards > 1,
+	// Pods % Shards == 0 is additionally required so shard boundaries
+	// land on pod boundaries: every cut link is then a long-haul pod
+	// link, and the coordinator's discovered per-pair lookahead equals
+	// the pod-link propagation — orders of magnitude wider than the
+	// intra-pod window, which is what makes sharded execution scale
+	// (DESIGN.md, "Parallel execution").
+	Pods int
+	// PodLinkConfig overrides the inter-pod link (nil = LinkConfig with
+	// propagation raised to 1 µs: ~200 m of fiber, cross-row optics).
+	PodLinkConfig func() link.Config
 	// Manager attaches the active fabric manager: heartbeat failure
 	// detection plus automatic PBR route-around (see fabric.Manager).
 	// Its health sweep is perpetual — call Cluster.Manager.Stop() when
@@ -158,6 +174,16 @@ func New(cfg Config) (*Cluster, error) {
 	var eng *sim.Engine
 	var b *fabric.Builder
 	var coord *sim.Coordinator
+	if cfg.Pods > 1 {
+		switch {
+		case cfg.Switches%cfg.Pods != 0:
+			return nil, fmt.Errorf("fcc: %d switches do not divide into %d pods", cfg.Switches, cfg.Pods)
+		case cfg.Ring:
+			return nil, fmt.Errorf("fcc: Ring and Pods are mutually exclusive (pods form their own ring)")
+		case cfg.Shards > 1 && cfg.Pods%cfg.Shards != 0:
+			return nil, fmt.Errorf("fcc: %d pods do not divide into %d shards (cuts must land on pod boundaries)", cfg.Pods, cfg.Shards)
+		}
+	}
 	if cfg.Shards > 1 {
 		switch {
 		case cfg.Manager, cfg.Arbiter, cfg.Coherent, cfg.Agents, cfg.TraceFlits > 0:
@@ -165,9 +191,13 @@ func New(cfg Config) (*Cluster, error) {
 		case cfg.Shards > cfg.Switches:
 			return nil, fmt.Errorf("fcc: %d shards need at least that many switches, have %d", cfg.Shards, cfg.Switches)
 		}
-		// Lookahead = the inter-switch propagation delay: every
+		// Default lookahead = the inter-switch propagation delay: every
 		// cross-domain interaction crosses a cut ISL, so no shard can
-		// affect another sooner than one propagation in the future.
+		// affect another sooner than one propagation in the future. This
+		// is only the floor — fabric discovery then raises each shard
+		// pair to the minimum propagation over its actual cut links
+		// (the long-haul pod links, in a pod topology) and releases
+		// pairs with no cut link entirely.
 		coord = sim.NewCoordinator(cfg.Shards, lcfg().Phys.Propagation)
 		b = fabric.NewShardedBuilder(fabric.Sharding{
 			Coord: coord,
@@ -186,14 +216,44 @@ func New(cfg Config) (*Cluster, error) {
 	for i := 0; i < cfg.Switches; i++ {
 		switches = append(switches, b.AddSwitch(fmt.Sprintf("fs%d", i), scfg()))
 	}
-	for i := 1; i < cfg.Switches; i++ {
-		if err := b.ConnectSwitches(switches[i-1], switches[i], lcfg()); err != nil {
-			return nil, err
+	if cfg.Pods > 1 {
+		plcfg := cfg.PodLinkConfig
+		if plcfg == nil {
+			plcfg = func() link.Config {
+				pc := lcfg()
+				if pc.Phys.Propagation < sim.Microsecond {
+					pc.Phys.Propagation = sim.Microsecond
+				}
+				return pc
+			}
 		}
-	}
-	if cfg.Ring && cfg.Switches >= 3 {
-		if err := b.ConnectSwitches(switches[cfg.Switches-1], switches[0], lcfg()); err != nil {
-			return nil, err
+		perPod := cfg.Switches / cfg.Pods
+		for p := 0; p < cfg.Pods; p++ {
+			for i := 1; i < perPod; i++ {
+				if err := b.ConnectSwitches(switches[p*perPod+i-1], switches[p*perPod+i], lcfg()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Pod-level ring over the long-haul links: pod p's last switch
+		// to pod p+1's first (two parallel links when Pods == 2, which
+		// ECMP routing treats as equal-cost redundancy).
+		for p := 0; p < cfg.Pods; p++ {
+			q := (p + 1) % cfg.Pods
+			if err := b.ConnectSwitches(switches[p*perPod+perPod-1], switches[q*perPod], plcfg()); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := 1; i < cfg.Switches; i++ {
+			if err := b.ConnectSwitches(switches[i-1], switches[i], lcfg()); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.Ring && cfg.Switches >= 3 {
+			if err := b.ConnectSwitches(switches[cfg.Switches-1], switches[0], lcfg()); err != nil {
+				return nil, err
+			}
 		}
 	}
 	devSwitch := func(i int) *fabric.Switch { return switches[i%len(switches)] }

@@ -27,6 +27,19 @@ type ShardConfig struct {
 	// the coordinator's lookahead window, so longer wires mean fewer
 	// barriers per simulated second.
 	ISLPropagation sim.Time
+	// Pods, when > 1, builds the multi-pod topology instead of the flat
+	// ring: Switches/Pods-switch pods with short ISLPropagation wires
+	// inside, joined into a pod-level ring by long-haul PodPropagation
+	// links. Shard cuts land on pod boundaries, so the discovered
+	// lookahead between adjacent shards is PodPropagation — the wide
+	// windows the scaling benchmark measures.
+	Pods           int
+	PodPropagation sim.Time
+	// LocalEvery: in a pod topology, all but every LocalEvery-th
+	// operation targets the FAM on the host's own switch (pod-local
+	// traffic); the rest go to the FAM halfway across the pod ring.
+	// Zero means the flat-ring behavior: every op crosses the fabric.
+	LocalEvery int
 	// Faults, when set, schedules the deterministic two-fault plan (a
 	// cut-ISL flap plus a lane degrade on the ring-closure ISL) that
 	// exercises per-side fault application across the shard boundary.
@@ -53,15 +66,31 @@ func ShardWideConfig() ShardConfig {
 	}
 }
 
-// shardCluster builds the ring cluster for one run. shards <= 1 builds
-// the classic serial cluster; the topology, seeds, and every device
-// config are identical either way — only the engine partitioning
-// differs.
+// ShardScaleConfig is the rack-scale scaling workload (E12, minimal
+// slice of ROADMAP item 1): 8 pods of 2 switches joined by 1 µs
+// long-haul optics, 64 hosts, one FAM per switch. 7 of 8 operations
+// stay pod-local, the rest cross the pod ring — so shards have real
+// work per window and the cut traffic that keeps the equivalence
+// check honest.
+func ShardScaleConfig() ShardConfig {
+	return ShardConfig{
+		Hosts: 64, Switches: 16, FAMs: 16, OpsPerHost: 200,
+		ISLPropagation: 10 * sim.Nanosecond,
+		Pods:           8,
+		PodPropagation: sim.Microsecond,
+		LocalEvery:     8,
+	}
+}
+
+// shardCluster builds the cluster for one run. shards <= 1 builds the
+// classic serial cluster; the topology, seeds, and every device config
+// are identical either way — only the engine partitioning differs.
 func shardCluster(cfg ShardConfig, shards int) *fcc.Cluster {
-	c, err := fcc.New(fcc.Config{
+	fcfg := fcc.Config{
 		Hosts: cfg.Hosts, FAMs: cfg.FAMs, FAMCapacity: 1 << 22,
-		Switches: cfg.Switches, Ring: true, SpreadHosts: true,
+		Switches: cfg.Switches, Ring: cfg.Pods <= 1, SpreadHosts: true,
 		Shards: shards,
+		Pods:   cfg.Pods,
 		LinkConfig: func() link.Config {
 			lc := link.DefaultConfig()
 			p := lc.Phys
@@ -69,7 +98,17 @@ func shardCluster(cfg ShardConfig, shards int) *fcc.Cluster {
 			lc.Phys = p
 			return lc
 		},
-	})
+	}
+	if cfg.Pods > 1 {
+		fcfg.PodLinkConfig = func() link.Config {
+			lc := fcfg.LinkConfig()
+			p := lc.Phys
+			p.Propagation = cfg.PodPropagation
+			lc.Phys = p
+			return lc
+		}
+	}
+	c, err := fcc.New(fcfg)
 	if err != nil {
 		panic(err)
 	}
@@ -115,10 +154,17 @@ func ShardRun(seed uint64, shards int, cfg ShardConfig) (raw []byte, committed i
 		hi, h := hi, h
 		ep := h.Endpoint()
 		rng := sim.NewRNG(seed).Fork(uint64(hi))
-		target := c.FAMs[(hi+cfg.FAMs/2)%cfg.FAMs].ID()
+		far := c.FAMs[(hi+cfg.FAMs/2)%cfg.FAMs].ID()
+		// With FAMs == Switches and round-robin spreading, FAM hi%FAMs
+		// sits on the host's own switch — the pod-local target.
+		local := c.FAMs[hi%cfg.FAMs].ID()
 		h.Engine().Go(h.Name(), func(p *sim.Proc) {
 			p.Sleep(sim.Time(1 + hi*7919)) // prime-staggered start, in ps
 			for op := 0; op < cfg.OpsPerHost; op++ {
+				target := far
+				if cfg.LocalEvery > 1 && op%cfg.LocalEvery != cfg.LocalEvery-1 {
+					target = local
+				}
 				pkt := &flit.Packet{Chan: flit.ChMem, Op: flit.OpMemRd, Dst: target,
 					Addr: uint64(rng.Intn(1<<16)) * 64, ReqLen: 64}
 				if op%3 == 2 {

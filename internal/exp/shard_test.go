@@ -34,6 +34,36 @@ func TestShardedMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestShardedScaleMatchesSerial extends the crown-jewel invariant to
+// the multi-pod scaling topology (E12): wide discovered lookahead
+// between pod-aligned shards, mostly pod-local traffic, and a fault
+// plan flapping one long-haul pod link — still byte-identical to the
+// serial run at every shard count.
+func TestShardedScaleMatchesSerial(t *testing.T) {
+	for _, faults := range []bool{false, true} {
+		cfg := ShardScaleConfig()
+		cfg.OpsPerHost = 60 // enough to straddle the fault window, test-sized
+		cfg.Faults = faults
+		for _, seed := range []uint64{1, 2, 7} {
+			serial, committed := ShardRun(seed, 1, cfg)
+			if committed == 0 {
+				t.Fatalf("faults=%v seed %d: serial run committed nothing", faults, seed)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				raw, c2 := ShardRun(seed, shards, cfg)
+				if c2 != committed {
+					t.Fatalf("faults=%v seed %d: shards=%d committed %d ops, serial %d",
+						faults, seed, shards, c2, committed)
+				}
+				if !bytes.Equal(serial, raw) {
+					t.Fatalf("faults=%v seed %d: shards=%d snapshot is not byte-identical to serial (%d vs %d bytes)",
+						faults, seed, shards, len(raw), len(serial))
+				}
+			}
+		}
+	}
+}
+
 // TestShardedSeedSteers proves the seed actually steers the sharded
 // run rather than being flattened by the barrier protocol.
 func TestShardedSeedSteers(t *testing.T) {

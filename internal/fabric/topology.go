@@ -96,6 +96,7 @@ type isl struct {
 	a, b         *Switch
 	aPort, bPort int
 	link         *link.Link
+	prop         sim.Time // wire propagation delay, for lookahead discovery
 }
 
 // NewBuilder returns an empty topology bound to eng.
@@ -177,7 +178,7 @@ func (b *Builder) ConnectSwitches(x, y *Switch, cfg link.Config) error {
 	}
 	xp := x.attach(l.A())
 	yp := y.attach(l.B())
-	b.links = append(b.links, &isl{a: x, b: y, aPort: xp, bPort: yp, link: l})
+	b.links = append(b.links, &isl{a: x, b: y, aPort: xp, bPort: yp, link: l, prop: cfg.Phys.Propagation})
 	return nil
 }
 
@@ -219,8 +220,51 @@ func (b *Builder) Discover() error {
 		return fmt.Errorf("fabric: no endpoints attached")
 	}
 	b.installRoutes(routeExclusions{})
+	if b.shard != nil {
+		b.installLookahead()
+	}
 	b.discovered = true
 	return nil
+}
+
+// installLookahead is the fabric-manager half of the coordinator's
+// per-pair lookahead matrix: for every ordered domain pair it finds the
+// minimum propagation delay over the cut links joining them and
+// declares it to the coordinator. Every cross-shard message rides a cut
+// link and carries at least that link's propagation delay (link.NewCross
+// enforces the floor per link at construction), so the per-pair minimum
+// is a safe lookahead — and for pairs joined only by long-haul optics it
+// is orders of magnitude wider than the coordinator's default window,
+// which is what lets pod-aligned shards run wide rounds. Pairs with no
+// cut link at all can never exchange a message and are released to
+// sim.MaxTime so they impose no coupling.
+func (b *Builder) installLookahead() {
+	co := b.shard.Coord
+	n := co.Shards()
+	min := make([]sim.Time, n*n) // 0 = no cut link seen for the pair
+	for _, l := range b.links {
+		da, db := b.Domain(l.a), b.Domain(l.b)
+		if da == db {
+			continue
+		}
+		for _, k := range [2]int{da*n + db, db*n + da} {
+			if min[k] == 0 || l.prop < min[k] {
+				min[k] = l.prop
+			}
+		}
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			if m := min[src*n+dst]; m > 0 {
+				co.SetLookahead(src, dst, m)
+			} else {
+				co.SetLookahead(src, dst, sim.MaxTime)
+			}
+		}
+	}
 }
 
 // routeExclusions restricts route computation to the live topology: the

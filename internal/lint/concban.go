@@ -8,12 +8,13 @@ import (
 )
 
 // Concban bans bare concurrency — go statements, channel construction,
-// channel send/receive/close, and select — in sim-facing code: package
-// fcc/internal/sim itself and any file importing it. The engine's
-// contract is one event at a time per shard; the ONLY sanctioned
-// cross-engine channel machinery is the window-barrier coordinator
-// (internal/sim/shard.go) plus the engine/proc handoff internals, which
-// opt out with a `//fcclint:conc <reason>` file tag. Anything else
+// channel send/receive/close, select, and the sync / sync/atomic
+// imports — in sim-facing code: package fcc/internal/sim itself and any
+// file importing it. The engine's contract is one event at a time per
+// shard; the ONLY sanctioned cross-engine machinery is the coordinator
+// (internal/sim/shard.go), its spin-then-park barrier
+// (internal/sim/barrier.go), and the engine/proc handoff internals,
+// which opt out with a `//fcclint:conc <reason>` file tag. Anything else
 // using raw goroutines against engine state is a determinism bug
 // waiting for a -race run to find it: cross-shard traffic must go
 // through a sim.Mailbox, and in-shard code simply schedules events.
@@ -29,6 +30,22 @@ func Concban() *Analyzer {
 		active := map[*ast.File]bool{}
 		pass.OnFile(func(f *ast.File) {
 			active[f] = concbanApplies(p, f) && !concTagged(f)
+			if !active[f] {
+				return
+			}
+			// sync/atomic primitives are the same hazard as channels in
+			// sim-facing code: shared mutable state across engine
+			// goroutines. The sanctioned users (the coordinator's barrier,
+			// engine/proc internals) carry the //fcclint:conc tag.
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "sync" || path == "sync/atomic" {
+					pass.Reportf(imp.Pos(), "import %q in sim-facing code; shared-state synchronization belongs to the coordinator's barrier (tag the file //fcclint:conc if it is sanctioned engine machinery)", path)
+				}
+			}
 		})
 		isChan := func(e ast.Expr) bool {
 			tv, ok := p.Info.Types[e]

@@ -3,9 +3,16 @@
 // every bare concurrency construct below is banned.
 package fixture
 
-import "fcc/internal/sim"
+import (
+	"sync" // want `import "sync" in sim-facing code`
+
+	"fcc/internal/sim"
+)
 
 func bare(eng *sim.Engine) {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
 	ch := make(chan int, 1) // want `make\(chan\) in sim-facing code`
 	go func() {             // want `go statement in sim-facing code`
 		ch <- 1 // want `channel send in sim-facing code`

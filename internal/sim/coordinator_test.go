@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+)
+
+// tickNet is a tiny self-perpetuating multi-shard model for coordinator
+// unit tests: each shard runs a periodic local tick that reschedules
+// itself and optionally sends a cross-shard message per tick. All args
+// are preallocated, so steady-state rounds are allocation-free.
+type tickNet struct {
+	c      *Coordinator
+	period Time
+	delay  Time // cross-shard message delay
+	fires  []int
+	recv   []int
+	horiz  Time
+	every  int        // send on every N-th tick (0 = never)
+	boxes  []*Mailbox // per src shard, nil = no sends
+	ticks  []int
+}
+
+type tickArg struct {
+	n     *tickNet
+	shard int
+}
+
+func tickFire(a any) {
+	ta := a.(*tickArg)
+	n, s := ta.n, ta.shard
+	n.fires[s]++
+	n.ticks[s]++
+	e := n.c.Engine(s)
+	if b := n.boxes[s]; b != nil && n.every > 0 && n.ticks[s]%n.every == 0 {
+		b.Send(e.Now()+n.delay, tickRecv, a)
+	}
+	if next := e.Now() + n.period; next <= n.horiz {
+		e.At2(next, tickFire, a)
+	}
+}
+
+func tickRecv(a any) {
+	ta := a.(*tickArg)
+	ta.n.recv[ta.shard]++
+}
+
+// newTickNet wires shards in a one-directional ring (shard s sends to
+// s+1) and seeds each shard's tick at t = period.
+func newTickNet(c *Coordinator, period, delay, horiz Time, every int) *tickNet {
+	n := &tickNet{
+		c: c, period: period, delay: delay, horiz: horiz, every: every,
+		fires: make([]int, c.Shards()),
+		recv:  make([]int, c.Shards()),
+		ticks: make([]int, c.Shards()),
+		boxes: make([]*Mailbox, c.Shards()),
+	}
+	for s := 0; s < c.Shards(); s++ {
+		if every > 0 {
+			n.boxes[s] = c.Mailbox(s, (s+1)%c.Shards())
+		}
+		c.Engine(s).At2(period, tickFire, &tickArg{n: n, shard: s})
+	}
+	return n
+}
+
+// TestCoordinatorLookaheadMatrixWidensWindows pins the point of the
+// per-pair matrix: the same model under the same default window runs
+// identically but synchronizes in a small fraction of the rounds once
+// the pairs' true (much larger) minimum delays are declared.
+func TestCoordinatorLookaheadMatrixWidensWindows(t *testing.T) {
+	const window = 10 * Nanosecond
+	const period = 100 * Nanosecond
+	const delay = 10 * Microsecond
+	const horiz = Time(Millisecond)
+
+	run := func(wide bool) (*tickNet, uint64) {
+		c := NewCoordinator(3, window)
+		c.Sequential = true
+		if wide {
+			for src := 0; src < 3; src++ {
+				for dst := 0; dst < 3; dst++ {
+					if src != dst {
+						c.SetLookahead(src, dst, delay)
+					}
+				}
+			}
+		}
+		n := newTickNet(c, period, delay, horiz, 4)
+		c.RunUntil(horiz)
+		return n, c.Windows()
+	}
+
+	narrow, nw := run(false)
+	wide, ww := run(true)
+	for s := range narrow.fires {
+		if narrow.fires[s] != wide.fires[s] || narrow.recv[s] != wide.recv[s] {
+			t.Fatalf("shard %d: narrow fired/recv %d/%d, wide %d/%d — lookahead changed behavior",
+				s, narrow.fires[s], narrow.recv[s], wide.fires[s], wide.recv[s])
+		}
+		if narrow.recv[s] == 0 {
+			t.Fatalf("shard %d received no cross-shard messages — model not exercising the matrix", s)
+		}
+	}
+	if ww*10 > nw {
+		t.Fatalf("wide lookahead used %d rounds, narrow %d — expected >=10x fewer barriers", ww, nw)
+	}
+}
+
+// TestMailboxPerPairLookaheadViolation pins per-destination enforcement:
+// with one destination's inbound pairs relaxed to a wide lookahead, a
+// short-delay send to it panics while the same send to a default-window
+// destination is legal — in the very same round.
+func TestMailboxPerPairLookaheadViolation(t *testing.T) {
+	c := NewCoordinator(3, 10*Nanosecond)
+	c.SetLookahead(0, 1, Microsecond)
+	c.SetLookahead(2, 1, Microsecond)
+	wide := c.Mailbox(0, 1)
+	narrow := c.Mailbox(0, 2)
+	fired := false
+	c.Engine(0).At2(0, func(any) {
+		fired = true
+		narrow.Send(500*Nanosecond, nopEvent, nil) // >= 10ns pair bound: fine
+		defer func() {
+			if recover() == nil {
+				t.Error("500ns send into a 1us-lookahead destination did not panic")
+			}
+		}()
+		wide.Send(500*Nanosecond, nopEvent, nil) // destination round ends at 1us
+	}, nil)
+	c.RunUntil(2 * Microsecond)
+	if !fired {
+		t.Fatal("probe event never fired")
+	}
+}
+
+// TestCoordinatorIdleJumpUnevenShards pins the NextAt skip with uneven
+// occupancy: one shard busy early, the other holding only a far-future
+// event. The gap must be crossed in a handful of rounds, not
+// gap/window barriers.
+func TestCoordinatorIdleJumpUnevenShards(t *testing.T) {
+	const window = 10 * Nanosecond
+	c := NewCoordinator(2, window)
+	c.Sequential = true
+	var lateFired, earlyFires int
+	// Shard 0: a short burst of early events, then silence.
+	for i := 1; i <= 5; i++ {
+		c.Engine(0).At2(Time(i)*100*Nanosecond, func(any) { earlyFires++ }, nil)
+	}
+	// Shard 1: nothing until 2ms — 200k windows away at 10ns.
+	c.Engine(1).At2(2*Millisecond, func(any) { lateFired = 1 }, nil)
+	c.RunUntil(3 * Millisecond)
+	if earlyFires != 5 || lateFired != 1 {
+		t.Fatalf("fired %d early + %d late events, want 5 + 1", earlyFires, lateFired)
+	}
+	if w := c.Windows(); w > 100 {
+		t.Fatalf("%d rounds to cross an idle 2ms gap — idle jump not engaging", w)
+	}
+}
+
+// TestCoordinatorZeroAllocWindows pins the steady-state allocation
+// contract of the round loop: frontier bookkeeping, mailbox buffers,
+// the merge scratch (both the single-source fast path and the
+// multi-source merge), and bulk injection must all run garbage-free
+// once warm — including destinations that alternate empty and busy,
+// which is exactly the sequence that used to regrow the scratch.
+func TestCoordinatorZeroAllocWindows(t *testing.T) {
+	const window = 100 * Nanosecond
+	c := NewCoordinator(3, window)
+	c.Sequential = true
+	n := &tickNet{
+		c: c, period: 150 * Nanosecond, delay: window, horiz: MaxTime,
+		fires: make([]int, 3), recv: make([]int, 3), ticks: make([]int, 3),
+		boxes: make([]*Mailbox, 3),
+	}
+	// Shards 1 and 2 both feed shard 0 (multi-source merge); shard 0
+	// feeds shard 1 (single-source fast path) on every other tick only,
+	// so destination 1 alternates empty and busy.
+	n.boxes[1] = c.Mailbox(1, 0)
+	n.boxes[2] = c.Mailbox(2, 0)
+	n.boxes[0] = c.Mailbox(0, 1)
+	n.every = 2
+	args := make([]*tickArg, 3)
+	for s := 0; s < 3; s++ {
+		args[s] = &tickArg{n: n, shard: s}
+	}
+	n.ticks[0] = 1 // desynchronize shard 0's send parity from 1 and 2
+	for s := 0; s < 3; s++ {
+		c.Engine(s).At2(n.period, tickFire, args[s])
+	}
+	// Warm pools, buffers, and scratch. Long enough for the 150ns tick
+	// pattern to tour all 1024 wheel buckets, so every bucket slice has
+	// its capacity — the engine allocates once per never-touched bucket.
+	c.RunUntil(Millisecond)
+	if allocs := testing.AllocsPerRun(50, func() {
+		c.RunFor(10 * window)
+	}); allocs != 0 {
+		t.Fatalf("steady-state rounds allocate %.1f per RunFor, want 0", allocs)
+	}
+	for s := 0; s < 3; s++ {
+		if n.fires[s] == 0 {
+			t.Fatalf("shard %d never ticked", s)
+		}
+	}
+	if n.recv[1] == 0 || n.recv[2] == 0 {
+		t.Fatal("cross-shard paths not exercised")
+	}
+}

@@ -224,6 +224,43 @@ func (e *Engine) At2(t Time, fn func(any), arg any) {
 // (via the past check in At2).
 func (e *Engine) After2(d Time, fn func(any), arg any) { e.At2(SaturatingAdd(e.now, d), fn, arg) }
 
+// Batch is one pre-staged closure-free event for At2Batch. It is the
+// staging format of the shard coordinator's mailboxes: messages are
+// buffered as Batch records during a window and injected in bulk at the
+// barrier, so the slice can go straight from merge scratch to engine.
+type Batch struct {
+	At  Time
+	Fn  func(any)
+	Arg any
+}
+
+// At2Batch schedules every item through the At2 fast path in one ladder
+// pass: bounds are checked per item, but the call overhead, free-list
+// refills, and the active-window test are amortized across the batch.
+// Items must individually satisfy the At2 contract (not in the past,
+// not beyond MaxTime, non-nil Fn); order within the batch becomes
+// engine (at, seq) order exactly as if At2 had been called in a loop.
+// The caller keeps ownership of the slice — the engine copies what it
+// needs into pooled events and never retains items.
+func (e *Engine) At2Batch(items []Batch) {
+	for i := range items {
+		it := &items[i]
+		if it.At < e.now {
+			panic(fmt.Sprintf("sim: scheduling event at %v before now %v", it.At, e.now))
+		}
+		if it.At > MaxTime {
+			panic(fmt.Sprintf("sim: scheduling event at %d ps, beyond MaxTime (%d ps); use SaturatingAdd for relative timers", int64(it.At), int64(MaxTime)))
+		}
+		if it.Fn == nil {
+			panic("sim: At2Batch with nil Fn")
+		}
+		e.seq++
+		ev := e.alloc()
+		ev.at, ev.seq, ev.afn, ev.arg, ev.kind = it.At, e.seq, it.Fn, it.Arg, kindAfn
+		e.enqueue(ev)
+	}
+}
+
 // atProc schedules a resume of p at absolute time t. It shares the
 // (at, seq) ordering stream with At/At2, so process wake-ups keep their
 // exact tie-break position among ordinary events.

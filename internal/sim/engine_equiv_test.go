@@ -314,6 +314,14 @@ func runShardNetSharded(domains int, window Time, seed uint64, sequential bool) 
 	n := newShardNet(domains, window, seed)
 	c := NewCoordinator(domains, window)
 	c.Sequential = sequential
+	if !sequential {
+		// Force the worker-barrier path even on a single-P runtime (where
+		// coordParallel would fall back to sequential): this test is the
+		// proof that the two paths are byte-identical, so it must actually
+		// run both.
+		defer func(old bool) { coordParallel = old }(coordParallel)
+		coordParallel = true
+	}
 	for d := 0; d < domains; d++ {
 		n.sched[d] = shardSched{eng: c.Engine(d), box: c.Mailbox(d, (d+1)%domains)}
 	}

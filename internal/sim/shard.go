@@ -16,35 +16,51 @@ import (
 //
 // # Synchronization model
 //
-// This is conservative window-barrier PDES (a degenerate null-message
-// scheme where every shard's lookahead to every other shard is the same
-// constant). Virtual time is cut into windows of fixed width W, the
-// coordinator's lookahead. Within one window every shard runs its
-// private Engine independently — intra-shard traffic never
-// synchronizes. A shard communicates with another only through a
-// Mailbox: a timestamped (at, fn, arg) triple that the coordinator
-// delivers into the destination engine at the next window barrier.
+// This is conservative PDES with a per-(src,dst) lookahead matrix.
+// Every shard i carries a frontier F_i — all its events before F_i
+// have fired. One synchronization round computes, for every
+// destination shard, the horizon it can safely reach,
 //
-// Safety requires that a message sent while executing window k can only
-// be scheduled in window k+1 or later, i.e. every cross-shard
-// interaction must carry a model delay of at least W. For the fabric
-// models this is the link propagation delay: choosing W <= the minimum
-// propagation over all cut links makes the barrier provably conservative.
-// Mailbox.Send enforces the resulting invariant (at >= the current
-// window's end) and panics on violation rather than silently
+//	safe(dst) = min over src != dst of F_src + lookahead(src, dst),
+//
+// runs every engine (in parallel) to its own safe horizon, and then
+// delivers the cross-shard messages buffered during the round at a
+// barrier. Safety holds because a message src sends while executing
+// carries a model delay of at least lookahead(src, dst): it cannot be
+// timestamped before F_src + lookahead(src, dst) >= safe(dst), i.e.
+// before anything the destination has already executed. Mailbox.Send
+// enforces that bound and panics on violation rather than silently
 // reordering time.
+//
+// The matrix defaults to the constructor's window for every pair; pairs
+// that are coupled more loosely (longer wires) — or not at all — can be
+// raised with SetLookahead, which fabric.(*Builder).Discover does from
+// the actual cut-link propagation delays. Loose pairs then synchronize
+// on much wider effective windows: in a pod-of-racks topology where
+// only long-haul optics cross shard cuts, every round advances a full
+// optical propagation even though the coordinator would also accept
+// intra-rack-scale windows.
+//
+// # Execution
+//
+// Shard 0 runs on the caller's goroutine; shards 1..n-1 run on
+// persistent pinned workers (one per shard, spawned when a run starts)
+// that rendezvous through an epoch-counter barrier with bounded
+// spin-then-park waiting (see barrier.go) — per round the
+// synchronization cost is a handful of atomic operations, not 2n
+// channel handoffs and goroutine wakeups.
 //
 // # Why determinism is preserved
 //
-//   - Each Engine is single-threaded within a window and touched by
-//     exactly one goroutine at a time; the channel rendezvous at the
-//     barrier provides the happens-before edges between windows.
+//   - Each Engine is single-threaded within a round and touched by
+//     exactly one goroutine at a time; the barrier's atomic
+//     release/arrive edges provide the happens-before between rounds.
 //   - Barrier delivery is canonical: pending messages for a destination
 //     are gathered in (source shard, send order) sequence and stably
 //     sorted by timestamp, so equal-timestamp messages from one source
 //     keep their FIFO order and the injected engine sequence numbers
 //     are a pure function of model state — never of OS scheduling.
-//   - The idle-window jump is computed from engine queue state only.
+//   - The idle-round jump is computed from engine queue state only.
 //
 // Consequently a Coordinator run is bit-reproducible across machines,
 // GOMAXPROCS settings, and the parallel/sequential execution modes.
@@ -59,39 +75,41 @@ import (
 // shard-equivalence tests).
 type Coordinator struct {
 	engines []*Engine
-	window  Time
+	window  Time       // default lookahead, the floor for every pair
+	la      []Time     // lookahead matrix, src*n+dst
 	boxes   []*Mailbox // src*n+dst; nil until requested
-	at      Time       // next window start: all events < at have fired
-	limit   Time       // current window's delivery floor (exclusive end)
+	front   []Time     // per-shard frontier: all events < front[i] fired
+	limits  []Time     // per-shard delivery floor (exclusive round end)
+	wlimits []Time     // per-shard RunUntil target for the current round
 	now     Time       // horizon reached by the last Run*/RunUntil call
-	merged  []boxMsg   // barrier merge scratch
-	// Sequential forces single-goroutine execution (windows still run,
+	merged  []Batch    // barrier merge scratch, recycled every round
+	windows uint64     // rounds synchronized (see Windows)
+	xmsgs   uint64     // cross-shard messages delivered (see Messages)
+
+	bar coordBarrier
+
+	// Sequential forces single-goroutine execution (rounds still run,
 	// shards advance one after another). The result is byte-identical to
 	// the parallel mode; tests use it to pin exactly that.
 	Sequential bool
 }
 
-// boxMsg is one cross-shard message awaiting barrier delivery.
-type boxMsg struct {
-	at  Time
-	fn  func(any)
-	arg any
-}
-
 // Mailbox is a unidirectional cross-shard channel from one shard's
-// engine to another's. Sends are buffered locally during a window and
+// engine to another's. Sends are buffered locally during a round and
 // delivered — deterministically ordered — at the barrier. A Mailbox
-// must only be used from model code running on its source shard.
+// must only be used from model code running on its source shard, and
+// must be created before the simulation starts running.
 type Mailbox struct {
 	c        *Coordinator
 	src, dst int
-	out      []boxMsg
+	out      []Batch
 }
 
 // NewCoordinator returns a coordinator over n fresh engines with the
-// given lookahead window. The window must not exceed the minimum
-// cross-shard model delay (Mailbox.Send panics when a message violates
-// that bound).
+// given default lookahead window. The window must not exceed the
+// minimum cross-shard model delay of any pair (Mailbox.Send panics when
+// a message violates that bound); pairs with longer minimum delays can
+// be relaxed with SetLookahead.
 func NewCoordinator(n int, window Time) *Coordinator {
 	if n < 1 {
 		panic("sim: NewCoordinator needs at least one shard")
@@ -104,13 +122,20 @@ func NewCoordinator(n int, window Time) *Coordinator {
 		c.engines = append(c.engines, NewEngine())
 	}
 	c.boxes = make([]*Mailbox, n*n)
+	c.la = make([]Time, n*n)
+	for i := range c.la {
+		c.la[i] = window
+	}
+	c.front = make([]Time, n)
+	c.limits = make([]Time, n)
+	c.wlimits = make([]Time, n)
 	return c
 }
 
 // Shards reports the number of shards.
 func (c *Coordinator) Shards() int { return len(c.engines) }
 
-// Window reports the lookahead window width.
+// Window reports the default lookahead window width.
 func (c *Coordinator) Window() Time { return c.window }
 
 // Engine returns shard i's private engine.
@@ -118,6 +143,37 @@ func (c *Coordinator) Engine(i int) *Engine { return c.engines[i] }
 
 // Now reports the horizon the coordinator has advanced to.
 func (c *Coordinator) Now() Time { return c.now }
+
+// Windows reports the number of synchronization rounds run so far —
+// the barrier count the per-pair lookahead matrix and the idle jump
+// exist to minimize.
+func (c *Coordinator) Windows() uint64 { return c.windows }
+
+// Messages reports the number of cross-shard messages delivered.
+func (c *Coordinator) Messages() uint64 { return c.xmsgs }
+
+// SetLookahead declares that every cross-shard message from src to dst
+// carries a model delay of at least la: the destination may then run
+// that far beyond the source's frontier before a barrier. Raising a
+// pair above the true minimum delay of the model is unsafe — the
+// resulting violation is caught by Mailbox.Send's panic, not silently
+// reordered. Pairs that can never communicate should be set to MaxTime
+// so they impose no coupling at all. Must be called before the
+// simulation starts running.
+func (c *Coordinator) SetLookahead(src, dst int, la Time) {
+	if src == dst {
+		panic("sim: SetLookahead on a shard's own pair")
+	}
+	if la <= 0 {
+		panic("sim: SetLookahead must be positive")
+	}
+	c.la[src*len(c.engines)+dst] = la
+}
+
+// Lookahead reports the lookahead bound for the (src, dst) pair.
+func (c *Coordinator) Lookahead(src, dst int) Time {
+	return c.la[src*len(c.engines)+dst]
+}
 
 // Mailbox returns the src->dst mailbox, creating it on first use.
 func (c *Coordinator) Mailbox(src, dst int) *Mailbox {
@@ -135,28 +191,71 @@ func (c *Coordinator) Mailbox(src, dst int) *Mailbox {
 
 // Send queues fn(arg) for delivery into the destination shard at
 // absolute time at. It must be called from model code executing on the
-// source shard, and at must not violate the coordinator's lookahead:
-// at >= the end of the window currently executing. The message is
-// injected into the destination engine at the next barrier.
+// source shard, and at must not violate the pair's lookahead: at >= the
+// end of the round the destination is currently executing. The message
+// is injected into the destination engine at the next barrier.
 func (m *Mailbox) Send(at Time, fn func(any), arg any) {
-	if at < m.c.limit {
+	if at < m.c.limits[m.dst] {
 		panic(fmt.Sprintf(
-			"sim: cross-shard message %d->%d at %v violates lookahead (window ends %v); "+
-				"every cross-shard delay must be >= the coordinator window (%v)",
-			m.src, m.dst, at, m.c.limit, m.c.window))
+			"sim: cross-shard message %d->%d at %v violates lookahead (destination round ends %v); "+
+				"every %d->%d delay must be >= the pair's lookahead (%v)",
+			m.src, m.dst, at, m.c.limits[m.dst], m.src, m.dst, m.c.Lookahead(m.src, m.dst)))
 	}
 	if fn == nil {
 		panic("sim: Mailbox.Send with nil fn")
 	}
-	m.out = append(m.out, boxMsg{at: at, fn: fn, arg: arg})
+	m.out = append(m.out, Batch{At: at, Fn: fn, Arg: arg})
+}
+
+// sortBatches stable-sorts by timestamp: equal-at messages keep their
+// (src, send order) gathering sequence, so injection order — and with
+// it the destination engine's tie-break sequence — is a pure function
+// of model state.
+func sortBatches(b []Batch) {
+	slices.SortStableFunc(b, func(x, y Batch) int {
+		switch {
+		case x.At < y.At:
+			return -1
+		case x.At > y.At:
+			return 1
+		}
+		return 0
+	})
 }
 
 // exchange drains every mailbox into its destination engine in the
-// canonical order and reports whether any message moved.
+// canonical order and reports whether any message moved. Destinations
+// with no inbound traffic cost one emptiness scan; destinations fed by
+// a single source skip the merge scratch entirely (their own buffer is
+// sorted in place and bulk-injected). Buffers and the scratch are
+// recycled — steady state, a round performs zero heap allocations
+// (TestCoordinatorZeroAllocWindows pins this).
 func (c *Coordinator) exchange() bool {
 	n := len(c.engines)
 	moved := false
 	for dst := 0; dst < n; dst++ {
+		var single *Mailbox
+		nonempty := 0
+		for src := 0; src < n; src++ {
+			if b := c.boxes[src*n+dst]; b != nil && len(b.out) > 0 {
+				nonempty++
+				single = b
+			}
+		}
+		if nonempty == 0 {
+			continue
+		}
+		moved = true
+		if nonempty == 1 {
+			// Single-source fast path: no gather copy. Stable sort keeps
+			// send order on ties, exactly as the merge path would.
+			sortBatches(single.out)
+			c.engines[dst].At2Batch(single.out)
+			c.xmsgs += uint64(len(single.out))
+			clear(single.out) // drop fn/arg references
+			single.out = single.out[:0]
+			continue
+		}
 		buf := c.merged[:0]
 		for src := 0; src < n; src++ {
 			b := c.boxes[src*n+dst]
@@ -164,80 +263,78 @@ func (c *Coordinator) exchange() bool {
 				continue
 			}
 			buf = append(buf, b.out...)
-			clear(b.out) // drop fn/arg references
+			clear(b.out)
 			b.out = b.out[:0]
 		}
-		if len(buf) == 0 {
-			continue
-		}
-		moved = true
-		// Stable by timestamp: equal-at messages keep (src, send order),
-		// so injection order — and with it the destination engine's
-		// tie-break sequence — is a pure function of model state.
-		slices.SortStableFunc(buf, func(a, b boxMsg) int {
-			switch {
-			case a.at < b.at:
-				return -1
-			case a.at > b.at:
-				return 1
-			}
-			return 0
-		})
-		eng := c.engines[dst]
-		for i := range buf {
-			eng.At2(buf[i].at, buf[i].fn, buf[i].arg)
-		}
+		sortBatches(buf)
+		c.engines[dst].At2Batch(buf)
+		c.xmsgs += uint64(len(buf))
 		clear(buf)
+		// Recycle unconditionally: the scratch must keep its grown
+		// capacity even when a later destination turns out empty.
 		c.merged = buf[:0]
 	}
 	return moved
 }
 
-// runWindows advances every shard to horizon t (inclusive), window by
-// window. When idle is true it additionally stops at the first barrier
+// minFront reports the lowest shard frontier.
+func (c *Coordinator) minFront() Time {
+	m := c.front[0]
+	for _, f := range c.front[1:] {
+		if f < m {
+			m = f
+		}
+	}
+	return m
+}
+
+// runWindows advances every shard to horizon t (inclusive), round by
+// round. When idle is true it additionally stops at the first barrier
 // where every engine is drained and no messages are in flight — the
 // multi-engine analogue of Engine.Run.
 func (c *Coordinator) runWindows(t Time, idle bool) {
 	n := len(c.engines)
-	var work []chan Time
-	var done chan struct{}
-	if !c.Sequential && n > 1 {
-		work = make([]chan Time, n)
-		done = make(chan struct{})
-		for i := range work {
-			work[i] = make(chan Time)
-			go func(e *Engine, w chan Time) {
-				for lim := range w {
-					e.RunUntil(lim)
-					done <- struct{}{}
-				}
-			}(c.engines[i], work[i])
-		}
-		defer func() {
-			for _, w := range work {
-				close(w)
-			}
-		}()
+	par := !c.Sequential && n > 1 && coordParallel
+	if par {
+		c.startWorkers()
+		defer c.stopWorkers()
 	}
-	for c.at <= t {
-		lim := SaturatingAdd(c.at, c.window-1)
-		if lim > t {
-			lim = t
+	for c.minFront() <= t {
+		// Per-destination safe horizon from the lookahead matrix. A
+		// saturated (or horizon-exceeding) bound means the destination
+		// is free to run to t inclusive.
+		for dst := 0; dst < n; dst++ {
+			safe := MaxTime
+			for src := 0; src < n; src++ {
+				if src == dst {
+					continue
+				}
+				if s := SaturatingAdd(c.front[src], c.la[src*n+dst]); s < safe {
+					safe = s
+				}
+			}
+			lim := t
+			if safe <= t {
+				lim = safe - 1
+			}
+			c.wlimits[dst] = lim
+			c.limits[dst] = SaturatingAdd(lim, 1)
 		}
-		c.limit = SaturatingAdd(lim, 1)
-		if work != nil {
-			for _, w := range work {
-				w <- lim
-			}
-			for i := 0; i < n; i++ {
-				<-done
-			}
+		if par {
+			c.releaseWorkers()
+			c.engines[0].RunUntil(c.wlimits[0])
+			c.awaitWorkers()
 		} else {
-			for _, e := range c.engines {
-				e.RunUntil(lim)
+			for i, e := range c.engines {
+				e.RunUntil(c.wlimits[i])
 			}
 		}
-		c.at = SaturatingAdd(lim, 1)
+		c.windows++
+		for i := range c.front {
+			if f := SaturatingAdd(c.wlimits[i], 1); f > c.front[i] {
+				c.front[i] = f
+			}
+		}
 		moved := c.exchange()
 		if idle && !moved {
 			drained := true
@@ -248,20 +345,21 @@ func (c *Coordinator) runWindows(t Time, idle bool) {
 				}
 			}
 			if drained {
-				if lim < c.now {
-					lim = c.now
+				lim := c.now
+				for _, wl := range c.wlimits {
+					if wl > lim {
+						lim = wl
+					}
 				}
 				c.now = lim
 				return
 			}
 		}
-		if lim >= t {
-			break
-		}
-		// Idle jump: if every shard's next event is beyond the next
-		// window, skip straight to the earliest one. No messages are in
-		// flight (exchange just drained them), so no shard can create
-		// work before that timestamp.
+		// Idle jump: if every shard's next event is beyond its frontier,
+		// skip every frontier straight to the earliest pending timestamp.
+		// No messages are in flight (exchange just drained them), and any
+		// future send happens at an event >= that timestamp, so it cannot
+		// create work before it.
 		next := MaxTime
 		for _, e := range c.engines {
 			if at, ok := e.NextAt(); ok && at < next {
@@ -271,8 +369,10 @@ func (c *Coordinator) runWindows(t Time, idle bool) {
 		if next > t {
 			break // nothing left within the horizon
 		}
-		if next > c.at {
-			c.at = next
+		for i := range c.front {
+			if c.front[i] < next {
+				c.front[i] = next
+			}
 		}
 	}
 	c.now = t
