@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet fmtcheck lint test race shard-equiv fabstore-equiv shard-speedup bench bench-smoke bench-diff examples-smoke
+.PHONY: ci build vet fmtcheck lint test race shard-equiv fabstore-equiv shard-speedup scale-smoke bench bench-smoke bench-diff examples-smoke
 
 # ci is the tier-1 gate: build, vet, the invariant lint pass, the full
 # suite under the race detector, the sharded-equivalence crown jewel
@@ -11,6 +11,7 @@ GO ?= go
 ci: build vet lint race shard-equiv fabstore-equiv examples-smoke
 	-@$(MAKE) --no-print-directory bench-smoke || echo "bench-smoke FAILED (non-gating)"
 	-@$(MAKE) --no-print-directory shard-speedup || echo "shard-speedup FAILED (non-gating)"
+	-@$(MAKE) --no-print-directory scale-smoke || echo "scale-smoke FAILED (non-gating)"
 	-@$(MAKE) --no-print-directory bench-diff || echo "bench-diff FAILED (non-gating)"
 
 build:
@@ -80,6 +81,15 @@ bench-diff:
 # a `match false` line in its output is a determinism bug — report it.
 shard-speedup:
 	$(GO) run ./cmd/fccbench -exp shard-speedup -seed 1
+
+# scale-smoke runs E13, the datacenter-scale sweep: boot and
+# route-repair wall clock plus steady-state events/sec on generated
+# fat-trees and a dragonfly, with the serial-vs-sharded and
+# incremental-vs-full equivalence checks inline. Non-gating in ci
+# (wall-clock noise must never block a merge), but any `false` in a
+# match column is a determinism bug — report it.
+scale-smoke:
+	$(GO) run ./cmd/fccbench -exp scale -seed 1
 
 # bench-smoke compiles and executes every benchmark for 100 iterations —
 # just enough to catch panics and broken invariants, cheap enough for ci.

@@ -18,7 +18,9 @@ import (
 	"sync"
 	"time"
 
+	"fcc"
 	"fcc/internal/exp"
+	"fcc/internal/fabric"
 	"fcc/internal/sim"
 )
 
@@ -62,6 +64,7 @@ func main() {
 	seeds := flag.Int("seeds", 1, "run seeds seed..seed+N-1 (merged output, ordered by seed)")
 	parallel := flag.Int("parallel", 1, "worker goroutines for multi-seed runs (each seed owns private engines)")
 	shards := flag.Int("shards", 4, "failure-domain shards for the shard-equiv experiment (>= 2)")
+	traffic := flag.Bool("traffic", false, "with -exp scale: render the cluster-scale traffic heatmap")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this path")
 	memprofile := flag.String("memprofile", "", "write an allocation (heap) profile taken after the runs to this path")
 	flag.Parse()
@@ -216,6 +219,9 @@ func main() {
 		}},
 		{"shard-speedup", "E12: multi-pod rack-scale scaling, sharded vs serial", func(seed uint64) (any, string) {
 			return shardSpeedup(seed)
+		}},
+		{"scale", "E13: datacenter-scale boot, route repair, and throughput", func(seed uint64) (any, string) {
+			return scaleSweep(seed, *traffic)
 		}},
 		{"mimo", "E7: MIMO baseband case study", func(uint64) (any, string) {
 			clean := exp.MIMOPipeline(8, false)
@@ -501,6 +507,148 @@ func shardSpeedup(seed uint64) (any, string) {
 	if r.GoMaxProcs == 1 {
 		b.WriteString("  (single-P runtime: coordinator ran its sequential path; ratios measure\n" +
 			"   coordination cost + per-engine locality, not parallel overlap)\n")
+	}
+	return r, b.String()
+}
+
+// scaleRow is one E13 cluster size: boot and route-repair wall clock,
+// steady-state throughput serial and sharded, and the equivalence
+// verdicts. Wall-clock fields stay out of the JSON export (the
+// document must be byte-identical across identical runs).
+type scaleRow struct {
+	Name       string  `json:"name"`
+	Switches   int     `json:"switches"`
+	ISLs       int     `json:"isls"`
+	Endpoints  int     `json:"endpoints"`
+	Shards     int     `json:"shards"`
+	Committed  int     `json:"committed"`
+	ShardMatch bool    `json:"shard_match"`
+	BootMs     float64 `json:"-"`
+	RepairUs   float64 `json:"-"`
+	FullUs     float64 `json:"-"`
+	RepairX    float64 `json:"-"`
+	SerialMs   float64 `json:"-"`
+	ShardedMs  float64 `json:"-"`
+	SerialEvS  float64 `json:"-"` // simulator events/sec of wall time
+	ShardedEvS float64 `json:"-"`
+}
+
+// scaleStormRow is the storm half of E13: the pod-0 failure storm run
+// with incremental repair, checked byte-identical against FullRecompute.
+type scaleStormRow struct {
+	exp.ScaleStormResult
+	Match    bool    `json:"match"`
+	WallMs   float64 `json:"-"`
+	StormEvS float64 `json:"-"`
+}
+
+// scaleResult is the E13 result document.
+type scaleResult struct {
+	Seed  uint64        `json:"seed"`
+	Rows  []scaleRow    `json:"rows"`
+	Storm scaleStormRow `json:"storm"`
+}
+
+// measureRepair times the route engine directly on a booted cluster:
+// kill one inter-switch link and repair incrementally, vs handle the
+// same death with a full recompute; the table is restored between
+// iterations outside the timed windows.
+func measureRepair(c *fcc.Cluster) (repairUs, fullUs float64) {
+	b := c.Builder
+	dead := fabric.DeadSet{
+		Switches: make([]bool, len(b.Switches())),
+		ISLs:     make([]bool, len(b.ISLLinks())),
+		Atts:     make([]bool, len(b.Attachments())),
+	}
+	b.InstallRoutesFull(dead) // warm the engine's scratch
+	k := len(dead.ISLs) / 3
+	const reps = 50
+	var repairNs, fullNs int64
+	for i := 0; i < reps; i++ {
+		dead.ISLs[k] = true
+		t0 := time.Now()
+		b.RepairRoutes(dead, nil, []int{k}, nil)
+		repairNs += time.Since(t0).Nanoseconds()
+		dead.ISLs[k] = false
+		b.InstallRoutesFull(dead)
+	}
+	for i := 0; i < reps; i++ {
+		dead.ISLs[k] = true
+		t0 := time.Now()
+		b.InstallRoutesFull(dead)
+		fullNs += time.Since(t0).Nanoseconds()
+		dead.ISLs[k] = false
+		b.InstallRoutesFull(dead)
+	}
+	return float64(repairNs) / reps / 1e3, float64(fullNs) / reps / 1e3
+}
+
+// scaleSweep runs E13: for each generated topology, wall-clock boot
+// time, single-ISL route-repair time (incremental vs full recompute),
+// and steady-state events/sec serial and sharded with the
+// byte-equivalence check inline; then the pod-0 failure storm with the
+// manager, incremental vs FullRecompute. Wall-clock timing lives here
+// in cmd/ — the exp package stays free of nondeterminism sources.
+func scaleSweep(seed uint64, traffic bool) (any, string) {
+	r := &scaleResult{Seed: seed}
+	for _, cfg := range exp.ScaleScenarios() {
+		row := scaleRow{Name: cfg.Name, Shards: cfg.Shards}
+
+		start := time.Now()
+		c := exp.ScaleBuild(cfg, 1)
+		row.BootMs = float64(time.Since(start).Microseconds()) / 1e3
+		row.Switches = len(c.Builder.Switches())
+		row.ISLs = len(c.Builder.ISLLinks())
+		row.Endpoints = len(c.Builder.Attachments())
+		row.RepairUs, row.FullUs = measureRepair(c)
+		if row.RepairUs > 0 {
+			row.RepairX = row.FullUs / row.RepairUs
+		}
+
+		start = time.Now()
+		serial, committed, events := exp.ScaleRun(seed, 1, cfg)
+		row.SerialMs = float64(time.Since(start).Microseconds()) / 1e3
+		row.Committed = committed
+		if row.SerialMs > 0 {
+			row.SerialEvS = float64(events) / (row.SerialMs / 1e3)
+		}
+		start = time.Now()
+		sharded, _, sevents := exp.ScaleRun(seed, cfg.Shards, cfg)
+		row.ShardedMs = float64(time.Since(start).Microseconds()) / 1e3
+		if row.ShardedMs > 0 {
+			row.ShardedEvS = float64(sevents) / (row.ShardedMs / 1e3)
+		}
+		row.ShardMatch = bytes.Equal(serial, sharded)
+		r.Rows = append(r.Rows, row)
+	}
+
+	start := time.Now()
+	inc := exp.ScaleStorm(seed, exp.ScaleStormConfig(), false)
+	wallMs := float64(time.Since(start).Microseconds()) / 1e3
+	full := exp.ScaleStorm(seed, exp.ScaleStormConfig(), true)
+	r.Storm = scaleStormRow{ScaleStormResult: inc, WallMs: wallMs}
+	r.Storm.Match = bytes.Equal(inc.Raw, full.Raw)
+	if wallMs > 0 {
+		r.Storm.StormEvS = float64(inc.Events) / (wallMs / 1e3)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-14s | %3s sw | %4s ep | %7s | %13s | %8s | %11s | %11s | %s\n",
+		"topology", "", "", "boot ms", "repair us", "repair x", "serial ev/s", "shard ev/s", "match")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-14s | %3d sw | %4d ep | %7.1f | %5.1f vs %5.0f | %7.1fx | %11.2e | %11.2e | %v (%d shards)\n",
+			row.Name, row.Switches, row.Endpoints, row.BootMs,
+			row.RepairUs, row.FullUs, row.RepairX,
+			row.SerialEvS, row.ShardedEvS, row.ShardMatch, row.Shards)
+	}
+	fmt.Fprintf(&b, "pod-0 storm (%s): %d incremental repairs + %d full refills, %d committed / %d typed of %d issued,\n"+
+		"  incremental == full-recompute snapshots: %v (%.1fms wall, %.2e ev/s)\n",
+		strings.Join(r.Storm.Kills, ", "), r.Storm.Repairs, r.Storm.Fulls,
+		r.Storm.Variant.Committed, r.Storm.Variant.TypedErrors, r.Storm.Variant.Issued,
+		r.Storm.Match, r.Storm.WallMs, r.Storm.StormEvS)
+	if traffic {
+		b.WriteString("\n")
+		b.WriteString(exp.ScaleTraffic(seed, exp.ScaleScenarios()[0]))
 	}
 	return r, b.String()
 }

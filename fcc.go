@@ -81,6 +81,18 @@ type Config struct {
 	// PodLinkConfig overrides the inter-pod link (nil = LinkConfig with
 	// propagation raised to 1 µs: ~200 m of fiber, cross-row optics).
 	PodLinkConfig func() link.Config
+	// Topology, when set, replaces the hand-built line/ring/pods wiring
+	// with a generated datacenter topology (fat-tree or dragonfly, see
+	// fabric.TopoSpec). Mutually exclusive with Switches/Ring/Pods.
+	// Hosts and devices attach round-robin across the edge tier
+	// (generated fabrics always spread — a 512-host cluster on one edge
+	// switch is not a topology, it is a bottleneck). The spec's nil
+	// link-config hooks default to LinkConfig. With Shards > 1 the
+	// switch sequence is cut into contiguous blocks exactly like the
+	// line topology (pods/groups are created contiguously, core tier
+	// last, so cuts land between structural units when
+	// Shards divides the unit count).
+	Topology *fabric.TopoSpec
 	// Manager attaches the active fabric manager: heartbeat failure
 	// detection plus automatic PBR route-around (see fabric.Manager).
 	// Its health sweep is perpetual — call Cluster.Manager.Stop() when
@@ -138,6 +150,11 @@ type Cluster struct {
 	// Manager is the active fabric manager (nil unless Config.Manager).
 	Manager *fabric.Manager
 
+	// Topo describes the generated topology (nil unless Config.Topology
+	// was set): tier slices and pod/group structure, e.g. for aiming a
+	// fabric.StormPlan at one pod.
+	Topo *fabric.Topology
+
 	// Faults is the fault injector (nil until NewInjector is called).
 	Faults *fault.Injector
 
@@ -169,6 +186,32 @@ func New(cfg Config) (*Cluster, error) {
 	scfg := fabric.DefaultSwitchConfig
 	if cfg.SwitchConfig != nil {
 		scfg = cfg.SwitchConfig
+	}
+
+	endpoints := cfg.Hosts + cfg.FAMs + cfg.FAAs
+	if cfg.Agents {
+		endpoints += cfg.FAMs
+	}
+	if cfg.Arbiter {
+		endpoints++
+	}
+	var topoISLs int
+	if cfg.Topology != nil {
+		if cfg.Switches > 1 || cfg.Ring || cfg.Pods > 1 {
+			return nil, fmt.Errorf("fcc: Topology is mutually exclusive with Switches/Ring/Pods")
+		}
+		spec := *cfg.Topology
+		if spec.ISLConfig == nil {
+			spec.ISLConfig = lcfg
+			cfg.Topology = &spec
+		}
+		nsw, nisl, err := spec.Counts()
+		if err != nil {
+			return nil, err
+		}
+		// The generated switch count drives the shard checks and the
+		// contiguous DomainOf mapping below.
+		cfg.Switches, topoISLs = nsw, nisl
 	}
 
 	var eng *sim.Engine
@@ -211,6 +254,16 @@ func New(cfg Config) (*Cluster, error) {
 		b = fabric.NewBuilder(eng)
 	}
 	c := &Cluster{Eng: eng, Coord: coord, Builder: b, cfg: cfg}
+
+	if cfg.Topology != nil {
+		b.Reserve(cfg.Switches, topoISLs, endpoints)
+		topo, err := fabric.Generate(b, *cfg.Topology, scfg())
+		if err != nil {
+			return nil, err
+		}
+		c.Topo = topo
+		return assembleEndpoints(c, topo.Edge, topo.Edge, lcfg)
+	}
 
 	var switches []*fabric.Switch
 	for i := 0; i < cfg.Switches; i++ {
@@ -256,13 +309,20 @@ func New(cfg Config) (*Cluster, error) {
 			}
 		}
 	}
-	devSwitch := func(i int) *fabric.Switch { return switches[i%len(switches)] }
-	hostSwitch := func(i int) *fabric.Switch {
-		if cfg.SpreadHosts {
-			return devSwitch(i)
-		}
-		return switches[0]
+	hostSw := switches
+	if !cfg.SpreadHosts {
+		hostSw = switches[:1]
 	}
+	return assembleEndpoints(c, hostSw, switches, lcfg)
+}
+
+// assembleEndpoints attaches hosts and devices round-robin over the
+// given switch sets, runs discovery, and starts the cluster services —
+// the construction tail shared by hand-built and generated topologies.
+func assembleEndpoints(c *Cluster, hostSw, devSw []*fabric.Switch, lcfg func() link.Config) (*Cluster, error) {
+	cfg, b, eng := c.cfg, c.Builder, c.Eng
+	devSwitch := func(i int) *fabric.Switch { return devSw[i%len(devSw)] }
+	hostSwitch := func(i int) *fabric.Switch { return hostSw[i%len(hostSw)] }
 
 	for i := 0; i < cfg.Hosts; i++ {
 		att, err := b.AttachEndpoint(hostSwitch(i), fmt.Sprintf("host%d", i), fabric.RoleHost, lcfg())
@@ -311,7 +371,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	if cfg.Arbiter {
-		att, err := b.AttachEndpoint(switches[0], "arbiter", fabric.RoleManager, lcfg())
+		att, err := b.AttachEndpoint(devSw[0], "arbiter", fabric.RoleManager, lcfg())
 		if err != nil {
 			return nil, err
 		}

@@ -63,6 +63,14 @@ type BlastRadiusResult struct {
 	FullPlan  BlastVariant `json:"full_plan"`
 	PlanKills []string     `json:"plan_kills"`
 
+	// Storm is the correlated-failure accounting: a whole fat-tree pod
+	// dying in staggered waves (fabric.StormPlan) while the manager
+	// repairs incrementally around each loss. StormRepairs counts the
+	// incremental route-arounds the storm forced.
+	Storm        BlastVariant `json:"storm"`
+	StormKills   []string     `json:"storm_kills"`
+	StormRepairs int          `json:"storm_repairs"`
+
 	// Time from fault onset to routes re-filled, from the manager's
 	// histogram of the route-around run.
 	TimeToRerouteP50Us float64 `json:"time_to_reroute_p50_us"`
@@ -342,6 +350,7 @@ func BlastRadius(seed uint64) *BlastRadiusResult {
 	noMgr, _, _, _ := blastSwitchKill(seed, false)
 	full, kills, snap, raw := blastFullPlan(seed)
 	full2, _, _, raw2 := blastFullPlan(seed)
+	storm := ScaleStorm(seed, ScaleStormConfig(), false)
 	return &BlastRadiusResult{
 		Seed:               seed,
 		VictimSwitch:       victim,
@@ -349,6 +358,9 @@ func BlastRadius(seed uint64) *BlastRadiusResult {
 		NoManager:          noMgr,
 		FullPlan:           full,
 		PlanKills:          kills,
+		Storm:              storm.Variant,
+		StormKills:         storm.Kills,
+		StormRepairs:       storm.Repairs,
 		TimeToRerouteP50Us: p50,
 		TimeToRerouteMaxUs: max,
 		Deterministic:      full == full2 && bytes.Equal(raw, raw2),
@@ -371,6 +383,9 @@ func RenderBlastRadius(r *BlastRadiusResult) string {
 	fmt.Fprintf(&b, "  time-to-reroute: p50 %.1fus, max %.1fus\n", r.TimeToRerouteP50Us, r.TimeToRerouteMaxUs)
 	fmt.Fprintf(&b, "full plan (%s):\n", strings.Join(r.PlanKills, ", "))
 	line("accounting", r.FullPlan)
+	fmt.Fprintf(&b, "pod storm on the 16-switch fat-tree (%s; %d incremental repairs):\n",
+		strings.Join(r.StormKills, ", "), r.StormRepairs)
+	line("storm", r.Storm)
 	fmt.Fprintf(&b, "  deterministic across two same-seed runs: %v\n", r.Deterministic)
 	return b.String()
 }

@@ -1,0 +1,14 @@
+package exp
+
+import "testing"
+
+// BenchmarkScaleBoot measures cold cluster construction — generator,
+// arena-backed fabric build, batched discovery, hosts/FAMs with
+// lazily-chunked caches — at the E13 acceptance scale (64 switches,
+// 512 endpoints). The ISSUE bar is "boots in milliseconds".
+func BenchmarkScaleBoot(b *testing.B) {
+	cfg := ScaleScenarios()[2] // fat-tree-64sw
+	for i := 0; i < b.N; i++ {
+		ScaleBuild(cfg, 1)
+	}
+}

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"sort"
 	"testing"
 
 	"fcc/internal/flit"
@@ -36,28 +37,184 @@ func BenchmarkSwitchRouting(b *testing.B) {
 	eng.Run()
 }
 
-// BenchmarkDiscovery measures fabric-manager route installation on a
-// 4-switch, 64-endpoint topology.
-func BenchmarkDiscovery(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		eng := sim.NewEngine()
-		bd := NewBuilder(eng)
-		var sws []*Switch
-		for s := 0; s < 4; s++ {
-			sws = append(sws, bd.AddSwitch("fs", DefaultSwitchConfig()))
-			if s > 0 {
-				if err := bd.ConnectSwitches(sws[s-1], sws[s], link.DefaultConfig()); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-		for e := 0; e < 64; e++ {
-			if _, err := bd.AttachEndpoint(sws[e%4], "ep", RoleHost, link.DefaultConfig()); err != nil {
+// benchLine4 builds the historical 4-switch/64-endpoint line.
+func benchLine4(b *testing.B) *Builder {
+	b.Helper()
+	bd := NewBuilder(sim.NewEngine())
+	var sws []*Switch
+	for s := 0; s < 4; s++ {
+		sws = append(sws, bd.AddSwitch("fs", DefaultSwitchConfig()))
+		if s > 0 {
+			if err := bd.ConnectSwitches(sws[s-1], sws[s], link.DefaultConfig()); err != nil {
 				b.Fatal(err)
 			}
 		}
-		if err := bd.Discover(); err != nil {
+	}
+	for e := 0; e < 64; e++ {
+		if _, err := bd.AttachEndpoint(sws[e%4], "ep", RoleHost, link.DefaultConfig()); err != nil {
 			b.Fatal(err)
 		}
+	}
+	return bd
+}
+
+// benchTopo builds a generated topology with eps endpoints round-robin
+// over the edge tier.
+func benchTopo(b *testing.B, spec TopoSpec, eps int) *Builder {
+	b.Helper()
+	bd := NewBuilder(sim.NewEngine())
+	nsw, nisl, err := spec.Counts()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bd.Reserve(nsw, nisl, eps)
+	topo, err := Generate(bd, spec, DefaultSwitchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for e := 0; e < eps; e++ {
+		if _, err := bd.AttachEndpoint(topo.Edge[e%len(topo.Edge)], "ep", RoleHost, link.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bd
+}
+
+// installRoutesPerEndpoint is the pre-overhaul route algorithm — one
+// BFS and fresh scratch per *endpoint* — kept verbatim as the baseline
+// BenchmarkDiscovery's ≥5× acceptance bar is measured against.
+func installRoutesPerEndpoint(b *Builder) {
+	idx := make(map[*Switch]int, len(b.switches))
+	for i, s := range b.switches {
+		idx[s] = i
+	}
+	type edge struct{ to, port int }
+	adj := make([][]edge, len(b.switches))
+	for _, l := range b.links {
+		ai, bi := idx[l.a], idx[l.b]
+		adj[ai] = append(adj[ai], edge{to: bi, port: l.aPort})
+		adj[bi] = append(adj[bi], edge{to: ai, port: l.bPort})
+	}
+	for _, sw := range b.switches {
+		sw.ClearRoutes()
+	}
+	for _, att := range b.attached {
+		home := idx[att.Switch]
+		dist := make([]int, len(b.switches))
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[home] = 0
+		queue := []int{home}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[cur] {
+				if dist[e.to] == -1 {
+					dist[e.to] = dist[cur] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		for si, sw := range b.switches {
+			if si == home {
+				sw.InstallRoute(att.ID, []int{att.SwitchPort})
+				continue
+			}
+			if dist[si] == -1 {
+				continue
+			}
+			var outs []int
+			for _, e := range adj[si] {
+				if dist[e.to] == dist[si]-1 {
+					outs = append(outs, e.port)
+				}
+			}
+			sort.Ints(outs)
+			sw.InstallRoute(att.ID, outs)
+		}
+	}
+}
+
+// fatTree64 is the 64-switch/512-endpoint acceptance-scale fabric.
+var fatTree64 = TopoSpec{Kind: TopoFatTree, Tiers: 3, Radix: 8, Pods: 6}
+
+// BenchmarkDiscovery measures full fabric-manager route installation —
+// the per-home-switch batched BFS — across topology scales.
+func BenchmarkDiscovery(b *testing.B) {
+	cases := []struct {
+		name  string
+		build func(b *testing.B) *Builder
+	}{
+		{"line-4sw-64ep", benchLine4},
+		{"fat-tree-16sw-96ep", func(b *testing.B) *Builder {
+			return benchTopo(b, TopoSpec{Kind: TopoFatTree, Tiers: 3, Radix: 4, Pods: 3}, 96)
+		}},
+		{"fat-tree-64sw-512ep", func(b *testing.B) *Builder {
+			return benchTopo(b, fatTree64, 512)
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			bd := tc.build(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bd.InstallRoutesFull(DeadSet{})
+			}
+		})
+	}
+}
+
+// BenchmarkDiscoveryPerEndpointBaseline runs the old per-endpoint-BFS
+// algorithm on the same 64-switch fat-tree for comparison.
+func BenchmarkDiscoveryPerEndpointBaseline(b *testing.B) {
+	bd := benchTopo(b, fatTree64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		installRoutesPerEndpoint(bd)
+	}
+}
+
+// BenchmarkRouteRepair measures the manager's incremental route-around
+// for a single ISL death on the 64-switch fat-tree (the acceptance bar
+// is ≥10× over BenchmarkRouteRepairFull). Each iteration repairs the
+// death and restores the link outside the timer.
+func BenchmarkRouteRepair(b *testing.B) {
+	bd := benchTopo(b, fatTree64, 512)
+	dead := DeadSet{
+		Switches: make([]bool, len(bd.switches)),
+		ISLs:     make([]bool, len(bd.links)),
+		Atts:     make([]bool, len(bd.attached)),
+	}
+	bd.InstallRoutesFull(dead)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dead.ISLs[7] = true
+		bd.RepairRoutes(dead, nil, []int{7}, nil)
+		b.StopTimer()
+		dead.ISLs[7] = false
+		bd.InstallRoutesFull(dead)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkRouteRepairFull is the same single-ISL death handled by a
+// full recompute — what every fault cost before the incremental engine.
+func BenchmarkRouteRepairFull(b *testing.B) {
+	bd := benchTopo(b, fatTree64, 512)
+	dead := DeadSet{
+		Switches: make([]bool, len(bd.switches)),
+		ISLs:     make([]bool, len(bd.links)),
+		Atts:     make([]bool, len(bd.attached)),
+	}
+	bd.InstallRoutesFull(dead)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dead.ISLs[7] = true
+		bd.InstallRoutesFull(dead)
+		b.StopTimer()
+		dead.ISLs[7] = false
+		bd.InstallRoutesFull(dead)
+		b.StartTimer()
 	}
 }

@@ -16,6 +16,13 @@ type ManagerConfig struct {
 	// component is declared dead (and the single clean sweep before a
 	// declared-dead component is considered recovered).
 	MissThreshold int
+	// FullRecompute disables incremental route repair: every reroute
+	// re-fills every table from scratch (the pre-incremental behaviour).
+	// The manager's observable output is identical either way — the
+	// equivalence tests run both modes against the same fault plan and
+	// compare snapshots byte for byte — so this exists for those tests
+	// and as a belt-and-braces escape hatch.
+	FullRecompute bool
 }
 
 // DefaultManagerConfig detects a failure within ~10us — two 5us sweeps —
@@ -52,6 +59,12 @@ type Manager struct {
 	lnDead   []bool
 
 	unreachable int
+
+	// Unexported repair accounting for tests and experiments: these are
+	// deliberately NOT registered as stats — incremental and full modes
+	// must produce byte-identical snapshots.
+	repairs int
+	fulls   int
 
 	// Metrics (the recovery half of the blast-radius accounting).
 	Heartbeats     sim.Counter
@@ -109,8 +122,10 @@ func (m *Manager) sweep() {
 		return
 	}
 	m.Heartbeats.Inc()
-	changed := false
+	changed, recovered := false, false
 	var onsets []sim.Time // FailedAt of components newly declared dead
+	var newSw, newISL, newAtt []int
+	nISL := len(m.b.links)
 	for i, sw := range m.b.switches {
 		if sw.Down() {
 			m.swMissed[i]++
@@ -118,6 +133,7 @@ func (m *Manager) sweep() {
 				m.swDead[i] = true
 				m.SwitchesFailed.Inc()
 				onsets = append(onsets, sw.FailedAt())
+				newSw = append(newSw, i)
 				changed = true
 			}
 		} else {
@@ -125,7 +141,7 @@ func (m *Manager) sweep() {
 			if m.swDead[i] {
 				m.swDead[i] = false
 				m.Recoveries.Inc()
-				changed = true
+				changed, recovered = true, true
 			}
 		}
 	}
@@ -136,6 +152,11 @@ func (m *Manager) sweep() {
 				m.lnDead[i] = true
 				m.LinksFailed.Inc()
 				onsets = append(onsets, l.FailedAt())
+				if i < nISL {
+					newISL = append(newISL, i)
+				} else {
+					newAtt = append(newAtt, i-nISL)
+				}
 				changed = true
 			}
 		} else {
@@ -143,40 +164,43 @@ func (m *Manager) sweep() {
 			if m.lnDead[i] {
 				m.lnDead[i] = false
 				m.Recoveries.Inc()
-				changed = true
+				changed, recovered = true, true
 			}
 		}
 	}
 	if changed {
-		m.reroute(onsets)
+		m.reroute(onsets, recovered, newSw, newISL, newAtt)
 	}
 	m.eng.After(m.cfg.HeartbeatEvery, m.sweep)
 }
 
-// reroute re-fills every surviving switch's PBR table over the live
-// topology.
-func (m *Manager) reroute(onsets []sim.Time) {
-	ex := routeExclusions{
-		deadSwitch: make(map[*Switch]bool),
-		deadLink:   make(map[*link.Link]bool),
+// reroute repairs the surviving switches' PBR tables over the live
+// topology. Pure deaths take the incremental path — only destinations
+// whose shortest-path DAG used a dead element are recomputed; a
+// recovery (topology grows back) forces a full re-fill, as does
+// ManagerConfig.FullRecompute.
+func (m *Manager) reroute(onsets []sim.Time, recovered bool, newSw, newISL, newAtt []int) {
+	nISL := len(m.b.links)
+	dead := DeadSet{Switches: m.swDead, ISLs: m.lnDead[:nISL], Atts: m.lnDead[nISL:]}
+	if m.cfg.FullRecompute || recovered {
+		m.unreachable = m.b.InstallRoutesFull(dead)
+		m.fulls++
+	} else {
+		m.unreachable = m.b.RepairRoutes(dead, newSw, newISL, newAtt)
+		m.repairs++
 	}
-	for i, dead := range m.swDead {
-		if dead {
-			ex.deadSwitch[m.b.switches[i]] = true
-		}
-	}
-	for i, dead := range m.lnDead {
-		if dead {
-			ex.deadLink[m.watched[i]] = true
-		}
-	}
-	m.unreachable = len(m.b.installRoutes(ex))
 	m.Reroutes.Inc()
 	now := m.eng.Now()
 	for _, at := range onsets {
 		m.TimeToReroute.ObserveTime(now - at)
 	}
 }
+
+// RepairCounts reports how many reroutes took the incremental path and
+// how many were full recomputes. Deliberately an accessor rather than
+// registered stats: incremental and FullRecompute runs must produce
+// byte-identical snapshots, and the split is exactly what differs.
+func (m *Manager) RepairCounts() (incremental, full int) { return m.repairs, m.fulls }
 
 // DeadSwitches lists the names of switches currently declared dead.
 func (m *Manager) DeadSwitches() []string {

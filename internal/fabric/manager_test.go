@@ -163,11 +163,12 @@ func TestManagerDetectsRecovery(t *testing.T) {
 }
 
 // managerChaosRun drives a seeded random fault plan under retried load
-// and returns the full stats snapshot as bytes.
-func managerChaosRun(t *testing.T, seed uint64) []byte {
+// and returns the full stats snapshot as bytes plus the manager (for
+// unexported repair-path accounting).
+func managerChaosRun(t *testing.T, seed uint64, mcfg ManagerConfig) ([]byte, *Manager) {
 	t.Helper()
 	eng, b, h, d, _ := ring4(t)
-	m := NewManager(eng, b, DefaultManagerConfig())
+	m := NewManager(eng, b, mcfg)
 	in := newInjector(eng, b, seed)
 	plan := in.RandomPlan("chaos", 6, 150*sim.Microsecond,
 		fault.SwitchCrash, fault.LinkDown, fault.LaneDegrade)
@@ -201,19 +202,46 @@ func managerChaosRun(t *testing.T, seed uint64) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return raw
+	return raw, m
 }
 
 // TestManagerChaosIsSeedDeterministic runs the identical seeded chaos
 // scenario twice: the stats snapshots must be byte-identical, and a
 // different seed must not reproduce them.
 func TestManagerChaosIsSeedDeterministic(t *testing.T) {
-	a := managerChaosRun(t, 11)
-	bb := managerChaosRun(t, 11)
+	a, _ := managerChaosRun(t, 11, DefaultManagerConfig())
+	bb, _ := managerChaosRun(t, 11, DefaultManagerConfig())
 	if !bytes.Equal(a, bb) {
 		t.Fatal("same seed produced different stats snapshots")
 	}
-	if c := managerChaosRun(t, 12); bytes.Equal(a, c) {
+	if c, _ := managerChaosRun(t, 12, DefaultManagerConfig()); bytes.Equal(a, c) {
 		t.Fatal("different seed reproduced the identical snapshot")
+	}
+}
+
+// TestManagerIncrementalMatchesFullRecompute runs the same seeded chaos
+// scenario in the manager's incremental-repair mode (the default) and
+// with FullRecompute forced: the snapshots must be byte-identical for
+// every seed, and the incremental runs must actually have exercised the
+// repair path (not silently fallen back to full re-fills).
+func TestManagerIncrementalMatchesFullRecompute(t *testing.T) {
+	full := DefaultManagerConfig()
+	full.FullRecompute = true
+	tookRepairPath := false
+	for _, seed := range []uint64{11, 12, 13} {
+		inc, m := managerChaosRun(t, seed, DefaultManagerConfig())
+		ful, mf := managerChaosRun(t, seed, full)
+		if !bytes.Equal(inc, ful) {
+			t.Fatalf("seed %d: incremental vs full-recompute snapshots differ", seed)
+		}
+		if m.repairs > 0 {
+			tookRepairPath = true
+		}
+		if mf.repairs != 0 {
+			t.Fatalf("seed %d: FullRecompute mode took %d incremental repairs", seed, mf.repairs)
+		}
+	}
+	if !tookRepairPath {
+		t.Fatal("no seed exercised the incremental repair path")
 	}
 }

@@ -1,0 +1,207 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+
+	"fcc/internal/link"
+	"fcc/internal/sim"
+)
+
+// twin builds the same topology twice so one copy can repair
+// incrementally while the other recomputes from scratch.
+type twin struct {
+	inc, full *Builder
+	nSw, nISL int
+	nAtt      int
+	dead      struct {
+		sw, isl, att []bool // the incremental builder's cumulative dead set
+	}
+}
+
+func newTwin(t *testing.T, build func(tb *Builder)) *twin {
+	t.Helper()
+	tw := &twin{inc: NewBuilder(sim.NewEngine()), full: NewBuilder(sim.NewEngine())}
+	build(tw.inc)
+	build(tw.full)
+	if err := tw.inc.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.full.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	tw.nSw, tw.nISL, tw.nAtt = len(tw.inc.switches), len(tw.inc.links), len(tw.inc.attached)
+	tw.dead.sw = make([]bool, tw.nSw)
+	tw.dead.isl = make([]bool, tw.nISL)
+	tw.dead.att = make([]bool, tw.nAtt)
+	return tw
+}
+
+func (tw *twin) deadSet() DeadSet {
+	return DeadSet{Switches: tw.dead.sw, ISLs: tw.dead.isl, Atts: tw.dead.att}
+}
+
+// kill marks new deaths (sw/isl/att index lists), repairs the
+// incremental builder, fully recomputes the other, and compares.
+func (tw *twin) kill(t *testing.T, label string, sw, isl, att []int) {
+	t.Helper()
+	for _, i := range sw {
+		tw.dead.sw[i] = true
+	}
+	for _, i := range isl {
+		tw.dead.isl[i] = true
+	}
+	for _, i := range att {
+		tw.dead.att[i] = true
+	}
+	ui := tw.inc.RepairRoutes(tw.deadSet(), sw, isl, att)
+	uf := tw.full.InstallRoutesFull(tw.deadSet())
+	if ui != uf {
+		t.Fatalf("%s: unreachable: incremental=%d full=%d", label, ui, uf)
+	}
+	di, df := tw.inc.RouteTableDump(), tw.full.RouteTableDump()
+	if di != df {
+		t.Fatalf("%s: route tables diverged\n-- incremental --\n%s\n-- full --\n%s", label, di, df)
+	}
+}
+
+func buildGenerated(t *testing.T, spec TopoSpec, eps int) func(b *Builder) {
+	return func(b *Builder) {
+		nsw, nisl, err := spec.Counts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Reserve(nsw, nisl, eps)
+		topo, err := Generate(b, spec, DefaultSwitchConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < eps; i++ {
+			sw := topo.Edge[i%len(topo.Edge)]
+			if _, err := b.AttachEndpoint(sw, fmt.Sprintf("ep%d", i), RoleHost, link.DefaultConfig()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func buildRing(t *testing.T, n, eps int) func(b *Builder) {
+	return func(b *Builder) {
+		var sws []*Switch
+		for i := 0; i < n; i++ {
+			sws = append(sws, b.AddSwitch(fmt.Sprintf("fs%d", i), DefaultSwitchConfig()))
+		}
+		for i := 0; i < n; i++ {
+			if err := b.ConnectSwitches(sws[i], sws[(i+1)%n], link.DefaultConfig()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < eps; i++ {
+			if _, err := b.AttachEndpoint(sws[i%n], fmt.Sprintf("ep%d", i), RoleHost, link.DefaultConfig()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// repairTopologies is the cross-product the single-death sweeps run on.
+type repairTopo struct {
+	name  string
+	build func(b *Builder)
+}
+
+func repairTopologies(t *testing.T) []repairTopo {
+	return []repairTopo{
+		{"fat-tree", buildGenerated(t, TopoSpec{Kind: TopoFatTree, Tiers: 3, Radix: 4, Pods: 3}, 12)},
+		{"leafspine", buildGenerated(t, TopoSpec{Kind: TopoFatTree, Tiers: 2, Radix: 8}, 16)},
+		{"dragonfly", buildGenerated(t, TopoSpec{Kind: TopoDragonfly, Radix: 8, Pods: 4}, 20)},
+		{"ring", buildRing(t, 4, 8)},
+	}
+}
+
+// TestRepairEquivalentEverySingleISL kills each inter-switch link alone
+// and checks incremental repair matches a full recompute byte for byte.
+func TestRepairEquivalentEverySingleISL(t *testing.T) {
+	for _, tc := range repairTopologies(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			probe := newTwin(t, tc.build)
+			for li := 0; li < probe.nISL; li++ {
+				tw := newTwin(t, tc.build)
+				tw.kill(t, fmt.Sprintf("isl %d", li), nil, []int{li}, nil)
+			}
+		})
+	}
+}
+
+// TestRepairEquivalentEverySingleSwitch does the same for switch deaths
+// (which sever the switch's homed endpoints too).
+func TestRepairEquivalentEverySingleSwitch(t *testing.T) {
+	for _, tc := range repairTopologies(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			probe := newTwin(t, tc.build)
+			for si := 0; si < probe.nSw; si++ {
+				tw := newTwin(t, tc.build)
+				tw.kill(t, fmt.Sprintf("switch %d", si), []int{si}, nil, nil)
+			}
+		})
+	}
+}
+
+// TestRepairEquivalentEndpointLinks severs endpoint links one at a time.
+func TestRepairEquivalentEndpointLinks(t *testing.T) {
+	for _, tc := range repairTopologies(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			probe := newTwin(t, tc.build)
+			for ai := 0; ai < probe.nAtt; ai++ {
+				tw := newTwin(t, tc.build)
+				tw.kill(t, fmt.Sprintf("att %d", ai), nil, nil, []int{ai})
+			}
+		})
+	}
+}
+
+// TestRepairEquivalentStormSequence accumulates a correlated storm —
+// a fat-tree pod's switches plus their uplinks dying in waves, then
+// stray ISLs, then an endpoint link — comparing after every wave.
+func TestRepairEquivalentStormSequence(t *testing.T) {
+	build := buildGenerated(t, TopoSpec{Kind: TopoFatTree, Tiers: 3, Radix: 4, Pods: 3}, 12)
+	tw := newTwin(t, build)
+	// Pod 0 is switches 0..3 (2 edge + 2 agg).
+	tw.kill(t, "wave 1: edge 0", []int{0}, nil, nil)
+	tw.kill(t, "wave 2: agg 2 + an uplink", []int{2}, []int{len(tw.dead.isl) - 1}, nil)
+	tw.kill(t, "wave 3: rest of pod 0", []int{1, 3}, nil, nil)
+	tw.kill(t, "wave 4: endpoint link", nil, nil, []int{7})
+	// Ring partition: cumulative ISL deaths that split the graph.
+	tw2 := newTwin(t, buildRing(t, 4, 8))
+	tw2.kill(t, "cut 1", nil, []int{0}, nil)
+	tw2.kill(t, "cut 2 (partition)", nil, []int{2}, nil)
+	tw2.kill(t, "cut 3", nil, []int{1}, nil)
+}
+
+// TestRepairAllocFlat pins the route engine's steady-state allocation
+// behaviour: after the first full install, recomputes and repairs on a
+// 64-switch fat-tree allocate nothing.
+func TestRepairAllocFlat(t *testing.T) {
+	b := NewBuilder(sim.NewEngine())
+	buildGenerated(t, TopoSpec{Kind: TopoFatTree, Tiers: 3, Radix: 8, Pods: 6}, 64)(b)
+	if err := b.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	dead := DeadSet{
+		Switches: make([]bool, len(b.switches)),
+		ISLs:     make([]bool, len(b.links)),
+		Atts:     make([]bool, len(b.attached)),
+	}
+	b.InstallRoutesFull(dead)
+	if n := testing.AllocsPerRun(10, func() { b.InstallRoutesFull(dead) }); n > 0 {
+		t.Errorf("InstallRoutesFull allocates %.1f/op after warmup, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() {
+		dead.ISLs[5] = true
+		b.RepairRoutes(dead, nil, []int{5}, nil)
+		dead.ISLs[5] = false
+		b.InstallRoutesFull(dead)
+	}); n > 0 {
+		t.Errorf("RepairRoutes allocates %.1f/op after warmup, want 0", n)
+	}
+}

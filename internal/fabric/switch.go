@@ -45,6 +45,9 @@ type Switch struct {
 	eng  *sim.Engine
 	name string
 	cfg  SwitchConfig
+	// idx is the switch's creation index in its Builder — the dense key
+	// the route engine uses instead of a map[*Switch]int.
+	idx int
 
 	ports []*swPort
 
@@ -115,16 +118,17 @@ type heldPacket struct {
 	release func()
 }
 
-func newSwitch(eng *sim.Engine, name string, cfg SwitchConfig) *Switch {
+// initSwitch fills a (possibly arena-backed) Switch in place, so the
+// Builder can allocate switches in one slab instead of one heap object
+// per switch.
+func initSwitch(s *Switch, eng *sim.Engine, name string, cfg SwitchConfig) {
 	if cfg.OutQueueFlits <= 0 {
 		cfg.OutQueueFlits = 64
 	}
-	return &Switch{
-		eng:     eng,
-		name:    name,
-		cfg:     cfg,
-		Transit: sim.NewHistogram(),
-	}
+	s.eng = eng
+	s.name = name
+	s.cfg = cfg
+	s.Transit = sim.NewHistogram()
 }
 
 // Name reports the switch name.
@@ -161,6 +165,35 @@ func (s *Switch) InstallRoute(dst flit.PortID, outs []int) {
 		s.nroutes++
 	}
 	s.routes[dst] = outs
+}
+
+// ClearRoute removes a single destination entry (the manager severs
+// routes to dead endpoints this way without rebuilding the table).
+func (s *Switch) ClearRoute(dst flit.PortID) {
+	if int(dst) < len(s.routes) && s.routes[dst] != nil {
+		s.routes[dst] = nil
+		s.nroutes--
+	}
+}
+
+// reserveRoutes grows the dense table to cover destination IDs up to
+// maxID, so route installs never reallocate it mid-fill.
+func (s *Switch) reserveRoutes(maxID flit.PortID) {
+	if int(maxID) >= len(s.routes) {
+		grown := make([][]int, int(maxID)+1)
+		copy(grown, s.routes)
+		s.routes = grown
+	}
+}
+
+// ReservePorts presizes the port slice for a switch whose degree is
+// known up front (topology generators know the radix).
+func (s *Switch) ReservePorts(n int) {
+	if cap(s.ports) < n {
+		grown := make([]*swPort, len(s.ports), n)
+		copy(grown, s.ports)
+		s.ports = grown
+	}
 }
 
 // routeFor looks up the candidate outputs for a destination (nil when

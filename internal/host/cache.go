@@ -54,11 +54,21 @@ type line struct {
 	data  [LineSize]byte
 }
 
+// setsPerChunk is the lazy-allocation granule of the line store.
+const setsPerChunk = 64
+
 // cache is a set-associative, write-back, LRU cache holding real data.
+// The line store is chunked and allocated on first touch — a default
+// L2 is ~1.5MB of line state, and a 512-endpoint cluster would spend
+// hundreds of milliseconds zeroing line arrays its workload never
+// reaches. Chunking keeps resident line state proportional to each
+// host's working set and makes boot allocation near-zero; untouched
+// chunks read as all-invalid, exactly like eagerly-zeroed lines.
 type cache struct {
-	cfg  CacheConfig
-	sets [][]line
-	tick uint64
+	cfg    CacheConfig
+	nsets  int
+	chunks [][]line // chunk c covers sets [c*setsPerChunk, (c+1)*setsPerChunk)
+	tick   uint64
 
 	hits   sim.Counter
 	misses sim.Counter
@@ -68,15 +78,25 @@ func newCache(cfg CacheConfig) *cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &cache{cfg: cfg, sets: make([][]line, cfg.Sets())}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-	}
-	return c
+	nsets := cfg.Sets()
+	return &cache{cfg: cfg, nsets: nsets,
+		chunks: make([][]line, (nsets+setsPerChunk-1)/setsPerChunk)}
 }
 
 func (c *cache) setFor(lineAddr uint64) []line {
-	return c.sets[(lineAddr/LineSize)%uint64(len(c.sets))]
+	set := int((lineAddr / LineSize) % uint64(c.nsets))
+	ci := set / setsPerChunk
+	ch := c.chunks[ci]
+	if ch == nil {
+		n := setsPerChunk
+		if rem := c.nsets - ci*setsPerChunk; rem < n {
+			n = rem
+		}
+		ch = make([]line, n*c.cfg.Ways)
+		c.chunks[ci] = ch
+	}
+	off := (set - ci*setsPerChunk) * c.cfg.Ways
+	return ch[off : off+c.cfg.Ways]
 }
 
 // lookup finds a line, updating LRU on hit.

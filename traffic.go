@@ -2,6 +2,7 @@ package fcc
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -57,25 +58,87 @@ func (c *Cluster) CollectTraffic() *TrafficMatrix {
 // Bytes reports the bytes initiator src moved against device dev.
 func (tm *TrafficMatrix) Bytes(src, dev flit.PortID) uint64 { return tm.cells[src][dev] }
 
-// Render draws the matrix with initiators as rows and devices as
-// columns.
-func (tm *TrafficMatrix) Render() string {
-	var srcs, devs []flit.PortID
+// rowsCols returns the matrix axes in deterministic order: initiators
+// sorted by port ID, devices in attach order plus any source a packet
+// named that no observer covers.
+func (tm *TrafficMatrix) rowsCols() (srcs, devs []flit.PortID) {
 	devSet := map[flit.PortID]bool{}
 	for _, d := range tm.devIDs {
 		devSet[d] = true
 	}
+	devs = append(devs, tm.devIDs...)
 	for s, row := range tm.cells {
 		srcs = append(srcs, s)
 		for d := range row {
-			devSet[d] = true
+			if !devSet[d] {
+				devSet[d] = true
+				devs = append(devs, d)
+			}
 		}
-	}
-	for d := range devSet {
-		devs = append(devs, d)
 	}
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
 	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	return srcs, devs
+}
+
+// heatShades maps intensity to glyphs, blank = no traffic.
+const heatShades = " .:-=+*#%@"
+
+// RenderHeatmap draws the matrix as a log-scaled ASCII heatmap — one
+// character per (initiator, device) cell — which stays readable at the
+// hundreds-of-hosts scale where Render's numeric table does not. '@'
+// is the hottest cell; every other shade is log-proportional to it, so
+// a near/far traffic split shows as two distinct brightness bands.
+func (tm *TrafficMatrix) RenderHeatmap() string {
+	srcs, devs := tm.rowsCols()
+	maxBytes := uint64(0)
+	for _, s := range srcs {
+		for _, d := range devs {
+			if v := tm.cells[s][d]; v > maxBytes {
+				maxBytes = v
+			}
+		}
+	}
+	name := func(id flit.PortID) string {
+		if n, ok := tm.names[id]; ok {
+			return n
+		}
+		return fmt.Sprintf("port%d", id)
+	}
+	shade := func(v uint64) byte {
+		if v == 0 || maxBytes == 0 {
+			return heatShades[0]
+		}
+		// Integer log scale: bit length relative to the hottest cell.
+		i := 1 + (len(heatShades)-2)*bits.Len64(v)/bits.Len64(maxBytes)
+		if i > len(heatShades)-1 {
+			i = len(heatShades) - 1
+		}
+		return heatShades[i]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "traffic heatmap: %d initiators x %d devices, max cell %d bytes (shades %q)\n",
+		len(srcs), len(devs), maxBytes, heatShades)
+	// Column ruler: device index mod 10, readable at any width.
+	fmt.Fprintf(&b, "%-10s ", "")
+	for i := range devs {
+		b.WriteByte(byte('0' + i%10))
+	}
+	b.WriteByte('\n')
+	for _, s := range srcs {
+		fmt.Fprintf(&b, "%-10s|", name(s))
+		for _, d := range devs {
+			b.WriteByte(shade(tm.cells[s][d]))
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// Render draws the matrix with initiators as rows and devices as
+// columns.
+func (tm *TrafficMatrix) Render() string {
+	srcs, devs := tm.rowsCols()
 	name := func(id flit.PortID) string {
 		if n, ok := tm.names[id]; ok {
 			return n
